@@ -1,0 +1,425 @@
+// Package wintermute holds the repository-level benchmark suite: one
+// bench per evaluation figure of the paper plus the ablation benches
+// called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+package wintermute
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/cache"
+	"github.com/dcdb/wintermute/internal/core"
+	"github.com/dcdb/wintermute/internal/core/units"
+	"github.com/dcdb/wintermute/internal/ml/bgmm"
+	"github.com/dcdb/wintermute/internal/ml/forest"
+	"github.com/dcdb/wintermute/internal/ml/quantile"
+	"github.com/dcdb/wintermute/internal/navigator"
+	"github.com/dcdb/wintermute/internal/plugins/tester"
+	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/sim/cluster"
+	"github.com/dcdb/wintermute/internal/store"
+	"github.com/dcdb/wintermute/internal/transport"
+
+	_ "github.com/dcdb/wintermute/internal/plugins/all"
+)
+
+const sec = int64(time.Second)
+
+// --- Figure 5 ablation: cache view modes --------------------------------
+
+func filledCache(n int) *cache.Cache {
+	c := cache.New(n, time.Second)
+	for i := 0; i < n; i++ {
+		c.Store(sensor.Reading{Value: float64(i), Time: int64(i) * sec})
+	}
+	return c
+}
+
+// BenchmarkCacheViewRelative measures the O(1) relative view (Fig. 5b's
+// query path).
+func BenchmarkCacheViewRelative(b *testing.B) {
+	c := filledCache(180)
+	buf := make([]sensor.Reading, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = c.ViewRelative(50*time.Second, buf[:0])
+	}
+	_ = buf
+}
+
+// BenchmarkCacheViewAbsolute measures the O(log N) binary-search view
+// (Fig. 5a's query path).
+func BenchmarkCacheViewAbsolute(b *testing.B) {
+	c := filledCache(180)
+	latest, _ := c.Latest()
+	buf := make([]sensor.Reading, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = c.ViewAbsolute(latest.Time-50*sec, latest.Time, buf[:0])
+	}
+	_ = buf
+}
+
+// --- Figure 5: tester operator query load -------------------------------
+
+func testerEnv(b *testing.B, sensors int) (*core.QueryEngine, *core.Manager) {
+	b.Helper()
+	nav := navigator.New()
+	caches := cache.NewSet()
+	for i := 0; i < sensors; i++ {
+		topic := sensor.Topic(fmt.Sprintf("/node/test%d", i))
+		if err := nav.AddSensor(topic); err != nil {
+			b.Fatal(err)
+		}
+		c := caches.GetOrCreate(topic, 180, time.Second)
+		for k := 0; k < 180; k++ {
+			c.Store(sensor.Reading{Value: float64(k), Time: int64(k) * sec})
+		}
+	}
+	qe := core.NewQueryEngine(nav, caches, nil)
+	sink := core.NewCacheSink(caches, nav, 180, time.Second)
+	return qe, core.NewManager(qe, sink, core.Env{})
+}
+
+func benchTesterOperator(b *testing.B, absolute bool) {
+	qe, m := testerEnv(b, 1000)
+	inputs := make([]string, 1000)
+	for i := range inputs {
+		inputs[i] = fmt.Sprintf("test%d", i)
+	}
+	raw, _ := json.Marshal(tester.Config{
+		OperatorConfig: core.OperatorConfig{
+			Name: "t", Inputs: inputs, Outputs: []string{"n"}, Unit: "/node/",
+		},
+		Queries:  1000,
+		WindowMs: 100000,
+		Absolute: absolute,
+	})
+	if err := m.LoadPlugin("tester", raw); err != nil {
+		b.Fatal(err)
+	}
+	now := time.Unix(179, 0)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.TickAll(now); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = qe
+}
+
+// BenchmarkQueryEngineRelative reproduces Fig. 5's heaviest relative-mode
+// cell: 1000 queries over 100 s ranges per interval.
+func BenchmarkQueryEngineRelative(b *testing.B) { benchTesterOperator(b, false) }
+
+// BenchmarkQueryEngineAbsolute reproduces the same cell in absolute mode.
+func BenchmarkQueryEngineAbsolute(b *testing.B) { benchTesterOperator(b, true) }
+
+// --- Ablation: cache hit vs store fallback ------------------------------
+
+func BenchmarkQueryCacheHit(b *testing.B) {
+	nav := navigator.New()
+	caches := cache.NewSet()
+	st := store.New(0)
+	_ = nav.AddSensor("/n/power")
+	c := caches.GetOrCreate("/n/power", 180, time.Second)
+	for k := 0; k < 180; k++ {
+		r := sensor.Reading{Value: float64(k), Time: int64(k) * sec}
+		c.Store(r)
+		st.Insert("/n/power", r)
+	}
+	qe := core.NewQueryEngine(nav, caches, st)
+	buf := make([]sensor.Reading, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = qe.QueryRelative("/n/power", 60*time.Second, buf[:0])
+	}
+	_ = buf
+}
+
+func BenchmarkQueryStoreFallback(b *testing.B) {
+	nav := navigator.New()
+	caches := cache.NewSet()
+	st := store.New(0)
+	_ = nav.AddSensor("/n/power")
+	for k := 0; k < 180; k++ {
+		st.Insert("/n/power", sensor.Reading{Value: float64(k), Time: int64(k) * sec})
+	}
+	qe := core.NewQueryEngine(nav, caches, st) // no cache: store answers
+	buf := make([]sensor.Reading, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = qe.QueryRelative("/n/power", 60*time.Second, buf[:0])
+	}
+	_ = buf
+}
+
+// --- Unit System at scale ------------------------------------------------
+
+// BenchmarkUnitResolution instantiates one pattern-unit block over the
+// full CooLMUC-3 tree (148 nodes x 64 cores), producing one unit per core
+// — the large-scale configuration mechanism of paper §III-C.
+func BenchmarkUnitResolution(b *testing.B) {
+	nav := navigator.New()
+	if err := cluster.CooLMUC3().Populate(nav); err != nil {
+		b.Fatal(err)
+	}
+	tpl, err := units.NewTemplate(
+		[]string{"<bottomup>cpu-cycles", "<bottomup>instructions"},
+		[]string{"<bottomup>cpi"},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		us, err := tpl.Instantiate(nav)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(us) != 148*64 {
+			b.Fatalf("units = %d", len(us))
+		}
+	}
+}
+
+// BenchmarkPatternParse measures pattern-expression parsing.
+func BenchmarkPatternParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := units.Parse("<bottomup, filter cpu>cpu-cycles"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: sequential vs parallel unit management (§IV-c) -----------
+
+func unitMgmtEnv(b *testing.B, parallel bool) (*core.QueryEngine, core.Operator, core.Sink) {
+	b.Helper()
+	nav := navigator.New()
+	caches := cache.NewSet()
+	for n := 0; n < 64; n++ {
+		topic := sensor.Topic(fmt.Sprintf("/r1/n%02d/power", n))
+		_ = nav.AddSensor(topic)
+		c := caches.GetOrCreate(topic, 180, time.Second)
+		for k := 0; k < 180; k++ {
+			c.Store(sensor.Reading{Value: float64(k), Time: int64(k) * sec})
+		}
+	}
+	qe := core.NewQueryEngine(nav, caches, nil)
+	cfg := tester.Config{
+		OperatorConfig: core.OperatorConfig{
+			Name:     "t",
+			Inputs:   []string{"power"},
+			Outputs:  []string{"<bottomup>out"},
+			Parallel: parallel,
+		},
+		Queries:  200,
+		WindowMs: 100000,
+	}
+	op, err := tester.New(cfg, qe)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return qe, op, core.SinkFunc(func(sensor.Topic, sensor.Reading) {})
+}
+
+func BenchmarkUnitsSequential(b *testing.B) {
+	qe, op, sink := unitMgmtEnv(b, false)
+	now := time.Unix(179, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.Tick(op, qe, sink, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnitsParallel(b *testing.B) {
+	qe, op, sink := unitMgmtEnv(b, true)
+	now := time.Unix(179, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.Tick(op, qe, sink, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 6: random forest ---------------------------------------------
+
+func trainedForest(b *testing.B, trees, depth int) (*forest.Forest, []float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	n, d := 4000, 28 // 4 sensors x 7 features, like the regressor
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = make([]float64, d)
+		for j := range x[i] {
+			x[i][j] = rng.Float64()
+		}
+		y[i] = 150 + 50*x[i][0] - 30*x[i][7] + rng.NormFloat64()*5
+	}
+	f := forest.New(forest.Params{Trees: trees, MaxDepth: depth, Seed: 3})
+	if err := f.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	return f, x[0]
+}
+
+// BenchmarkRegressorPredict measures one online prediction of the Fig. 6
+// model (32 trees, 28 features) — the per-interval inference cost that
+// must stay negligible next to 250 ms sampling.
+func BenchmarkRegressorPredict(b *testing.B) {
+	f, probe := trainedForest(b, 32, 12)
+	b.ResetTimer()
+	b.ReportAllocs()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += f.Predict(probe)
+	}
+	_ = s
+}
+
+// BenchmarkForestSweep ablates ensemble size and depth.
+func BenchmarkForestSweep(b *testing.B) {
+	for _, cfg := range []struct{ trees, depth int }{
+		{8, 8}, {32, 12}, {64, 16},
+	} {
+		b.Run(fmt.Sprintf("trees=%d/depth=%d", cfg.trees, cfg.depth), func(b *testing.B) {
+			f, probe := trainedForest(b, cfg.trees, cfg.depth)
+			b.ResetTimer()
+			var s float64
+			for i := 0; i < b.N; i++ {
+				s += f.Predict(probe)
+			}
+			_ = s
+		})
+	}
+}
+
+// --- Figure 7: decile aggregation ----------------------------------------
+
+// BenchmarkDeciles2048 measures one persyst decile computation over 2048
+// per-core CPI samples — "each decile is aggregated from 2048 samples at
+// a time" (paper §VI-C).
+func BenchmarkDeciles2048(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 2048)
+	for i := range vals {
+		vals[i] = 1.5 + rng.ExpFloat64()
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := quantile.Deciles(vals)
+		if d[0] > d[10] {
+			b.Fatal("deciles inverted")
+		}
+	}
+}
+
+// --- Figure 8: Bayesian GMM ----------------------------------------------
+
+// BenchmarkBGMMFit148 measures one clustering pass at the paper's fleet
+// size: 148 nodes x 3 aggregate metrics, the hourly computation of §VI-D.
+func BenchmarkBGMMFit148(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([][]float64, 148)
+	centers := [][]float64{{95, 47.5, 5e5}, {145, 50.5, 2.7e5}, {195, 53.5, 5e4}}
+	for i := range x {
+		c := centers[i%3]
+		x[i] = []float64{
+			c[0] + rng.NormFloat64()*6,
+			c[1] + rng.NormFloat64()*0.4,
+			c[2] + rng.NormFloat64()*3e4,
+		}
+	}
+	z, _, _ := bgmm.Standardize(x)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := bgmm.Fit(z, bgmm.Params{MaxComponents: 8, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.NumActive() < 2 {
+			b.Fatalf("clusters = %d", m.NumActive())
+		}
+	}
+}
+
+// --- Substrate micro-benches ----------------------------------------------
+
+func BenchmarkStoreInsert(b *testing.B) {
+	st := store.New(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st.Insert("/n/power", sensor.Reading{Value: float64(i), Time: int64(i)})
+	}
+}
+
+func BenchmarkStoreRange(b *testing.B) {
+	st := store.New(0)
+	for i := 0; i < 100000; i++ {
+		st.Insert("/n/power", sensor.Reading{Value: float64(i), Time: int64(i) * sec})
+	}
+	buf := make([]sensor.Reading, 0, 512)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = st.Range("/n/power", 50000*sec, 50300*sec, buf[:0])
+	}
+	_ = buf
+}
+
+func BenchmarkNavigatorResolve(b *testing.B) {
+	nav := navigator.New()
+	if err := cluster.CooLMUC3().Populate(nav); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := nav.Resolve("/r03/c02/s05/"); !ok {
+			b.Fatal("resolve failed")
+		}
+	}
+}
+
+// BenchmarkTransportPublish measures the Pusher->Collect Agent data path:
+// encode, route through the broker, decode and deliver locally.
+func BenchmarkTransportPublish(b *testing.B) {
+	broker, err := transport.NewBroker("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer broker.Close()
+	recv := make(chan struct{}, 1024)
+	broker.SubscribeLocal("#", func(m transport.Message) { recv <- struct{}{} })
+	client, err := transport.Dial(broker.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	batch := make([]sensor.Reading, 10)
+	for i := range batch {
+		batch[i] = sensor.Reading{Value: float64(i), Time: int64(i)}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := client.Publish("/r1/n1/power", batch); err != nil {
+			b.Fatal(err)
+		}
+		<-recv
+	}
+}

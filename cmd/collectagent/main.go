@@ -1,0 +1,102 @@
+// Command collectagent runs a DCDB Collect Agent daemon: the MQTT-style
+// broker receiving Pusher data, the Storage Backend, system-wide sensor
+// caches, the Wintermute framework with whole-system visibility and the
+// RESTful API.
+//
+// Usage:
+//
+//	collectagent -mqtt 127.0.0.1:1883 -http 127.0.0.1:8081 \
+//	             -config wintermute.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/collect"
+	"github.com/dcdb/wintermute/internal/core"
+	_ "github.com/dcdb/wintermute/internal/plugins/all"
+	"github.com/dcdb/wintermute/internal/rest"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("collectagent: ")
+	var (
+		mqttAddr   = flag.String("mqtt", "127.0.0.1:1883", "broker listen address")
+		httpAddr   = flag.String("http", "127.0.0.1:0", "REST API listen address")
+		retention  = flag.Duration("retention", 180*time.Second, "sensor cache retention")
+		storeMax   = flag.Int("store-max", 100000, "max readings per sensor in the storage backend (0: unlimited)")
+		configPath = flag.String("config", "", "Wintermute plugin configuration (JSON)")
+		snapshot   = flag.String("snapshot", "", "storage snapshot file: loaded at start, written at shutdown")
+	)
+	flag.Parse()
+
+	agent, err := collect.New(collect.Config{
+		ListenMQTT:     *mqttAddr,
+		CacheRetention: *retention,
+		StoreRetention: *storeMax,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *snapshot != "" {
+		switch err := agent.Store.LoadFile(*snapshot); {
+		case err == nil:
+			// Restore the sensor tree so pattern units bind immediately.
+			for _, topic := range agent.Store.Topics() {
+				if err := agent.Nav.AddSensor(topic); err != nil {
+					log.Printf("restoring sensor %s: %v", topic, err)
+				}
+			}
+			log.Printf("restored %d readings from %s", agent.Store.TotalReadings(), *snapshot)
+		case os.IsNotExist(err):
+			log.Printf("no snapshot at %s, starting fresh", *snapshot)
+		default:
+			log.Fatalf("loading snapshot: %v", err)
+		}
+	}
+
+	if *configPath != "" {
+		raw, err := os.ReadFile(*configPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var cfg core.Config
+		if err := json.Unmarshal(raw, &cfg); err != nil {
+			log.Fatalf("parsing %s: %v", *configPath, err)
+		}
+		if err := agent.Manager.LoadConfig(cfg); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	srv, err := rest.Serve(*httpAddr, agent.Manager, agent.QE)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agent.Start()
+	log.Printf("broker on %s; REST on http://%s", agent.Addr(), srv.Addr())
+	fmt.Printf("MQTT: %s\nREST: http://%s\n", agent.Addr(), srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	_ = srv.Close()
+	_ = agent.Close()
+	if *snapshot != "" {
+		if err := agent.Store.SaveFile(*snapshot); err != nil {
+			log.Printf("saving snapshot: %v", err)
+		} else {
+			log.Printf("saved %d readings to %s", agent.Store.TotalReadings(), *snapshot)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Command dcdbconfig is the control CLI for DCDB components, wrapping the
+// RESTful API of Pushers and Collect Agents (paper §V-A: requests "can
+// instruct the manager to start, stop, or load plugins dynamically, as
+// well as triggering specific actions on a per-plugin basis").
+//
+// Usage:
+//
+//	dcdbconfig -host 127.0.0.1:8080 sensors [prefix]
+//	dcdbconfig -host H operators
+//	dcdbconfig -host H units <operator>
+//	dcdbconfig -host H query <sensor> [lookback]
+//	dcdbconfig -host H average <sensor> [window]
+//	dcdbconfig -host H compute <operator> [unit]
+//	dcdbconfig -host H start|stop <operator>
+//	dcdbconfig -host H load <plugin> <config.json>
+//	dcdbconfig -host H unload <plugin>
+//	dcdbconfig -host H plugins
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dcdbconfig: ")
+	host := flag.String("host", "127.0.0.1:8080", "REST endpoint of the target component")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd, args := args[0], args[1:]
+	base := "http://" + *host
+
+	get := func(path string) { show(http.Get(base + path)) }
+	post := func(path string, body io.Reader) {
+		resp, err := http.Post(base+path, "application/json", body)
+		show(resp, err)
+	}
+
+	switch cmd {
+	case "sensors":
+		q := ""
+		if len(args) > 0 {
+			q = "?prefix=" + url.QueryEscape(args[0])
+		}
+		get("/sensors" + q)
+	case "plugins":
+		get("/plugins")
+	case "operators":
+		get("/operators")
+	case "units":
+		need(args, 1, "units <operator>")
+		get("/units?operator=" + url.QueryEscape(args[0]))
+	case "query":
+		need(args, 1, "query <sensor> [lookback]")
+		q := "/query?sensor=" + url.QueryEscape(args[0])
+		if len(args) > 1 {
+			q += "&lookback=" + url.QueryEscape(args[1])
+		}
+		get(q)
+	case "average":
+		need(args, 1, "average <sensor> [window]")
+		q := "/average?sensor=" + url.QueryEscape(args[0])
+		if len(args) > 1 {
+			q += "&window=" + url.QueryEscape(args[1])
+		}
+		get(q)
+	case "compute":
+		need(args, 1, "compute <operator> [unit]")
+		q := "/compute?operator=" + url.QueryEscape(args[0])
+		if len(args) > 1 {
+			q += "&unit=" + url.QueryEscape(args[1])
+		}
+		post(q, nil)
+	case "start", "stop":
+		need(args, 1, cmd+" <operator>")
+		post("/operators/"+cmd+"?operator="+url.QueryEscape(args[0]), nil)
+	case "load":
+		need(args, 2, "load <plugin> <config.json>")
+		raw, err := os.ReadFile(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		post("/plugins/load?plugin="+url.QueryEscape(args[0]), strings.NewReader(string(raw)))
+	case "unload":
+		need(args, 1, "unload <plugin>")
+		post("/plugins/unload?plugin="+url.QueryEscape(args[0]), nil)
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+func need(args []string, n int, usage string) {
+	if len(args) < n {
+		log.Fatalf("usage: dcdbconfig %s", usage)
+	}
+}
+
+func show(resp *http.Response, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(strings.TrimSpace(string(body)))
+	if resp.StatusCode >= 400 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,109 @@
+// Command dcdbpusher runs a DCDB Pusher daemon: it samples sensors from
+// monitoring plugins (here: the simulated hardware backends and the tester
+// plugin), hosts the Wintermute ODA framework, exposes the RESTful API and
+// forwards readings to a Collect Agent over the MQTT-style transport.
+//
+// Usage:
+//
+//	dcdbpusher -node /r01/c01/s01/ -app hpl -mqtt 127.0.0.1:1883 \
+//	           -http 127.0.0.1:8080 -config wintermute.json
+//
+// The -config file is a Wintermute configuration:
+//
+//	{"plugins": [{"plugin": "aggregator", "config": {...}}]}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/core"
+	_ "github.com/dcdb/wintermute/internal/plugins/all"
+	"github.com/dcdb/wintermute/internal/pusher"
+	"github.com/dcdb/wintermute/internal/rest"
+	"github.com/dcdb/wintermute/internal/samplers"
+	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/sim/hardware"
+	"github.com/dcdb/wintermute/internal/sim/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dcdbpusher: ")
+	var (
+		nodePath   = flag.String("node", "/r01/c01/s01/", "component path of this node in the sensor tree")
+		app        = flag.String("app", "idle", "simulated application (hpl, lammps, amg, kripke, nekbone, idle)")
+		cores      = flag.Int("cores", 16, "simulated cores")
+		mqttAddr   = flag.String("mqtt", "", "collect agent broker address (empty: standalone)")
+		httpAddr   = flag.String("http", "127.0.0.1:0", "REST API listen address")
+		interval   = flag.Duration("interval", time.Second, "sampling interval")
+		retention  = flag.Duration("retention", 180*time.Second, "sensor cache retention")
+		configPath = flag.String("config", "", "Wintermute plugin configuration (JSON)")
+		testers    = flag.Int("testers", 0, "additional tester sensors (monotonic counters)")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	p, err := pusher.New(pusher.Config{
+		Name:           *nodePath,
+		CacheRetention: *retention,
+		MQTTAddr:       *mqttAddr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	node := hardware.NewNode(hardware.Config{Cores: *cores, Seed: *seed})
+	node.SetApp(workload.MustNew(*app, *seed, 1e9), time.Now().UnixNano())
+	path := sensor.Topic(*nodePath)
+	for _, s := range []samplers.Sampler{
+		samplers.NewPowerSim(node, path, *interval),
+		samplers.NewProcSim(node, path, *interval),
+		samplers.NewPerfSim(node, path, *interval),
+	} {
+		if err := p.AddSampler(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *testers > 0 {
+		if err := p.AddSampler(samplers.NewTester("tester", path, *testers, *interval)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *configPath != "" {
+		raw, err := os.ReadFile(*configPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var cfg core.Config
+		if err := json.Unmarshal(raw, &cfg); err != nil {
+			log.Fatalf("parsing %s: %v", *configPath, err)
+		}
+		if err := p.Manager.LoadConfig(cfg); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	srv, err := rest.Serve(*httpAddr, p.Manager, p.QE)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.Start()
+	log.Printf("node %s running %s on %d cores; REST on http://%s; %d sensors",
+		*nodePath, *app, *cores, srv.Addr(), p.Nav.NumSensors())
+	fmt.Printf("REST: http://%s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	p.Stop()
+	_ = srv.Close()
+}

@@ -1,0 +1,259 @@
+// Package cache implements the in-memory sensor caches used by DCDB
+// pushers and collect agents for fast access to recent readings.
+//
+// Each sensor owns one Cache: a fixed-capacity ring buffer of readings
+// ordered by insertion time. The cache supports the two view modes of the
+// Wintermute Query Engine (paper §V-B):
+//
+//   - relative mode: timestamps are offsets against the most recent
+//     reading; because the cache knows its nominal sampling interval, the
+//     slice bounds of the view are computed in O(1);
+//   - absolute mode: explicit timestamp ranges resolved with binary search
+//     over the buffered readings, O(log N).
+package cache
+
+import (
+	"sync"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+// Cache is a concurrency-safe ring buffer of readings for one sensor.
+// The zero value is not usable; construct with New.
+type Cache struct {
+	mu       sync.RWMutex
+	buf      []sensor.Reading
+	start    int // index of oldest reading
+	size     int // number of valid readings
+	interval time.Duration
+}
+
+// New creates a cache holding up to capacity readings sampled at the given
+// nominal interval. DCDB sizes caches by retention time; NewForRetention
+// offers that convenience. New panics on non-positive capacity or interval,
+// since both indicate a configuration bug.
+func New(capacity int, interval time.Duration) *Cache {
+	if capacity <= 0 {
+		panic("cache: capacity must be positive")
+	}
+	if interval <= 0 {
+		panic("cache: interval must be positive")
+	}
+	return &Cache{
+		buf:      make([]sensor.Reading, capacity),
+		interval: interval,
+	}
+}
+
+// NewForRetention creates a cache able to retain `retain` worth of readings
+// sampled at `interval`, e.g. NewForRetention(180*time.Second, time.Second)
+// holds 180 readings — the configuration used in the paper's evaluation.
+func NewForRetention(retain, interval time.Duration) *Cache {
+	n := int(retain / interval)
+	if n < 1 {
+		n = 1
+	}
+	return New(n, interval)
+}
+
+// Interval returns the nominal sampling interval of the cached sensor.
+func (c *Cache) Interval() time.Duration { return c.interval }
+
+// Capacity returns the maximum number of readings the cache can hold.
+func (c *Cache) Capacity() int { return len(c.buf) }
+
+// Len returns the number of readings currently cached.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.size
+}
+
+// Store appends a reading, evicting the oldest one once the cache is full.
+// Readings are expected to arrive in non-decreasing timestamp order (the
+// pusher sampling loop guarantees this); out-of-order readings are still
+// stored but degrade absolute-mode lookups to the enclosing range.
+func (c *Cache) Store(r sensor.Reading) {
+	c.mu.Lock()
+	if c.size < len(c.buf) {
+		c.buf[(c.start+c.size)%len(c.buf)] = r
+		c.size++
+	} else {
+		c.buf[c.start] = r
+		c.start = (c.start + 1) % len(c.buf)
+	}
+	c.mu.Unlock()
+}
+
+// Latest returns the most recent reading, if any.
+func (c *Cache) Latest() (sensor.Reading, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.size == 0 {
+		return sensor.Reading{}, false
+	}
+	return c.at(c.size - 1), true
+}
+
+// Oldest returns the oldest cached reading, if any.
+func (c *Cache) Oldest() (sensor.Reading, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.size == 0 {
+		return sensor.Reading{}, false
+	}
+	return c.at(0), true
+}
+
+// at returns the i-th reading in chronological order (0 = oldest).
+// Callers must hold c.mu.
+func (c *Cache) at(i int) sensor.Reading {
+	return c.buf[(c.start+i)%len(c.buf)]
+}
+
+// ViewRelative appends to dst the readings covering the window
+// [latest-lookback, latest] and returns the extended slice. The slice
+// bounds are derived from the nominal sampling interval in O(1); only the
+// copy into dst is linear in the result size. A lookback of 0 yields just
+// the most recent reading, matching the "query interval 0" configuration
+// of the paper's Figure 5.
+func (c *Cache) ViewRelative(lookback time.Duration, dst []sensor.Reading) []sensor.Reading {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.size == 0 {
+		return dst
+	}
+	n := int(lookback/c.interval) + 1
+	if n > c.size {
+		n = c.size
+	}
+	return c.appendRange(dst, c.size-n, c.size)
+}
+
+// ViewAbsolute appends to dst the readings with timestamps in [t0, t1]
+// (nanoseconds, inclusive) and returns the extended slice. Bounds are
+// located with binary search, O(log N).
+func (c *Cache) ViewAbsolute(t0, t1 int64, dst []sensor.Reading) []sensor.Reading {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.size == 0 || t1 < t0 {
+		return dst
+	}
+	lo := c.searchGE(t0)
+	hi := c.searchGE(t1 + 1)
+	return c.appendRange(dst, lo, hi)
+}
+
+// searchGE returns the smallest chronological index whose timestamp is
+// >= t, or c.size if none. Callers must hold c.mu.
+func (c *Cache) searchGE(t int64) int {
+	lo, hi := 0, c.size
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.at(mid).Time < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// appendRange copies chronological indices [lo, hi) into dst. Callers must
+// hold c.mu. The copy is performed in at most two memmoves across the ring
+// wrap point.
+func (c *Cache) appendRange(dst []sensor.Reading, lo, hi int) []sensor.Reading {
+	if lo >= hi {
+		return dst
+	}
+	first := (c.start + lo) % len(c.buf)
+	last := (c.start + hi - 1) % len(c.buf)
+	if first <= last {
+		return append(dst, c.buf[first:last+1]...)
+	}
+	dst = append(dst, c.buf[first:]...)
+	return append(dst, c.buf[:last+1]...)
+}
+
+// Average returns the mean value over the relative window [latest-lookback,
+// latest]. It exists to back the REST /average endpoint that DCDB exposes
+// on caches. ok is false when the cache is empty.
+func (c *Cache) Average(lookback time.Duration) (avg float64, ok bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.size == 0 {
+		return 0, false
+	}
+	n := int(lookback/c.interval) + 1
+	if n > c.size {
+		n = c.size
+	}
+	var sum float64
+	for i := c.size - n; i < c.size; i++ {
+		sum += c.at(i).Value
+	}
+	return sum / float64(n), true
+}
+
+// Set is a concurrency-safe collection of caches keyed by sensor topic.
+// Pushers and collect agents each own one Set; the Query Engine consults it
+// before falling back to the storage backend.
+type Set struct {
+	mu     sync.RWMutex
+	caches map[sensor.Topic]*Cache
+}
+
+// NewSet creates an empty cache set.
+func NewSet() *Set {
+	return &Set{caches: make(map[sensor.Topic]*Cache)}
+}
+
+// GetOrCreate returns the cache for topic, creating it with the given
+// parameters if absent. Existing caches keep their original parameters.
+func (s *Set) GetOrCreate(topic sensor.Topic, capacity int, interval time.Duration) *Cache {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.caches[topic]; ok {
+		return c
+	}
+	c := New(capacity, interval)
+	s.caches[topic] = c
+	return c
+}
+
+// Get returns the cache for topic, if present.
+func (s *Set) Get(topic sensor.Topic) (*Cache, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.caches[topic]
+	return c, ok
+}
+
+// Store appends a reading to the cache for topic, if one exists. It
+// reports whether the reading was cached.
+func (s *Set) Store(topic sensor.Topic, r sensor.Reading) bool {
+	if c, ok := s.Get(topic); ok {
+		c.Store(r)
+		return true
+	}
+	return false
+}
+
+// Topics returns the topics of all caches in the set.
+func (s *Set) Topics() []sensor.Topic {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]sensor.Topic, 0, len(s.caches))
+	for t := range s.caches {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Len returns the number of caches in the set.
+func (s *Set) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.caches)
+}

@@ -1,0 +1,119 @@
+// Package collect implements the DCDB Collect Agent: the data broker that
+// receives sensor readings from Pushers over the MQTT-style transport,
+// forwards them to the Storage Backend, maintains system-wide sensor
+// caches, and embeds the Wintermute framework with visibility of the
+// entire system's sensor space (paper §IV-A).
+//
+// Operators instantiated in a Collect Agent read from the local caches
+// when possible and from the Storage Backend otherwise — the location
+// "optimal for system or infrastructure-level analysis and feedback
+// loops".
+package collect
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/cache"
+	"github.com/dcdb/wintermute/internal/core"
+	"github.com/dcdb/wintermute/internal/navigator"
+	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/store"
+	"github.com/dcdb/wintermute/internal/transport"
+)
+
+// Config parameterises a Collect Agent.
+type Config struct {
+	// ListenMQTT is the broker listen address (e.g. "127.0.0.1:0");
+	// empty runs the agent without a network broker (in-process ingest
+	// only).
+	ListenMQTT string
+	// CacheRetention sizes the system-wide sensor caches (default 180 s).
+	CacheRetention time.Duration
+	// StoreRetention caps readings kept per sensor in the Storage
+	// Backend (0 = unlimited).
+	StoreRetention int
+	// Env is handed to Wintermute plugin configurators (job providers
+	// attach here).
+	Env core.Env
+}
+
+// Agent is a running Collect Agent.
+type Agent struct {
+	Nav     *navigator.Navigator
+	Caches  *cache.Set
+	Store   *store.Store
+	QE      *core.QueryEngine
+	Manager *core.Manager
+	Broker  *transport.Broker
+
+	sink *core.CacheSink
+}
+
+// New creates a Collect Agent and, when configured, starts its broker.
+func New(cfg Config) (*Agent, error) {
+	if cfg.CacheRetention <= 0 {
+		cfg.CacheRetention = 180 * time.Second
+	}
+	nav := navigator.New()
+	caches := cache.NewSet()
+	st := store.New(cfg.StoreRetention)
+	qe := core.NewQueryEngine(nav, caches, st)
+	sink := core.NewCacheSink(caches, nav, int(cfg.CacheRetention/time.Second), time.Second)
+	sink.Store = st
+	a := &Agent{
+		Nav:    nav,
+		Caches: caches,
+		Store:  st,
+		QE:     qe,
+		sink:   sink,
+	}
+	a.Manager = core.NewManager(qe, sink, cfg.Env)
+	if cfg.ListenMQTT != "" {
+		b, err := transport.NewBroker(cfg.ListenMQTT)
+		if err != nil {
+			return nil, fmt.Errorf("collect: starting broker: %w", err)
+		}
+		a.Broker = b
+		b.SubscribeLocal("#", func(m transport.Message) {
+			for _, r := range m.Readings {
+				a.Ingest(m.Topic, r)
+			}
+		})
+	}
+	return a, nil
+}
+
+// Addr returns the broker address, or "" when no broker is running.
+func (a *Agent) Addr() string {
+	if a.Broker == nil {
+		return ""
+	}
+	return a.Broker.Addr()
+}
+
+// Sink returns the agent's reading sink (caches + store).
+func (a *Agent) Sink() core.Sink { return a.sink }
+
+// Ingest feeds one reading into the agent as if it had arrived over MQTT:
+// it lands in the sensor tree, the cache and the Storage Backend.
+func (a *Agent) Ingest(topic sensor.Topic, r sensor.Reading) {
+	a.sink.Push(topic, r)
+}
+
+// TickOnce synchronously runs one Wintermute computation round.
+func (a *Agent) TickOnce(now time.Time) error {
+	return a.Manager.TickAll(now)
+}
+
+// Start launches the Wintermute operator loops.
+func (a *Agent) Start() { a.Manager.Start() }
+
+// Close stops operators and shuts the broker down.
+func (a *Agent) Close() error {
+	a.Manager.Stop()
+	if a.Broker != nil {
+		return a.Broker.Close()
+	}
+	return nil
+}

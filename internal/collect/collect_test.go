@@ -1,0 +1,76 @@
+package collect
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/transport"
+)
+
+func TestIngestWithoutBroker(t *testing.T) {
+	a, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.Addr() != "" {
+		t.Error("no broker expected")
+	}
+	for i := 0; i < 10; i++ {
+		a.Ingest("/r1/n1/power", sensor.Reading{Value: float64(100 + i), Time: int64(i) * int64(time.Second)})
+	}
+	// Data lands in store, cache and tree.
+	if a.Store.Count("/r1/n1/power") != 10 {
+		t.Fatalf("store count = %d", a.Store.Count("/r1/n1/power"))
+	}
+	if c, ok := a.Caches.Get("/r1/n1/power"); !ok || c.Len() != 10 {
+		t.Fatal("cache missing or short")
+	}
+	if !a.Nav.HasSensor("/r1/n1/power") {
+		t.Fatal("sensor not in tree")
+	}
+	// Query engine falls back to the store for old ranges.
+	rs := a.QE.QueryAbsolute("/r1/n1/power", 0, 4*int64(time.Second), nil)
+	if len(rs) != 5 {
+		t.Fatalf("absolute query = %d readings", len(rs))
+	}
+}
+
+func TestBrokerIngestion(t *testing.T) {
+	a, err := New(Config{ListenMQTT: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	c, err := transport.Dial(a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	batch := []sensor.Reading{{Value: 1, Time: 1}, {Value: 2, Time: 2}}
+	if err := c.Publish("/rx/n1/temp", batch); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Store.Count("/rx/n1/temp") < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("store count = %d, want 2", a.Store.Count("/rx/n1/temp"))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestStoreRetention(t *testing.T) {
+	a, err := New(Config{StoreRetention: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for i := 0; i < 10; i++ {
+		a.Ingest("/s", sensor.Reading{Value: float64(i), Time: int64(i)})
+	}
+	if a.Store.Count("/s") != 3 {
+		t.Fatalf("store retention failed: %d", a.Store.Count("/s"))
+	}
+}

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+// Job is the job-related data made available to job operator plugins
+// (paper §V-C): identity, owner, the compute nodes the job runs on, and
+// its time span in nanoseconds (End == 0 while running).
+type Job struct {
+	ID   string
+	User string
+	// Name is the job's script or application name as reported by the
+	// resource manager; application-fingerprinting operators use it as
+	// the training label.
+	Name  string
+	Nodes []sensor.Topic // component paths of the allocated nodes
+	Start int64
+	End   int64
+}
+
+// Label returns the job's application label: Name when set, the id
+// otherwise.
+func (j Job) Label() string {
+	if j.Name != "" {
+		return j.Name
+	}
+	return j.ID
+}
+
+// JobProvider supplies the set of jobs running at a point in time; the
+// resource-manager integration (or its simulation) implements it.
+type JobProvider interface {
+	RunningJobs(now int64) []Job
+}
+
+// Env is the environment handed to plugin configurators: everything an
+// operator may bind to beyond plain sensor data.
+type Env struct {
+	Jobs JobProvider // nil when no resource manager is attached
+}
+
+// PluginFactory instantiates the operators of one plugin from its raw
+// configuration block.
+type PluginFactory func(cfg json.RawMessage, qe *QueryEngine, env Env) ([]Operator, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]PluginFactory{}
+)
+
+// RegisterPlugin makes an operator plugin available to managers under the
+// given name. It is typically called from plugin init functions and
+// panics on duplicates, which indicate a build-level bug.
+func RegisterPlugin(name string, f PluginFactory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("core: duplicate plugin registration: " + name)
+	}
+	registry[name] = f
+}
+
+// RegisteredPlugins returns the sorted names of all available plugins.
+func RegisteredPlugins() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func lookupPlugin(name string) (PluginFactory, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	f, ok := registry[name]
+	return f, ok
+}
+
+// opRuntime tracks the execution state of one operator.
+type opRuntime struct {
+	op      Operator
+	stop    chan struct{}
+	running bool
+
+	mu      sync.Mutex
+	ticks   uint64
+	lastErr error
+	lastDur time.Duration
+}
+
+// OperatorStatus is a snapshot of an operator's state for the REST API.
+type OperatorStatus struct {
+	Name     string        `json:"name"`
+	Plugin   string        `json:"plugin"`
+	Mode     string        `json:"mode"`
+	Interval time.Duration `json:"interval"`
+	Parallel bool          `json:"parallel"`
+	Units    int           `json:"units"`
+	Running  bool          `json:"running"`
+	Ticks    uint64        `json:"ticks"`
+	LastErr  string        `json:"lastError,omitempty"`
+}
+
+// Manager is the central entity responsible for reading Wintermute
+// configuration, loading plugins and managing operator life cycles
+// (paper §V-A). One manager is embedded in each Pusher and Collect Agent.
+type Manager struct {
+	qe   *QueryEngine
+	sink Sink
+	env  Env
+
+	mu  sync.Mutex
+	ops map[string]*opRuntime // by operator name
+}
+
+// NewManager creates a manager computing against qe and emitting operator
+// output to sink.
+func NewManager(qe *QueryEngine, sink Sink, env Env) *Manager {
+	return &Manager{qe: qe, sink: sink, env: env, ops: make(map[string]*opRuntime)}
+}
+
+// QueryEngine returns the manager's query engine.
+func (m *Manager) QueryEngine() *QueryEngine { return m.qe }
+
+// Config is the top-level Wintermute configuration: the list of plugin
+// blocks to load.
+type Config struct {
+	Plugins []PluginConfig `json:"plugins"`
+}
+
+// PluginConfig pairs a plugin name with its plugin-specific configuration.
+type PluginConfig struct {
+	Plugin string          `json:"plugin"`
+	Config json.RawMessage `json:"config"`
+}
+
+// LoadConfig loads every plugin block of a configuration.
+func (m *Manager) LoadConfig(cfg Config) error {
+	for _, pc := range cfg.Plugins {
+		if err := m.LoadPlugin(pc.Plugin, pc.Config); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadPlugin instantiates the operators of one plugin from its raw
+// configuration and registers them with the manager. Operators are
+// created stopped; call Start or StartOperator to run them.
+func (m *Manager) LoadPlugin(name string, cfg json.RawMessage) error {
+	factory, ok := lookupPlugin(name)
+	if !ok {
+		return fmt.Errorf("core: unknown plugin %q (available: %v)", name, RegisteredPlugins())
+	}
+	ops, err := factory(cfg, m.qe, m.env)
+	if err != nil {
+		return fmt.Errorf("core: plugin %q: %w", name, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, op := range ops {
+		if _, dup := m.ops[op.Name()]; dup {
+			return fmt.Errorf("core: duplicate operator name %q", op.Name())
+		}
+	}
+	for _, op := range ops {
+		m.ops[op.Name()] = &opRuntime{op: op}
+	}
+	return nil
+}
+
+// UnloadPlugin stops and removes every operator created by the named
+// plugin, returning how many were removed.
+func (m *Manager) UnloadPlugin(name string) int {
+	m.mu.Lock()
+	var victims []*opRuntime
+	for key, rt := range m.ops {
+		if rt.op.Plugin() == name {
+			victims = append(victims, rt)
+			delete(m.ops, key)
+		}
+	}
+	m.mu.Unlock()
+	for _, rt := range victims {
+		m.stopRuntime(rt)
+	}
+	return len(victims)
+}
+
+// Operators returns the managed operators sorted by name.
+func (m *Manager) Operators() []Operator {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Operator, 0, len(m.ops))
+	for _, rt := range m.ops {
+		out = append(out, rt.op)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Operator returns the named operator, if managed.
+func (m *Manager) Operator(name string) (Operator, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rt, ok := m.ops[name]
+	if !ok {
+		return nil, false
+	}
+	return rt.op, true
+}
+
+// Start launches the tick loop of every Online operator.
+func (m *Manager) Start() {
+	for _, op := range m.Operators() {
+		// Errors only occur for unknown names, impossible here.
+		_ = m.StartOperator(op.Name())
+	}
+}
+
+// Stop halts all running operators and waits for their loops to exit.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	var running []*opRuntime
+	for _, rt := range m.ops {
+		running = append(running, rt)
+	}
+	m.mu.Unlock()
+	for _, rt := range running {
+		m.stopRuntime(rt)
+	}
+}
+
+// StartOperator launches the tick loop of one operator. OnDemand
+// operators have no loop and are silently left alone.
+func (m *Manager) StartOperator(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rt, ok := m.ops[name]
+	if !ok {
+		return fmt.Errorf("core: unknown operator %q", name)
+	}
+	if rt.running || rt.op.Mode() != Online {
+		return nil
+	}
+	rt.stop = make(chan struct{})
+	rt.running = true
+	go m.runLoop(rt)
+	return nil
+}
+
+// StopOperator halts one operator's loop.
+func (m *Manager) StopOperator(name string) error {
+	m.mu.Lock()
+	rt, ok := m.ops[name]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown operator %q", name)
+	}
+	m.stopRuntime(rt)
+	return nil
+}
+
+func (m *Manager) stopRuntime(rt *opRuntime) {
+	m.mu.Lock()
+	if !rt.running {
+		m.mu.Unlock()
+		return
+	}
+	rt.running = false
+	stop := rt.stop
+	m.mu.Unlock()
+	close(stop)
+}
+
+func (m *Manager) runLoop(rt *opRuntime) {
+	ticker := time.NewTicker(rt.op.Interval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case now := <-ticker.C:
+			m.tickRuntime(rt, now)
+		}
+	}
+}
+
+func (m *Manager) tickRuntime(rt *opRuntime, now time.Time) {
+	start := time.Now()
+	err := Tick(rt.op, m.qe, m.sink, now)
+	rt.mu.Lock()
+	rt.ticks++
+	rt.lastErr = err
+	rt.lastDur = time.Since(start)
+	rt.mu.Unlock()
+}
+
+// TickAll synchronously runs one computation round of every Online
+// operator at the given simulated time. Experiment harnesses and tests
+// drive managers with TickAll instead of wall-clock tickers, so that weeks
+// of monitoring data can be processed in seconds. It returns the first
+// error encountered.
+func (m *Manager) TickAll(now time.Time) error {
+	var firstErr error
+	for _, op := range m.Operators() {
+		if op.Mode() != Online {
+			continue
+		}
+		m.mu.Lock()
+		rt := m.ops[op.Name()]
+		m.mu.Unlock()
+		if rt == nil {
+			continue
+		}
+		m.tickRuntime(rt, now)
+		rt.mu.Lock()
+		err := rt.lastErr
+		rt.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// OnDemand triggers the computation of one operator through the REST
+// path (paper §IV-b): output is returned to the caller only, not pushed
+// to the sink. An empty unitName computes every unit.
+func (m *Manager) OnDemand(opName string, unitName sensor.Topic, now time.Time) ([]Output, error) {
+	m.mu.Lock()
+	rt, ok := m.ops[opName]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown operator %q", opName)
+	}
+	op := rt.op
+	if d, ok := op.(DynamicUnitOperator); ok {
+		if err := d.RefreshUnits(m.qe, now); err != nil {
+			return nil, err
+		}
+	}
+	if b, ok := op.(BatchOperator); ok {
+		return b.ComputeBatch(m.qe, now)
+	}
+	var outs []Output
+	if unitName != "" {
+		for _, u := range op.Units() {
+			if u.Name == sensor.Clean(string(unitName)).AsNode() {
+				return op.Compute(m.qe, u, now)
+			}
+		}
+		return nil, fmt.Errorf("core: operator %q has no unit %q", opName, unitName)
+	}
+	for _, u := range op.Units() {
+		o, err := op.Compute(m.qe, u, now)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, o...)
+	}
+	return outs, nil
+}
+
+// Status returns a snapshot of every operator, sorted by name.
+func (m *Manager) Status() []OperatorStatus {
+	m.mu.Lock()
+	rts := make([]*opRuntime, 0, len(m.ops))
+	for _, rt := range m.ops {
+		rts = append(rts, rt)
+	}
+	m.mu.Unlock()
+	out := make([]OperatorStatus, 0, len(rts))
+	for _, rt := range rts {
+		rt.mu.Lock()
+		st := OperatorStatus{
+			Name:     rt.op.Name(),
+			Plugin:   rt.op.Plugin(),
+			Mode:     rt.op.Mode().String(),
+			Interval: rt.op.Interval(),
+			Parallel: rt.op.Parallel(),
+			Units:    len(rt.op.Units()),
+			Ticks:    rt.ticks,
+		}
+		if rt.lastErr != nil {
+			st.LastErr = rt.lastErr.Error()
+		}
+		rt.mu.Unlock()
+		m.mu.Lock()
+		st.Running = rt.running
+		m.mu.Unlock()
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

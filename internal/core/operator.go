@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/core/units"
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+// Mode selects an operator's mode of operation (paper §IV-b).
+type Mode int
+
+const (
+	// Online operators are invoked at regular intervals, producing
+	// time-series-like output that feeds management decisions.
+	Online Mode = iota
+	// OnDemand operators compute only when explicitly invoked through the
+	// RESTful API, and propagate output only in the response.
+	OnDemand
+)
+
+// String returns the configuration keyword for the mode.
+func (m Mode) String() string {
+	if m == OnDemand {
+		return "ondemand"
+	}
+	return "online"
+}
+
+// ParseMode converts a configuration keyword into a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "online":
+		return Online, nil
+	case "ondemand", "on-demand":
+		return OnDemand, nil
+	}
+	return Online, fmt.Errorf("core: unknown mode %q", s)
+}
+
+// Output is one reading produced by an operator for an output sensor.
+type Output struct {
+	Topic   sensor.Topic
+	Reading sensor.Reading
+}
+
+// Sink receives the readings produced by operators (and, in a Pusher, by
+// sampler plugins). Implementations must be safe for concurrent use:
+// parallel unit management pushes from multiple goroutines.
+type Sink interface {
+	Push(topic sensor.Topic, r sensor.Reading)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(topic sensor.Topic, r sensor.Reading)
+
+// Push calls f(topic, r).
+func (f SinkFunc) Push(topic sensor.Topic, r sensor.Reading) { f(topic, r) }
+
+// Operator is a computational entity performing an ODA task over a set of
+// units (paper §V-C1). Implementations usually embed *Base and provide
+// Compute.
+type Operator interface {
+	// Name identifies the operator instance.
+	Name() string
+	// Plugin names the operator plugin that created this operator.
+	Plugin() string
+	// Mode returns Online or OnDemand.
+	Mode() Mode
+	// Interval is the computation interval for Online operators.
+	Interval() time.Duration
+	// Parallel reports the unit-management policy: parallel units may be
+	// computed concurrently (one model per unit); sequential units share
+	// one model and are processed in order (paper §IV-c).
+	Parallel() bool
+	// Units returns the operator's units.
+	Units() []*units.Unit
+	// Compute performs the analysis for one unit at the given time,
+	// returning readings for (a subset of) the unit's output sensors.
+	Compute(qe *QueryEngine, u *units.Unit, now time.Time) ([]Output, error)
+}
+
+// BatchOperator is implemented by operators whose analysis spans all units
+// at once (e.g. clustering, where every unit is a point of one model).
+// When implemented, ComputeBatch replaces per-unit Compute during ticks.
+type BatchOperator interface {
+	Operator
+	ComputeBatch(qe *QueryEngine, now time.Time) ([]Output, error)
+}
+
+// DynamicUnitOperator is implemented by operators whose unit set changes
+// over time, such as job operators that create one unit per running job
+// (paper §V-C: job operator plugins). RefreshUnits runs before each tick.
+type DynamicUnitOperator interface {
+	Operator
+	RefreshUnits(qe *QueryEngine, now time.Time) error
+}
+
+// Base carries the configuration and unit set common to all operators.
+// Plugin operators embed *Base and implement Compute.
+type Base struct {
+	name     string
+	plugin   string
+	mode     Mode
+	interval time.Duration
+	parallel bool
+
+	mu    sync.RWMutex
+	units []*units.Unit
+}
+
+// NewBase constructs the embedded operator core.
+func NewBase(name, plugin string, mode Mode, interval time.Duration, parallel bool) *Base {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Base{name: name, plugin: plugin, mode: mode, interval: interval, parallel: parallel}
+}
+
+// Name implements Operator.
+func (b *Base) Name() string { return b.name }
+
+// Plugin implements Operator.
+func (b *Base) Plugin() string { return b.plugin }
+
+// Mode implements Operator.
+func (b *Base) Mode() Mode { return b.mode }
+
+// Interval implements Operator.
+func (b *Base) Interval() time.Duration { return b.interval }
+
+// Parallel implements Operator.
+func (b *Base) Parallel() bool { return b.parallel }
+
+// Units implements Operator; the returned slice must not be mutated.
+func (b *Base) Units() []*units.Unit {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.units
+}
+
+// SetUnits replaces the operator's unit set (used at configuration time
+// and by dynamic-unit operators).
+func (b *Base) SetUnits(us []*units.Unit) {
+	b.mu.Lock()
+	b.units = us
+	b.mu.Unlock()
+}
+
+// FindUnit returns the unit with the given name, if present.
+func (b *Base) FindUnit(name sensor.Topic) (*units.Unit, bool) {
+	name = sensor.Clean(string(name)).AsNode()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for _, u := range b.units {
+		if u.Name == name {
+			return u, true
+		}
+	}
+	return nil, false
+}
+
+// Tick executes one computation round of an operator: it refreshes
+// dynamic units, then computes either the whole batch or every unit —
+// sequentially or in parallel according to the unit-management policy —
+// and pushes all produced outputs to the sink. It returns the first error
+// encountered; other units still run, matching the isolation expected
+// between independent per-unit models.
+func Tick(op Operator, qe *QueryEngine, sink Sink, now time.Time) error {
+	if d, ok := op.(DynamicUnitOperator); ok {
+		if err := d.RefreshUnits(qe, now); err != nil {
+			return fmt.Errorf("core: %s: refresh units: %w", op.Name(), err)
+		}
+	}
+	if b, ok := op.(BatchOperator); ok {
+		outs, err := b.ComputeBatch(qe, now)
+		for _, o := range outs {
+			sink.Push(o.Topic, o.Reading)
+		}
+		return err
+	}
+	us := op.Units()
+	if !op.Parallel() {
+		var firstErr error
+		for _, u := range us {
+			outs, err := op.Compute(qe, u, now)
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("core: %s: unit %s: %w", op.Name(), u.Name, err)
+			}
+			for _, o := range outs {
+				sink.Push(o.Topic, o.Reading)
+			}
+		}
+		return firstErr
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(us))
+	for i, u := range us {
+		wg.Add(1)
+		go func(i int, u *units.Unit) {
+			defer wg.Done()
+			outs, err := op.Compute(qe, u, now)
+			errs[i] = err
+			for _, o := range outs {
+				sink.Push(o.Topic, o.Reading)
+			}
+		}(i, u)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("core: %s: unit %s: %w", op.Name(), us[i].Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+// Package core implements the Wintermute framework itself (paper §IV-V):
+// the Query Engine exposing the sensor space to operator plugins, the
+// operator abstraction with its online/on-demand modes and
+// sequential/parallel unit management, and the Operator Manager that loads
+// plugins, instantiates operators from configuration and drives their life
+// cycle.
+//
+// The framework is deliberately agnostic of its host: a Pusher embeds it
+// with cache-only visibility of locally-sampled sensors, while a Collect
+// Agent embeds it with the entire system's sensor space and a Storage
+// Backend fallback. Plugins run unmodified in either location.
+package core
+
+import (
+	"time"
+
+	"github.com/dcdb/wintermute/internal/cache"
+	"github.com/dcdb/wintermute/internal/navigator"
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+// CacheProvider supplies per-sensor caches; *cache.Set implements it.
+type CacheProvider interface {
+	Get(topic sensor.Topic) (*cache.Cache, bool)
+}
+
+// StoreReader is the Query Engine's fallback data source, implemented by
+// the Storage Backend. Pushers run without one (nil).
+type StoreReader interface {
+	Range(topic sensor.Topic, t0, t1 int64, dst []sensor.Reading) []sensor.Reading
+	Latest(topic sensor.Topic) (sensor.Reading, bool)
+}
+
+// QueryEngine exposes the space of available sensors to operator plugins
+// (paper §V-B). It resolves queries cache-first — local sensor caches are
+// much faster than the Storage Backend — and falls back to the store when
+// the cache is absent or does not cover the requested range. Relative
+// queries compute their cache view in O(1); absolute queries use binary
+// search in O(log N).
+type QueryEngine struct {
+	nav    *navigator.Navigator
+	caches CacheProvider
+	store  StoreReader
+}
+
+// NewQueryEngine builds a query engine over the given sensor tree and
+// caches; store may be nil for cache-only hosts (Pushers).
+func NewQueryEngine(nav *navigator.Navigator, caches CacheProvider, store StoreReader) *QueryEngine {
+	return &QueryEngine{nav: nav, caches: caches, store: store}
+}
+
+// Navigator returns the sensor-tree navigator, through which plugins
+// discover which sensors are available and where they stand in the
+// hierarchy.
+func (qe *QueryEngine) Navigator() *navigator.Navigator { return qe.nav }
+
+// Latest returns the most recent reading of topic, cache-first.
+func (qe *QueryEngine) Latest(topic sensor.Topic) (sensor.Reading, bool) {
+	if c, ok := qe.caches.Get(topic); ok {
+		if r, ok := c.Latest(); ok {
+			return r, true
+		}
+	}
+	if qe.store != nil {
+		return qe.store.Latest(topic)
+	}
+	return sensor.Reading{}, false
+}
+
+// QueryRelative appends to dst the readings of topic in the window
+// [latest-lookback, latest] — relative mode, O(1) view computation on the
+// cache. When the sensor has no cache the store answers instead.
+func (qe *QueryEngine) QueryRelative(topic sensor.Topic, lookback time.Duration, dst []sensor.Reading) []sensor.Reading {
+	if c, ok := qe.caches.Get(topic); ok && c.Len() > 0 {
+		return c.ViewRelative(lookback, dst)
+	}
+	if qe.store != nil {
+		if latest, ok := qe.store.Latest(topic); ok {
+			return qe.store.Range(topic, latest.Time-int64(lookback), latest.Time, dst)
+		}
+	}
+	return dst
+}
+
+// QueryAbsolute appends to dst the readings of topic with timestamps in
+// [t0, t1] — absolute mode, O(log N) binary search on the cache. When the
+// cache does not cover the start of the range (old readings evicted), the
+// Storage Backend serves the query instead, if available.
+func (qe *QueryEngine) QueryAbsolute(topic sensor.Topic, t0, t1 int64, dst []sensor.Reading) []sensor.Reading {
+	if c, ok := qe.caches.Get(topic); ok && c.Len() > 0 {
+		oldest, _ := c.Oldest()
+		if oldest.Time <= t0 || qe.store == nil {
+			return c.ViewAbsolute(t0, t1, dst)
+		}
+	}
+	if qe.store != nil {
+		return qe.store.Range(topic, t0, t1, dst)
+	}
+	return dst
+}
+
+// Average returns the mean of the readings of topic over the relative
+// window [latest-lookback, latest], serving the REST /average endpoint.
+func (qe *QueryEngine) Average(topic sensor.Topic, lookback time.Duration) (float64, bool) {
+	if c, ok := qe.caches.Get(topic); ok && c.Len() > 0 {
+		return c.Average(lookback)
+	}
+	if qe.store == nil {
+		return 0, false
+	}
+	latest, ok := qe.store.Latest(topic)
+	if !ok {
+		return 0, false
+	}
+	rs := qe.store.Range(topic, latest.Time-int64(lookback), latest.Time, nil)
+	if len(rs) == 0 {
+		return 0, false
+	}
+	var sum float64
+	for _, r := range rs {
+		sum += r.Value
+	}
+	return sum / float64(len(rs)), true
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"time"
+
+	"github.com/dcdb/wintermute/internal/cache"
+	"github.com/dcdb/wintermute/internal/navigator"
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+// StoreWriter receives readings for durable storage; the Storage Backend
+// implements it.
+type StoreWriter interface {
+	Insert(topic sensor.Topic, r sensor.Reading)
+}
+
+// CacheSink routes readings into a cache set — creating caches on demand —
+// and optionally registers new output sensors in the navigator and
+// persists readings to a store. It is the building block of the sinks
+// used by Pushers (cache + MQTT) and Collect Agents (cache + store):
+// because operator output lands in the same caches as monitoring data,
+// operators can consume the output of other operators, forming the
+// analysis pipelines of paper §IV-d.
+type CacheSink struct {
+	Caches   *cache.Set
+	Nav      *navigator.Navigator // optional: register output topics
+	Store    StoreWriter          // optional: persist readings
+	Capacity int                  // cache capacity for new sensors
+	Interval time.Duration        // nominal interval for new sensors
+	Forward  Sink                 // optional: e.g. an MQTT publisher
+}
+
+// NewCacheSink builds a sink with the given defaults for newly-created
+// caches.
+func NewCacheSink(caches *cache.Set, nav *navigator.Navigator, capacity int, interval time.Duration) *CacheSink {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &CacheSink{Caches: caches, Nav: nav, Capacity: capacity, Interval: interval}
+}
+
+// Push implements Sink.
+func (s *CacheSink) Push(topic sensor.Topic, r sensor.Reading) {
+	if s.Nav != nil {
+		if _, known := s.Caches.Get(topic); !known {
+			// AddSensor is idempotent; registering once per new topic keeps
+			// the sensor tree in sync with the data flowing through.
+			_ = s.Nav.AddSensor(topic)
+		}
+	}
+	s.Caches.GetOrCreate(topic, s.Capacity, s.Interval).Store(r)
+	if s.Store != nil {
+		s.Store.Insert(topic, r)
+	}
+	if s.Forward != nil {
+		s.Forward.Push(topic, r)
+	}
+}

@@ -1,0 +1,198 @@
+package units
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/dcdb/wintermute/internal/navigator"
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+func TestParseForms(t *testing.T) {
+	cases := []struct {
+		expr   string
+		anchor Anchor
+		offset int
+		filter string
+		name   string
+	}{
+		{"power", AnchorSame, 0, "", "power"},
+		{"/r01/c01/power", AnchorAbsolute, 0, "", "/r01/c01/power"},
+		{"<topdown>inlet-temp", AnchorTopDown, 0, "", "inlet-temp"},
+		{"<topdown+1>power", AnchorTopDown, 1, "", "power"},
+		{"<topdown+2>memfree", AnchorTopDown, 2, "", "memfree"},
+		{"<bottomup>cpu-cycles", AnchorBottomUp, 0, "", "cpu-cycles"},
+		{"<bottomup-1>healthy", AnchorBottomUp, 1, "", "healthy"},
+		{"<bottomup, filter cpu>cpu-cycles", AnchorBottomUp, 0, "cpu", "cpu-cycles"},
+		{"<topdown+1, filter ^c0[12]$>power", AnchorTopDown, 1, "^c0[12]$", "power"},
+		{"  <bottomup-2,filter s0>memfree ", AnchorBottomUp, 2, "s0", "memfree"},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.expr)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.expr, err)
+			continue
+		}
+		if p.Anchor != c.anchor || p.Offset != c.offset || p.Name != c.name {
+			t.Errorf("Parse(%q) = %+v", c.expr, p)
+		}
+		got := ""
+		if p.Filter != nil {
+			got = p.Filter.String()
+		}
+		if got != c.filter {
+			t.Errorf("Parse(%q) filter = %q, want %q", c.expr, got, c.filter)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"<topdown",                 // missing '>'
+		"<sideways>x",              // unknown selector
+		"<topdown-1>x",             // wrong offset sign
+		"<bottomup+1>x",            // wrong offset sign
+		"<topdown+>x",              // missing offset value
+		"<topdown>",                // missing name
+		"<topdown>a/b",             // name with slash
+		"<bottomup, filter>x",      // empty filter
+		"<bottomup, filter [a->x",  // invalid regexp
+		"<bottomup, philtre cpu>x", // unknown keyword
+		"a,b",                      // stray comma outside brackets
+		"/a b/c",                   // invalid absolute topic
+	}
+	for _, expr := range bad {
+		if _, err := Parse(expr); err == nil {
+			t.Errorf("Parse(%q) should fail", expr)
+		} else if !errors.Is(err, ErrBadPattern) {
+			t.Errorf("Parse(%q) error %v should wrap ErrBadPattern", expr, err)
+		}
+	}
+}
+
+func TestParseRoundTripProperty(t *testing.T) {
+	// Canonical forms re-parse to the same pattern.
+	f := func(anchorSeed, offSeed uint8, useFilter bool) bool {
+		p := Pattern{Name: "power"}
+		if anchorSeed%2 == 0 {
+			p.Anchor = AnchorTopDown
+		} else {
+			p.Anchor = AnchorBottomUp
+		}
+		p.Offset = int(offSeed % 5)
+		expr := p.String()
+		q, err := Parse(expr)
+		if err != nil {
+			return false
+		}
+		return q.Anchor == p.Anchor && q.Offset == p.Offset && q.Name == p.Name
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	for _, expr := range []string{
+		"power",
+		"<topdown+1>power",
+		"<bottomup, filter cpu>cpu-cycles",
+	} {
+		p, err := Parse(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(p.String(), p.Name) {
+			t.Errorf("String() = %q must contain name", p.String())
+		}
+	}
+	// Synthesised (no raw) string form.
+	p := Pattern{Anchor: AnchorBottomUp, Offset: 1, Name: "healthy"}
+	if p.String() != "<bottomup-1>healthy" {
+		t.Errorf("String() = %q", p.String())
+	}
+	p = Pattern{Anchor: AnchorTopDown, Offset: 2, Name: "x"}
+	if p.String() != "<topdown+2>x" {
+		t.Errorf("String() = %q", p.String())
+	}
+}
+
+// figure2Tree reproduces the sensor tree of the paper's Figure 2.
+func figure2Tree(t testing.TB) *navigator.Navigator {
+	t.Helper()
+	nv := navigator.New()
+	topics := []sensor.Topic{
+		"/db-uptime", "/time-to-live",
+		"/r01/inlet-temp", "/r02/inlet-temp", "/r03/inlet-temp", "/r04/inlet-temp",
+		"/r03/c01/power", "/r03/c02/power", "/r03/c03/power",
+		"/r03/c02/s01/memfree",
+		"/r03/c02/s02/memfree", "/r03/c02/s02/healthy",
+		"/r03/c02/s03/memfree", "/r03/c02/s04/memfree",
+		"/r03/c02/s02/cpu0/cache-misses", "/r03/c02/s02/cpu0/cpu-cycles",
+		"/r03/c02/s02/cpu1/cache-misses", "/r03/c02/s02/cpu1/cpu-cycles",
+	}
+	if err := nv.AddSensors(topics); err != nil {
+		t.Fatal(err)
+	}
+	return nv
+}
+
+func TestDepthMapping(t *testing.T) {
+	nv := figure2Tree(t) // MaxDepth = 4 (cpu level)
+	cases := []struct {
+		expr  string
+		depth int
+	}{
+		{"<topdown>x", 1},
+		{"<topdown+1>x", 2},
+		{"<topdown+2>x", 3},
+		{"<bottomup>x", 4},
+		{"<bottomup-1>x", 3},
+		{"<bottomup-3>x", 1},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, ok := p.Depth(nv)
+		if !ok || d != c.depth {
+			t.Errorf("Depth(%q) = %d,%v want %d", c.expr, d, ok, c.depth)
+		}
+	}
+	p, _ := Parse("power")
+	if _, ok := p.Depth(nv); ok {
+		t.Error("same-node pattern has no depth")
+	}
+}
+
+func TestDomain(t *testing.T) {
+	nv := figure2Tree(t)
+	p, _ := Parse("<bottomup, filter cpu>cpu-cycles")
+	dom := p.Domain(nv)
+	if len(dom) != 2 {
+		t.Fatalf("cpu domain = %d nodes, want 2", len(dom))
+	}
+	p, _ = Parse("<topdown>inlet-temp")
+	if got := len(p.Domain(nv)); got != 4 {
+		t.Fatalf("rack domain = %d, want 4", got)
+	}
+	p, _ = Parse("/r03/c02/power")
+	dom = p.Domain(nv)
+	if len(dom) != 1 || dom[0].Path() != "/r03/c02/" {
+		t.Fatalf("absolute domain = %v", dom)
+	}
+	p, _ = Parse("/missing/node/x")
+	if p.Domain(nv) != nil {
+		t.Error("absolute domain for unknown node should be nil")
+	}
+	// Out-of-range level: bottomup-9 underflows.
+	p, _ = Parse("<bottomup-9>x")
+	if p.Domain(nv) != nil {
+		t.Error("out-of-range level should have empty domain")
+	}
+}

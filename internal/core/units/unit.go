@@ -1,0 +1,209 @@
+package units
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/dcdb/wintermute/internal/navigator"
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+// Unit is a concrete analysis unit: a node of the sensor tree together
+// with fully-resolved input and output sensor topics (paper §III-B). Units
+// are immutable once built; operators attach per-unit model state in their
+// own structures, keyed by the unit name.
+type Unit struct {
+	// Name is the component path of the tree node the unit represents,
+	// e.g. /r03/c02/s02/.
+	Name sensor.Topic
+	// Inputs are the sensors providing data for the analysis.
+	Inputs []sensor.Topic
+	// Outputs are the sensors delivering the results of the analysis.
+	Outputs []sensor.Topic
+}
+
+// String renders the unit compactly for logs and the REST API.
+func (u *Unit) String() string {
+	var b strings.Builder
+	b.WriteString(string(u.Name))
+	b.WriteString(" in[")
+	for i, t := range u.Inputs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(string(t))
+	}
+	b.WriteString("] out[")
+	for i, t := range u.Outputs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(string(t))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Template is a pattern unit: the abstract I/O specification from which
+// concrete units are instantiated (paper §III-C). Templates are
+// independent of where the model runs and of the actual sensors; they
+// specify only hierarchical relationships.
+type Template struct {
+	Inputs  []Pattern
+	Outputs []Pattern
+}
+
+// NewTemplate parses input and output pattern expressions into a template.
+func NewTemplate(inputs, outputs []string) (*Template, error) {
+	in, err := ParseAll(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("units: inputs: %w", err)
+	}
+	out, err := ParseAll(outputs)
+	if err != nil {
+		return nil, fmt.Errorf("units: outputs: %w", err)
+	}
+	return &Template{Inputs: in, Outputs: out}, nil
+}
+
+// ResolveFor builds the single unit bound to the given component path,
+// resolving every input and output pattern relative to it. Inputs must
+// exist in the sensor tree; outputs are constructed unconditionally.
+func (t *Template) ResolveFor(nv *navigator.Navigator, unitPath sensor.Topic) (*Unit, error) {
+	node, ok := nv.Resolve(unitPath)
+	if !ok {
+		return nil, fmt.Errorf("units: unknown unit node %q", unitPath)
+	}
+	return t.resolveNode(nv, node)
+}
+
+func (t *Template) resolveNode(nv *navigator.Navigator, node *navigator.Node) (*Unit, error) {
+	u := &Unit{Name: node.Path()}
+	for _, p := range t.Inputs {
+		topics, err := p.resolveFor(nv, node, true)
+		if err != nil {
+			return nil, err
+		}
+		u.Inputs = append(u.Inputs, topics...)
+	}
+	for _, p := range t.Outputs {
+		topics, err := p.resolveFor(nv, node, false)
+		if err != nil {
+			return nil, err
+		}
+		u.Outputs = append(u.Outputs, topics...)
+	}
+	return u, nil
+}
+
+// Instantiate generates the concrete units of the template against a
+// sensor tree, following the unit-generation steps of paper §V-C2:
+//
+//  1. the domain of the first output pattern is computed over the tree;
+//  2. one candidate unit is created for each node in that domain;
+//  3. each candidate's inputs and outputs are resolved relative to its
+//     node; candidates whose inputs cannot all be bound are dropped (the
+//     unit "cannot be built").
+//
+// Templates whose outputs carry no level anchor (same-node or absolute
+// outputs only) produce a single unit bound to the root, which serves
+// operator-level outputs. Instantiate returns an error only when no unit
+// at all could be built.
+func (t *Template) Instantiate(nv *navigator.Navigator) ([]*Unit, error) {
+	if len(t.Outputs) == 0 {
+		return nil, fmt.Errorf("units: template has no output patterns")
+	}
+	domain := t.unitDomain(nv)
+	if len(domain) == 0 {
+		return nil, fmt.Errorf("units: empty unit domain for output %q", t.Outputs[0].String())
+	}
+	var built []*Unit
+	var firstErr error
+	for _, node := range domain {
+		u, err := t.resolveNode(nv, node)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		built = append(built, u)
+	}
+	if len(built) == 0 {
+		return nil, fmt.Errorf("units: no unit could be built: %w", firstErr)
+	}
+	sort.Slice(built, func(i, j int) bool { return built[i].Name < built[j].Name })
+	return built, nil
+}
+
+// unitDomain returns the tree nodes that become unit names: the domain of
+// the first level-anchored output pattern, or the root when no output is
+// level-anchored.
+func (t *Template) unitDomain(nv *navigator.Navigator) []*navigator.Node {
+	for _, p := range t.Outputs {
+		if p.Anchor == AnchorTopDown || p.Anchor == AnchorBottomUp {
+			return p.Domain(nv)
+		}
+	}
+	return []*navigator.Node{nv.Root()}
+}
+
+// InstantiateInputs generates units from the input patterns alone, with
+// outputs derived per unit by the caller. The unit domain is the domain of
+// the first level-anchored input pattern; sensor-transform plugins (e.g.
+// smoothing) use this to publish derived sensors next to each input
+// without a separate output specification. deriveOutputs receives the unit
+// with inputs resolved and returns its output topics; returning nil drops
+// the unit.
+func (t *Template) InstantiateInputs(nv *navigator.Navigator, deriveOutputs func(u *Unit) []sensor.Topic) ([]*Unit, error) {
+	if len(t.Inputs) == 0 {
+		return nil, fmt.Errorf("units: template has no input patterns")
+	}
+	var domain []*navigator.Node
+	for _, p := range t.Inputs {
+		if p.Anchor == AnchorTopDown || p.Anchor == AnchorBottomUp {
+			domain = p.Domain(nv)
+			break
+		}
+	}
+	if domain == nil {
+		domain = []*navigator.Node{nv.Root()}
+	}
+	if len(domain) == 0 {
+		return nil, fmt.Errorf("units: empty unit domain for input %q", t.Inputs[0].String())
+	}
+	var built []*Unit
+	var firstErr error
+	for _, node := range domain {
+		u := &Unit{Name: node.Path()}
+		ok := true
+		for _, p := range t.Inputs {
+			topics, err := p.resolveFor(nv, node, true)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				ok = false
+				break
+			}
+			u.Inputs = append(u.Inputs, topics...)
+		}
+		if !ok {
+			continue
+		}
+		u.Outputs = deriveOutputs(u)
+		if len(u.Outputs) == 0 {
+			continue
+		}
+		built = append(built, u)
+	}
+	if len(built) == 0 {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("units: deriveOutputs dropped every unit")
+		}
+		return nil, fmt.Errorf("units: no unit could be built: %w", firstErr)
+	}
+	sort.Slice(built, func(i, j int) bool { return built[i].Name < built[j].Name })
+	return built, nil
+}

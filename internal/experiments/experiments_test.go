@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestKernelRuns(t *testing.T) {
+	d, sum := RunKernel(KernelConfig{N: 64, Iters: 2})
+	if d <= 0 {
+		t.Fatal("kernel took no time")
+	}
+	if sum == 0 || math.IsNaN(sum) {
+		t.Fatalf("checksum = %v", sum)
+	}
+	// Deterministic checksum.
+	_, sum2 := RunKernel(KernelConfig{N: 64, Iters: 2})
+	if sum != sum2 {
+		t.Fatalf("kernel not deterministic: %v vs %v", sum, sum2)
+	}
+}
+
+func TestKernelDefaults(t *testing.T) {
+	d, _ := RunKernel(KernelConfig{})
+	if d <= 0 {
+		t.Fatal("default kernel failed")
+	}
+}
+
+// TestFig5Smoke runs a tiny overhead grid end to end: the absolute claim
+// ("overhead below 0.5% in all cases") needs a quiet dedicated machine,
+// but the harness must produce a complete, finite grid.
+func TestFig5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
+	cfg := QuickFig5()
+	cfg.Queries = []int{2, 50}
+	cfg.WindowsMs = []int{0, 10000}
+	cfg.NumSensors = 100
+	cfg.Warmup = 20 * time.Second
+	cfg.Kernel = KernelConfig{N: 128, Iters: 2}
+	res, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline <= 0 {
+		t.Fatal("no baseline")
+	}
+	if len(res.Absolute) != 4 || len(res.Relative) != 4 {
+		t.Fatalf("grid sizes = %d/%d", len(res.Absolute), len(res.Relative))
+	}
+	for _, cells := range [][]Fig5Cell{res.Absolute, res.Relative} {
+		for _, c := range cells {
+			if math.IsNaN(c.OverheadPc) || c.OverheadPc < 0 {
+				t.Fatalf("bad cell %+v", c)
+			}
+			if c.TickCost <= 0 || c.BoundPc <= 0 {
+				t.Fatalf("missing analytical measurement in %+v", c)
+			}
+			// The paper's overhead envelope: the analytical bound must be
+			// far below 0.5% per cell even on small machines.
+			if c.BoundPc > 0.5 {
+				t.Fatalf("analytical bound %v%% exceeds the paper's envelope", c.BoundPc)
+			}
+		}
+	}
+	if _, ok := res.Cell(true, 2, 0); !ok {
+		t.Error("Cell lookup failed")
+	}
+	if _, ok := res.Cell(false, 999, 0); ok {
+		t.Error("Cell lookup should miss")
+	}
+	_ = res.MaxOverhead()
+}
+
+// TestFig6Shape asserts the paper's qualitative power-prediction result
+// on a scaled-down run: training completes, the predicted series tracks
+// the real one, and the average relative error is in the single-digit
+// band (paper: 6.2%).
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	cfg := QuickFig6()
+	res, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainSteps == 0 || res.EvalSteps < cfg.EvalSteps {
+		t.Fatalf("training/eval incomplete: %d/%d", res.TrainSteps, res.EvalSteps)
+	}
+	if res.AvgRelError <= 0 || res.AvgRelError > 0.15 {
+		t.Errorf("avg rel error = %.3f, want single-digit percent band", res.AvgRelError)
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("no time series excerpt")
+	}
+	// The prediction must track the real series: mean absolute gap well
+	// below the signal's dynamic range (~80-220 W).
+	var gap, real float64
+	for _, p := range res.Series {
+		gap += math.Abs(p.Real - p.Pred)
+		real += p.Real
+	}
+	gap /= float64(len(res.Series))
+	real /= float64(len(res.Series))
+	if gap > 0.2*real {
+		t.Errorf("mean |real-pred| = %.1f W at mean power %.1f W", gap, real)
+	}
+	// Error profile bins populated and probabilities sum to ~1.
+	var prob float64
+	for _, b := range res.Bins {
+		prob += b.Probability
+	}
+	if math.Abs(prob-1) > 1e-6 {
+		t.Errorf("bin probabilities sum to %v", prob)
+	}
+}
+
+// TestFig7Shapes asserts the four per-application CPI-decile signatures
+// of Figure 7 on a scaled-down pipeline run.
+func TestFig7Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	res, err := RunFig7(QuickFig7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []string{"lammps", "amg", "kripke", "nekbone"} {
+		if len(res.PerApp[app]) < 5 {
+			t.Fatalf("%s: only %d rows", app, len(res.PerApp[app]))
+		}
+	}
+	// LAMMPS: low CPI (~1.6) and tight spread everywhere.
+	for _, row := range res.PerApp["lammps"] {
+		if row.Deciles[5] < 1.2 || row.Deciles[5] > 2.2 {
+			t.Errorf("lammps median = %v at t=%v", row.Deciles[5], row.T)
+		}
+		if row.Deciles[10]-row.Deciles[0] > 1.5 {
+			t.Errorf("lammps spread = %v at t=%v", row.Deciles[10]-row.Deciles[0], row.T)
+		}
+	}
+	// AMG: low median but top decile spiking high (paper: up to ~30).
+	var amgMaxTop, amgMaxMedian float64
+	for _, row := range res.PerApp["amg"] {
+		amgMaxTop = math.Max(amgMaxTop, row.Deciles[10])
+		amgMaxMedian = math.Max(amgMaxMedian, row.Deciles[5])
+	}
+	if amgMaxMedian > 5 {
+		t.Errorf("amg median max = %v, want low", amgMaxMedian)
+	}
+	if amgMaxTop < 10 {
+		t.Errorf("amg top decile max = %v, want heavy spikes", amgMaxTop)
+	}
+	// Kripke: median oscillates with the iteration ramp.
+	var kMin, kMax = math.Inf(1), math.Inf(-1)
+	for _, row := range res.PerApp["kripke"] {
+		kMin = math.Min(kMin, row.Deciles[5])
+		kMax = math.Max(kMax, row.Deciles[5])
+	}
+	if kMax-kMin < 5 {
+		t.Errorf("kripke median range = %v, want per-iteration ramps", kMax-kMin)
+	}
+	// Nekbone: spread grows dramatically in the second half.
+	rows := res.PerApp["nekbone"]
+	half := rows[0].T + (rows[len(rows)-1].T-rows[0].T)/2
+	var early, late, nEarly, nLate float64
+	for _, row := range rows {
+		spread := row.Deciles[10] - row.Deciles[5]
+		if row.T < half {
+			early += spread
+			nEarly++
+		} else {
+			late += spread
+			nLate++
+		}
+	}
+	if nEarly == 0 || nLate == 0 {
+		t.Fatal("nekbone rows not split")
+	}
+	if late/nLate < 3*(early/nEarly+0.1) {
+		t.Errorf("nekbone spread early %.2f late %.2f, want late >> early",
+			early/nEarly, late/nLate)
+	}
+}
+
+// TestFig8Shape asserts the fleet-clustering result: around three
+// clusters, strong power/temp correlation, anticorrelated idle time, and
+// the implanted degraded node flagged as an outlier.
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	res, err := RunFig8(QuickFig8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 90 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if res.NumClusters < 3 || res.NumClusters > 4 {
+		t.Errorf("clusters = %d, want ~3", res.NumClusters)
+	}
+	if res.CorrPowerTemp < 0.9 {
+		t.Errorf("power/temp correlation = %v, want strong (paper: clear linear trend)", res.CorrPowerTemp)
+	}
+	if res.CorrPowerIdle > -0.8 {
+		t.Errorf("power/idle correlation = %v, want strongly negative", res.CorrPowerIdle)
+	}
+	if res.ImplantFlagged < 1 {
+		t.Errorf("implanted anomaly not flagged (outliers=%d)", res.Outliers)
+	}
+	if res.Outliers > len(res.Points)/10 {
+		t.Errorf("too many outliers: %d", res.Outliers)
+	}
+	// Power range matches the CooLMUC-3 envelope of Figure 8 (~80-200 W).
+	for _, p := range res.Points {
+		if p.Power < 60 || p.Power > 280 {
+			t.Errorf("node %s power %v outside plausible envelope", p.Node, p.Power)
+		}
+	}
+}
+
+func TestFootprintSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
+	cfg := DefaultFootprint()
+	cfg.NumSensors = 200
+	cfg.Queries = 100
+	cfg.SampleInterval = 100 * time.Millisecond
+	cfg.Duration = 1 * time.Second
+	res, err := RunFootprint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SamplesTotal == 0 {
+		t.Error("no samples collected")
+	}
+	if res.HeapAllocMB <= 0 {
+		t.Error("no heap measurement")
+	}
+	if res.Goroutines <= 0 {
+		t.Error("no goroutine count")
+	}
+}
+
+func TestProcessCPUSeconds(t *testing.T) {
+	v, ok := processCPUSeconds()
+	if ok && v < 0 {
+		t.Errorf("cpu seconds = %v", v)
+	}
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/cache"
+	"github.com/dcdb/wintermute/internal/core"
+	"github.com/dcdb/wintermute/internal/navigator"
+	"github.com/dcdb/wintermute/internal/plugins/perfmetrics"
+	"github.com/dcdb/wintermute/internal/plugins/persyst"
+	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/sim/cluster"
+	"github.com/dcdb/wintermute/internal/sim/hardware"
+	"github.com/dcdb/wintermute/internal/sim/jobs"
+	"github.com/dcdb/wintermute/internal/sim/workload"
+)
+
+// Fig7Config parameterises experiment E3 (Figure 7): per-job CPI decile
+// time series through the perfmetrics -> persyst pipeline.
+type Fig7Config struct {
+	// NodesPerJob and CoresPerNode size each job (paper: 32 nodes x 64
+	// cores = 2048 samples per decile computation).
+	NodesPerJob  int
+	CoresPerNode int
+	// IntervalMs is the sampling and computation interval (paper: 1 s).
+	IntervalMs int
+	// Durations maps application name to run length in seconds,
+	// approximating the x-axis spans of Figure 7.
+	Durations map[string]float64
+	// SampleEveryS is the spacing of recorded decile rows.
+	SampleEveryS float64
+	Seed         int64
+}
+
+// DefaultFig7 mirrors the paper's four jobs.
+func DefaultFig7() Fig7Config {
+	return Fig7Config{
+		NodesPerJob:  32,
+		CoresPerNode: 64,
+		IntervalMs:   1000,
+		Durations: map[string]float64{
+			"lammps":  650,
+			"amg":     550,
+			"kripke":  480,
+			"nekbone": 850,
+		},
+		SampleEveryS: 5,
+		Seed:         21,
+	}
+}
+
+// QuickFig7 is a scaled-down configuration for smoke runs and tests.
+func QuickFig7() Fig7Config {
+	cfg := DefaultFig7()
+	cfg.NodesPerJob = 4
+	cfg.CoresPerNode = 16
+	cfg.Durations = map[string]float64{
+		"lammps":  120,
+		"amg":     120,
+		"kripke":  120,
+		"nekbone": 240,
+	}
+	return cfg
+}
+
+// Fig7Row is one recorded time point of a job's CPI deciles.
+type Fig7Row struct {
+	T       float64
+	Deciles [11]float64
+}
+
+// Fig7Result maps application name to its decile time series.
+type Fig7Result struct {
+	PerApp map[string][]Fig7Row
+}
+
+// RunFig7 builds the full two-stage pipeline of the paper's case study 2:
+// per-core counters flow into a perfmetrics operator (one unit per CPU
+// core, as configured in the paper) whose CPI outputs are aggregated into
+// per-job deciles by a persyst job operator. Everything runs under a
+// simulated clock.
+func RunFig7(cfg Fig7Config) (*Fig7Result, error) {
+	interval := time.Duration(cfg.IntervalMs) * time.Millisecond
+	nav := navigator.New()
+	caches := cache.NewSet()
+	qe := core.NewQueryEngine(nav, caches, nil)
+	// Counter caches only need the differentiation window; CPI output
+	// caches only the latest values. A small capacity keeps the
+	// 8k-core experiment within a modest memory budget.
+	sink := core.NewCacheSink(caches, nav, 4, interval)
+
+	apps := make([]string, 0, len(cfg.Durations))
+	for name := range cfg.Durations {
+		apps = append(apps, name)
+	}
+	// Deterministic order for reproducibility.
+	for i := 1; i < len(apps); i++ {
+		for j := i; j > 0 && apps[j] < apps[j-1]; j-- {
+			apps[j], apps[j-1] = apps[j-1], apps[j]
+		}
+	}
+
+	topo := cluster.Topology{
+		Racks:           len(apps),
+		ChassisPerRack:  1,
+		NodesPerChassis: cfg.NodesPerJob,
+		CoresPerNode:    cfg.CoresPerNode,
+	}
+	nodePaths := topo.NodePaths()
+	if len(nodePaths) != len(apps)*cfg.NodesPerJob {
+		return nil, fmt.Errorf("fig7: topology mismatch")
+	}
+
+	table := jobs.NewTable()
+	type nodeRT struct {
+		node *hardware.Node
+		path sensor.Topic
+		cpus []sensor.Topic
+	}
+	var rts []*nodeRT
+	var maxDur float64
+	for a, appName := range apps {
+		dur := cfg.Durations[appName]
+		if dur > maxDur {
+			maxDur = dur
+		}
+		jobNodes := nodePaths[a*cfg.NodesPerJob : (a+1)*cfg.NodesPerJob]
+		table.Add(core.Job{
+			ID:    appName, // job named after its application for reporting
+			User:  "user" + appName,
+			Nodes: append([]sensor.Topic(nil), jobNodes...),
+			Start: 0,
+			End:   int64(dur * 1e9),
+		})
+		for n, path := range jobNodes {
+			h := hardware.NewNode(hardware.Config{
+				Cores: cfg.CoresPerNode,
+				Seed:  cfg.Seed + int64(a*1000+n),
+			})
+			h.SetApp(workload.MustNew(appName, cfg.Seed+int64(a*1000+n), dur), 0)
+			rt := &nodeRT{node: h, path: path, cpus: topo.CPUPaths(path)}
+			rts = append(rts, rt)
+			for _, cp := range rt.cpus {
+				for _, s := range []string{"cpu-cycles", "instructions"} {
+					if err := nav.AddSensor(cp.Join(s)); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	pm, err := perfmetrics.New(perfmetrics.Config{
+		OperatorConfig: core.OperatorConfig{
+			Name:       "perfmetrics",
+			Inputs:     []string{"<bottomup>cpu-cycles", "<bottomup>instructions"},
+			Outputs:    []string{"<bottomup>cpi"},
+			IntervalMs: cfg.IntervalMs,
+			Parallel:   true,
+		},
+		WindowMs: 2 * cfg.IntervalMs,
+	}, qe)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := persyst.New(persyst.Config{
+		Metric:     "cpi",
+		IntervalMs: cfg.IntervalMs,
+	}, qe, core.Env{Jobs: table})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig7Result{PerApp: make(map[string][]Fig7Row)}
+	steps := int(maxDur / interval.Seconds())
+	lastSample := make(map[string]float64)
+	for step := 0; step <= steps; step++ {
+		tSec := float64(step) * interval.Seconds()
+		ns := int64(tSec * 1e9)
+		now := time.Unix(0, ns)
+		// Advance hardware and publish counters, parallel over nodes.
+		var wg sync.WaitGroup
+		for _, rt := range rts {
+			wg.Add(1)
+			go func(rt *nodeRT) {
+				defer wg.Done()
+				rt.node.Advance(ns)
+				for c, cp := range rt.cpus {
+					cy, in, _, _, _ := rt.node.CoreCounters(c)
+					sink.Push(cp.Join("cpu-cycles"), sensor.Reading{Value: cy, Time: ns})
+					sink.Push(cp.Join("instructions"), sensor.Reading{Value: in, Time: ns})
+				}
+			}(rt)
+		}
+		wg.Wait()
+		if step < 2 {
+			continue // differentiation warm-up
+		}
+		if err := core.Tick(pm, qe, sink, now); err != nil {
+			return nil, err
+		}
+		if err := core.Tick(ps, qe, sink, now); err != nil {
+			return nil, err
+		}
+		// Record decile rows for running jobs at the configured spacing.
+		for _, job := range table.RunningJobs(ns) {
+			if tSec-lastSample[job.ID] < cfg.SampleEveryS && lastSample[job.ID] != 0 {
+				continue
+			}
+			lastSample[job.ID] = tSec
+			var row Fig7Row
+			row.T = tSec
+			complete := true
+			for d := 0; d <= 10; d++ {
+				topic := sensor.Topic(fmt.Sprintf("/jobs/%s/cpi-dec%d", job.ID, d))
+				r, ok := qe.Latest(topic)
+				if !ok {
+					complete = false
+					break
+				}
+				row.Deciles[d] = r.Value
+			}
+			if complete {
+				res.PerApp[job.ID] = append(res.PerApp[job.ID], row)
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,109 @@
+// Package experiments implements the reproduction harness for every
+// figure of the paper's evaluation (§VI): the Query Engine overhead
+// heatmaps (Figure 5), the power-prediction case study (Figure 6), the
+// per-job CPI decile pipeline (Figure 7), the fleet-clustering case study
+// (Figure 8) and the in-text resource-footprint measurements.
+//
+// Each experiment is a pure function from a config to a result struct;
+// cmd/benchrunner renders results as tables/CSV, and the package tests
+// assert the qualitative shapes the paper reports on scaled-down configs.
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// KernelConfig sizes the CPU-saturating compute kernel that stands in for
+// the High-Performance Linpack benchmark in the overhead experiments: a
+// blocked dense matrix multiplication striped across all cores, the same
+// interference profile (pure CPU + memory bandwidth) as HPL.
+type KernelConfig struct {
+	// N is the matrix dimension.
+	N int
+	// Iters is the number of multiplication passes.
+	Iters int
+	// Workers bounds parallelism (default: GOMAXPROCS, like HPL "with as
+	// many threads as physical cores").
+	Workers int
+}
+
+// DefaultKernel returns a kernel sized to run for roughly a second on a
+// current machine.
+func DefaultKernel() KernelConfig {
+	return KernelConfig{N: 384, Iters: 12}
+}
+
+// RunKernel executes the kernel once and returns its wall-clock duration.
+// The checksum defeats dead-code elimination.
+func RunKernel(cfg KernelConfig) (time.Duration, float64) {
+	n := cfg.N
+	if n <= 0 {
+		n = 384
+	}
+	iters := cfg.Iters
+	if iters <= 0 {
+		iters = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i%97) * 0.01
+		b[i] = float64(i%89) * 0.02
+	}
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		matmulStriped(c, a, b, n, workers)
+		// Feed the output back so iterations cannot be collapsed.
+		a, c = c, a
+	}
+	elapsed := time.Since(start)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += a[i*n+i]
+	}
+	return elapsed, sum
+}
+
+// matmulStriped computes c = a*b with rows striped across workers.
+func matmulStriped(c, a, b []float64, n, workers int) {
+	var wg sync.WaitGroup
+	rows := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * rows
+		hi := lo + rows
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				ai := a[i*n : (i+1)*n]
+				ci := c[i*n : (i+1)*n]
+				for j := range ci {
+					ci[j] = 0
+				}
+				for k, av := range ai {
+					if av == 0 {
+						continue
+					}
+					bk := b[k*n : (k+1)*n]
+					for j, bv := range bk {
+						ci[j] += av * bv
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,597 @@
+// Package bgmm implements variational Bayesian Gaussian mixture models
+// with full covariance matrices, the clustering algorithm of the paper's
+// case study 3 (§VI-D).
+//
+// Unlike an ordinary Gaussian mixture fitted by EM, the Bayesian variant
+// places a Dirichlet prior over the mixing weights and Normal-Wishart
+// priors over the component parameters; variational inference then shrinks
+// the weights of unneeded components towards zero, so the effective number
+// of clusters is determined from the data (Roberts et al. [45] — no manual
+// tuning in a continuous online setting). Points whose density is below a
+// threshold under every fitted component are classified as outliers, the
+// rule used in the paper with threshold 0.001.
+//
+// The implementation follows the standard coordinate-ascent updates
+// (Bishop, PRML §10.2), initialised with k-means++.
+package bgmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/dcdb/wintermute/internal/ml/linalg"
+	"github.com/dcdb/wintermute/internal/ml/stats"
+)
+
+// ErrNoData reports a Fit call with no usable samples.
+var ErrNoData = errors.New("bgmm: no training data")
+
+// Params configures the variational mixture. Zero fields take defaults.
+type Params struct {
+	// MaxComponents is the truncation level K of the mixture (default 8);
+	// the effective number of clusters found is at most this.
+	MaxComponents int
+	// MaxIter bounds the variational iterations (default 200).
+	MaxIter int
+	// Tol stops iteration when the largest responsibility change falls
+	// below it (default 1e-4).
+	Tol float64
+	// Alpha0 is the Dirichlet concentration per component; small values
+	// favour few clusters (default 1/MaxComponents).
+	Alpha0 float64
+	// WeightThreshold is the posterior weight below which a component is
+	// considered pruned (default 0.02).
+	WeightThreshold float64
+	// Seed makes the k-means++ initialisation deterministic.
+	Seed int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.MaxComponents <= 0 {
+		p.MaxComponents = 8
+	}
+	if p.MaxIter <= 0 {
+		p.MaxIter = 200
+	}
+	if p.Tol <= 0 {
+		p.Tol = 1e-4
+	}
+	if p.Alpha0 <= 0 {
+		p.Alpha0 = 1 / float64(p.MaxComponents)
+	}
+	if p.WeightThreshold <= 0 {
+		p.WeightThreshold = 0.02
+	}
+	return p
+}
+
+// component holds the variational posterior of one mixture component.
+type component struct {
+	alpha, beta, nu float64
+	m               []float64
+	winv            *linalg.Matrix // inverse of the Wishart scale matrix
+	cholWinv        *linalg.Matrix
+	// Derived per-iteration quantities.
+	elnLambda float64
+	elnPi     float64
+	// Predictive (plug-in) density parameters, built after convergence.
+	cov     *linalg.Matrix
+	cholCov *linalg.Matrix
+	logDet  float64
+}
+
+// Model is a fitted Bayesian Gaussian mixture.
+type Model struct {
+	D       int
+	K       int       // truncation level
+	Weights []float64 // posterior mixing weights, length K
+	comps   []*component
+	active  []int // indices of non-pruned components
+	iters   int
+}
+
+// NumActive returns the number of effective (non-pruned) components — the
+// cluster count the model inferred from the data.
+func (m *Model) NumActive() int { return len(m.active) }
+
+// Iterations returns the number of variational iterations performed.
+func (m *Model) Iterations() int { return m.iters }
+
+// ActiveWeights returns the posterior weights of the active components, in
+// label order.
+func (m *Model) ActiveWeights() []float64 {
+	out := make([]float64, len(m.active))
+	for i, k := range m.active {
+		out[i] = m.Weights[k]
+	}
+	return out
+}
+
+// Mean returns the posterior mean of active component (label) c.
+func (m *Model) Mean(c int) []float64 {
+	out := make([]float64, m.D)
+	copy(out, m.comps[m.active[c]].m)
+	return out
+}
+
+// Fit runs variational inference on the samples x (one point per row).
+// Rows containing NaN or Inf are rejected with an error, since silent
+// omission would corrupt cluster statistics.
+func Fit(x [][]float64, p Params) (*Model, error) {
+	p = p.withDefaults()
+	if len(x) == 0 {
+		return nil, ErrNoData
+	}
+	d := len(x[0])
+	if d == 0 {
+		return nil, ErrNoData
+	}
+	for i, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("bgmm: ragged row %d", i)
+		}
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("bgmm: non-finite value in row %d", i)
+			}
+		}
+	}
+	n := len(x)
+	k := p.MaxComponents
+	if k > n {
+		k = n
+	}
+
+	// Empirical moments define the priors: mean prior at the data mean,
+	// Wishart scale matched to the data covariance (plus ridge for
+	// degenerate directions), nu0 = D+2 keeps the prior proper but weak.
+	mean0 := make([]float64, d)
+	for _, row := range x {
+		linalg.AXPY(mean0, row, 1)
+	}
+	for i := range mean0 {
+		mean0[i] /= float64(n)
+	}
+	cov0 := linalg.NewMatrix(d, d)
+	diff := make([]float64, d)
+	for _, row := range x {
+		for i := range diff {
+			diff[i] = row[i] - mean0[i]
+		}
+		if err := cov0.AddOuter(diff, 1); err != nil {
+			return nil, err
+		}
+	}
+	cov0.Scale(1 / float64(n))
+	ridge := 0.0
+	for i := 0; i < d; i++ {
+		ridge += cov0.At(i, i)
+	}
+	ridge = ridge/float64(d)*1e-6 + 1e-10
+	for i := 0; i < d; i++ {
+		cov0.Set(i, i, cov0.At(i, i)+ridge)
+	}
+
+	const beta0 = 1.0
+	nu0 := float64(d) + 2
+	winv0 := cov0.Clone()
+	winv0.Scale(nu0) // so the prior E[Lambda] = nu0*W0 = inv(cov0)
+
+	model := &Model{D: d, K: k, Weights: make([]float64, k)}
+	model.comps = make([]*component, k)
+	for j := range model.comps {
+		model.comps[j] = &component{
+			alpha: p.Alpha0, beta: beta0, nu: nu0,
+			m:    append([]float64(nil), mean0...),
+			winv: winv0.Clone(),
+		}
+	}
+
+	// Responsibilities initialised from k-means++ hard assignments,
+	// softened so every component keeps mass.
+	resp := initResponsibilities(x, k, p.Seed)
+
+	nk := make([]float64, k)
+	xbar := make([][]float64, k)
+	sk := make([]*linalg.Matrix, k)
+	for j := 0; j < k; j++ {
+		xbar[j] = make([]float64, d)
+		sk[j] = linalg.NewMatrix(d, d)
+	}
+
+	prevResp := make([][]float64, n)
+	for i := range prevResp {
+		prevResp[i] = make([]float64, k)
+	}
+
+	for iter := 0; iter < p.MaxIter; iter++ {
+		model.iters = iter + 1
+		// M-step: soft-count statistics.
+		for j := 0; j < k; j++ {
+			nk[j] = 0
+			for i := range xbar[j] {
+				xbar[j][i] = 0
+			}
+			for i := range sk[j].Data {
+				sk[j].Data[i] = 0
+			}
+		}
+		for i, row := range x {
+			for j := 0; j < k; j++ {
+				r := resp[i][j]
+				nk[j] += r
+				linalg.AXPY(xbar[j], row, r)
+			}
+		}
+		for j := 0; j < k; j++ {
+			if nk[j] > 1e-10 {
+				for i := range xbar[j] {
+					xbar[j][i] /= nk[j]
+				}
+			}
+		}
+		for i, row := range x {
+			for j := 0; j < k; j++ {
+				r := resp[i][j]
+				if r < 1e-12 {
+					continue
+				}
+				for t := range diff {
+					diff[t] = row[t] - xbar[j][t]
+				}
+				if err := sk[j].AddOuter(diff, r); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Posterior parameter updates.
+		for j := 0; j < k; j++ {
+			c := model.comps[j]
+			c.alpha = p.Alpha0 + nk[j]
+			c.beta = beta0 + nk[j]
+			c.nu = nu0 + nk[j]
+			for t := 0; t < d; t++ {
+				c.m[t] = (beta0*mean0[t] + nk[j]*xbar[j][t]) / c.beta
+			}
+			c.winv = winv0.Clone()
+			if err := c.winv.AddScaled(sk[j], 1); err != nil {
+				return nil, err
+			}
+			for t := range diff {
+				diff[t] = xbar[j][t] - mean0[t]
+			}
+			shrink := beta0 * nk[j] / (beta0 + nk[j])
+			if err := c.winv.AddOuter(diff, shrink); err != nil {
+				return nil, err
+			}
+			c.winv.Symmetrize()
+			chol, err := choleskyWithJitter(c.winv)
+			if err != nil {
+				return nil, err
+			}
+			c.cholWinv = chol
+		}
+		// Expected log weights and log precisions.
+		var alphaSum float64
+		for j := 0; j < k; j++ {
+			alphaSum += model.comps[j].alpha
+		}
+		psiSum := stats.Digamma(alphaSum)
+		for j := 0; j < k; j++ {
+			c := model.comps[j]
+			c.elnPi = stats.Digamma(c.alpha) - psiSum
+			s := float64(d) * math.Ln2
+			for i := 1; i <= d; i++ {
+				s += stats.Digamma((c.nu + 1 - float64(i)) / 2)
+			}
+			c.elnLambda = s - linalg.LogDetChol(c.cholWinv)
+		}
+		// E-step: update responsibilities, track max change.
+		maxDelta := 0.0
+		logr := make([]float64, k)
+		for i, row := range x {
+			for j := 0; j < k; j++ {
+				c := model.comps[j]
+				maha, err := linalg.MahalanobisSq(c.cholWinv, row, c.m)
+				if err != nil {
+					return nil, err
+				}
+				logr[j] = c.elnPi + 0.5*c.elnLambda -
+					float64(d)/(2*c.beta) - 0.5*c.nu*maha -
+					0.5*float64(d)*math.Log(2*math.Pi)
+			}
+			logSumExpNormalize(logr, resp[i])
+			for j := 0; j < k; j++ {
+				if delta := math.Abs(resp[i][j] - prevResp[i][j]); delta > maxDelta {
+					maxDelta = delta
+				}
+				prevResp[i][j] = resp[i][j]
+			}
+		}
+		if iter > 0 && maxDelta < p.Tol {
+			break
+		}
+	}
+
+	// Posterior weights and active set.
+	var alphaSum float64
+	for j := 0; j < k; j++ {
+		alphaSum += model.comps[j].alpha
+	}
+	for j := 0; j < k; j++ {
+		model.Weights[j] = model.comps[j].alpha / alphaSum
+	}
+	for j := 0; j < k; j++ {
+		if model.Weights[j] >= p.WeightThreshold {
+			model.active = append(model.active, j)
+		}
+	}
+	if len(model.active) == 0 {
+		best := 0
+		for j := 1; j < k; j++ {
+			if model.Weights[j] > model.Weights[best] {
+				best = j
+			}
+		}
+		model.active = []int{best}
+	}
+	// Plug-in predictive covariances: the posterior expected covariance
+	// E[Sigma] = Winv / (nu - D - 1) of the inverse-Wishart marginal.
+	for _, j := range model.active {
+		c := model.comps[j]
+		den := c.nu - float64(d) - 1
+		if den < 1 {
+			den = c.nu
+		}
+		c.cov = c.winv.Clone()
+		c.cov.Scale(1 / den)
+		chol, err := choleskyWithJitter(c.cov)
+		if err != nil {
+			return nil, err
+		}
+		c.cholCov = chol
+		c.logDet = linalg.LogDetChol(chol)
+	}
+	return model, nil
+}
+
+// choleskyWithJitter factors a, progressively inflating the diagonal when
+// accumulated rounding pushes it marginally off the SPD cone.
+func choleskyWithJitter(a *linalg.Matrix) (*linalg.Matrix, error) {
+	l, err := linalg.Cholesky(a)
+	if err == nil {
+		return l, nil
+	}
+	jitter := 1e-10
+	for try := 0; try < 8; try++ {
+		b := a.Clone()
+		for i := 0; i < b.Rows; i++ {
+			b.Set(i, i, b.At(i, i)*(1+jitter)+jitter)
+		}
+		if l, err = linalg.Cholesky(b); err == nil {
+			return l, nil
+		}
+		jitter *= 100
+	}
+	return nil, err
+}
+
+// logSumExpNormalize converts log-weights into normalised probabilities.
+func logSumExpNormalize(logw, out []float64) {
+	maxw := math.Inf(-1)
+	for _, v := range logw {
+		if v > maxw {
+			maxw = v
+		}
+	}
+	var sum float64
+	for j, v := range logw {
+		e := math.Exp(v - maxw)
+		out[j] = e
+		sum += e
+	}
+	for j := range out {
+		out[j] /= sum
+	}
+}
+
+// Assign returns the label (index into the active components) of the
+// component with the highest responsibility-like score for x.
+func (m *Model) Assign(x []float64) int {
+	best, bestScore := 0, math.Inf(-1)
+	for i, j := range m.active {
+		c := m.comps[j]
+		maha, err := linalg.MahalanobisSq(c.cholWinv, x, c.m)
+		if err != nil {
+			return 0
+		}
+		score := c.elnPi + 0.5*c.elnLambda - 0.5*c.nu*maha
+		if score > bestScore {
+			bestScore = score
+			best = i
+		}
+	}
+	return best
+}
+
+// ComponentDensity returns the plug-in Gaussian density of active
+// component (label) c at x.
+func (m *Model) ComponentDensity(c int, x []float64) float64 {
+	comp := m.comps[m.active[c]]
+	maha, err := linalg.MahalanobisSq(comp.cholCov, x, comp.m)
+	if err != nil {
+		return 0
+	}
+	logp := -0.5*maha - 0.5*comp.logDet - 0.5*float64(m.D)*math.Log(2*math.Pi)
+	return math.Exp(logp)
+}
+
+// MaxDensity returns the largest per-component density of x across active
+// components — the statistic thresholded by the paper's outlier rule.
+func (m *Model) MaxDensity(x []float64) float64 {
+	best := 0.0
+	for c := range m.active {
+		if p := m.ComponentDensity(c, x); p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+// IsOutlier implements the paper's rule: a point is an outlier when its
+// probability is below threshold in the PDFs of all fitted components.
+func (m *Model) IsOutlier(x []float64, threshold float64) bool {
+	return m.MaxDensity(x) < threshold
+}
+
+// initResponsibilities seeds soft assignments from k-means++ centres
+// followed by a few Lloyd iterations.
+func initResponsibilities(x [][]float64, k int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	n, d := len(x), len(x[0])
+	centers := kmeansPP(x, k, rng)
+	assign := make([]int, n)
+	for iter := 0; iter < 10; iter++ {
+		changed := false
+		for i, row := range x {
+			best, bestD := 0, math.Inf(1)
+			for j := range centers {
+				dd := sqDist(row, centers[j])
+				if dd < bestD {
+					bestD = dd
+					best = j
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		counts := make([]int, k)
+		for j := range centers {
+			for t := 0; t < d; t++ {
+				centers[j][t] = 0
+			}
+		}
+		for i, row := range x {
+			j := assign[i]
+			counts[j]++
+			linalg.AXPY(centers[j], row, 1)
+		}
+		for j := range centers {
+			if counts[j] > 0 {
+				for t := 0; t < d; t++ {
+					centers[j][t] /= float64(counts[j])
+				}
+			} else {
+				copy(centers[j], x[rng.Intn(n)])
+			}
+		}
+	}
+	resp := make([][]float64, n)
+	const soft = 0.9
+	for i := range resp {
+		resp[i] = make([]float64, k)
+		rest := (1 - soft) / float64(k)
+		for j := range resp[i] {
+			resp[i][j] = rest
+		}
+		resp[i][assign[i]] += soft - rest*float64(0)
+		// Renormalise exactly.
+		var s float64
+		for _, v := range resp[i] {
+			s += v
+		}
+		for j := range resp[i] {
+			resp[i][j] /= s
+		}
+	}
+	return resp
+}
+
+// kmeansPP picks k initial centers with the k-means++ seeding rule.
+func kmeansPP(x [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(x)
+	centers := make([][]float64, 0, k)
+	first := x[rng.Intn(n)]
+	centers = append(centers, append([]float64(nil), first...))
+	dists := make([]float64, n)
+	for len(centers) < k {
+		var total float64
+		for i, row := range x {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if dd := sqDist(row, c); dd < best {
+					best = dd
+				}
+			}
+			dists[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All points coincide with existing centers; duplicate one.
+			centers = append(centers, append([]float64(nil), x[rng.Intn(n)]...))
+			continue
+		}
+		target := rng.Float64() * total
+		var acc float64
+		pick := n - 1
+		for i, dd := range dists {
+			acc += dd
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, append([]float64(nil), x[pick]...))
+	}
+	return centers
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Standardize z-scores each column of x and returns the transformed copy
+// together with the per-column means and standard deviations (std 1 is
+// substituted for constant columns). The clustering plugin standardises
+// its inputs so the outlier density threshold is scale-free.
+func Standardize(x [][]float64) (z [][]float64, mean, std []float64) {
+	if len(x) == 0 {
+		return nil, nil, nil
+	}
+	d := len(x[0])
+	mean = make([]float64, d)
+	std = make([]float64, d)
+	ws := make([]stats.Welford, d)
+	for _, row := range x {
+		for j, v := range row {
+			ws[j].Add(v)
+		}
+	}
+	for j := range ws {
+		mean[j] = ws[j].Mean()
+		std[j] = ws[j].Std()
+		if std[j] == 0 {
+			std[j] = 1
+		}
+	}
+	z = make([][]float64, len(x))
+	for i, row := range x {
+		z[i] = make([]float64, d)
+		for j, v := range row {
+			z[i][j] = (v - mean[j]) / std[j]
+		}
+	}
+	return z, mean, std
+}

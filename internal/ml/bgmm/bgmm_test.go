@@ -1,0 +1,254 @@
+package bgmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// blob samples n points from an axis-aligned Gaussian around center.
+func blob(rng *rand.Rand, n int, center []float64, sigma float64) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		p := make([]float64, len(center))
+		for j, c := range center {
+			p[j] = c + rng.NormFloat64()*sigma
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// threeBlobs builds a well-separated three-cluster 2D dataset.
+func threeBlobs(seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	var x [][]float64
+	var truth []int
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	for c, ctr := range centers {
+		b := blob(rng, 80, ctr, 0.7)
+		x = append(x, b...)
+		for range b {
+			truth = append(truth, c)
+		}
+	}
+	return x, truth
+}
+
+func TestFitFindsThreeClusters(t *testing.T) {
+	x, truth := threeBlobs(1)
+	m, err := Fit(x, Params{MaxComponents: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NumActive(); got != 3 {
+		t.Fatalf("NumActive = %d, want 3 (weights %v)", got, m.Weights)
+	}
+	// Labels must be consistent within each true cluster.
+	for c := 0; c < 3; c++ {
+		var labels []int
+		for i, row := range x {
+			if truth[i] == c {
+				labels = append(labels, m.Assign(row))
+			}
+		}
+		for _, l := range labels[1:] {
+			if l != labels[0] {
+				t.Fatalf("cluster %d split across labels %v", c, labels)
+			}
+		}
+	}
+	// Different true clusters map to different labels.
+	l0 := m.Assign(x[0])
+	l1 := m.Assign(x[80])
+	l2 := m.Assign(x[160])
+	if l0 == l1 || l1 == l2 || l0 == l2 {
+		t.Fatalf("labels not distinct: %d %d %d", l0, l1, l2)
+	}
+}
+
+func TestSingleClusterPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := blob(rng, 200, []float64{5, 5, 5}, 1)
+	m, err := Fit(x, Params{MaxComponents: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NumActive(); got != 1 {
+		t.Fatalf("NumActive = %d, want 1 (weights %v)", got, m.Weights)
+	}
+	mean := m.Mean(0)
+	for _, v := range mean {
+		if math.Abs(v-5) > 0.3 {
+			t.Fatalf("posterior mean = %v, want ~[5 5 5]", mean)
+		}
+	}
+}
+
+func TestOutlierDetection(t *testing.T) {
+	x, _ := threeBlobs(5)
+	m, err := Fit(x, Params{MaxComponents: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A central point of a cluster is not an outlier.
+	if m.IsOutlier([]float64{0, 0}, 1e-3) {
+		t.Error("cluster center flagged as outlier")
+	}
+	// A far point is an outlier under every component.
+	if !m.IsOutlier([]float64{50, 50}, 1e-3) {
+		t.Error("distant point not flagged as outlier")
+	}
+	if m.MaxDensity([]float64{0, 0}) <= m.MaxDensity([]float64{50, 50}) {
+		t.Error("density ordering wrong")
+	}
+}
+
+func TestWeightsSumToOne(t *testing.T) {
+	x, _ := threeBlobs(7)
+	m, err := Fit(x, Params{MaxComponents: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, w := range m.Weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	aw := m.ActiveWeights()
+	if len(aw) != m.NumActive() {
+		t.Fatal("ActiveWeights length mismatch")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	x, _ := threeBlobs(11)
+	a, err := Fit(x, Params{MaxComponents: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(x, Params{MaxComponents: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumActive() != b.NumActive() {
+		t.Fatal("same seed, different active count")
+	}
+	for i, row := range x {
+		if a.Assign(row) != b.Assign(row) {
+			t.Fatalf("same seed, different label at %d", i)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, Params{}); err != ErrNoData {
+		t.Errorf("nil data err = %v", err)
+	}
+	if _, err := Fit([][]float64{{}}, Params{}); err != ErrNoData {
+		t.Errorf("empty row err = %v", err)
+	}
+	if _, err := Fit([][]float64{{1, 2}, {1}}, Params{}); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	if _, err := Fit([][]float64{{1, math.NaN()}}, Params{}); err == nil {
+		t.Error("NaN should fail")
+	}
+	if _, err := Fit([][]float64{{1, math.Inf(1)}}, Params{}); err == nil {
+		t.Error("Inf should fail")
+	}
+}
+
+func TestFewerPointsThanComponents(t *testing.T) {
+	x := [][]float64{{0, 0}, {10, 10}}
+	m, err := Fit(x, Params{MaxComponents: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 2 {
+		t.Fatalf("K = %d, want clamped to 2", m.K)
+	}
+}
+
+func TestDegenerateConstantData(t *testing.T) {
+	x := make([][]float64, 30)
+	for i := range x {
+		x[i] = []float64{4, 4}
+	}
+	m, err := Fit(x, Params{MaxComponents: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("constant data should fit via ridge: %v", err)
+	}
+	if m.NumActive() < 1 {
+		t.Fatal("at least one active component required")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	x := [][]float64{{1, 100}, {2, 200}, {3, 300}}
+	z, mean, std := Standardize(x)
+	if mean[0] != 2 || mean[1] != 200 {
+		t.Fatalf("mean = %v", mean)
+	}
+	// Columns now have mean 0 and unit variance.
+	for j := 0; j < 2; j++ {
+		var s, ss float64
+		for i := range z {
+			s += z[i][j]
+			ss += z[i][j] * z[i][j]
+		}
+		if math.Abs(s) > 1e-9 {
+			t.Errorf("column %d mean = %v", j, s/3)
+		}
+		if math.Abs(ss/3-1) > 1e-9 {
+			t.Errorf("column %d var = %v", j, ss/3)
+		}
+	}
+	if std[0] <= 0 || std[1] <= 0 {
+		t.Error("std must be positive")
+	}
+	// Constant column gets std 1 instead of 0.
+	_, _, std2 := Standardize([][]float64{{5, 1}, {5, 2}})
+	if std2[0] != 1 {
+		t.Errorf("constant column std = %v, want 1", std2[0])
+	}
+	if z, _, _ := Standardize(nil); z != nil {
+		t.Error("empty input should return nil")
+	}
+}
+
+func TestCorrelatedClusters(t *testing.T) {
+	// Full-covariance components must capture elongated clusters: points
+	// along a line y = x plus a separate blob.
+	rng := rand.New(rand.NewSource(21))
+	var x [][]float64
+	for i := 0; i < 150; i++ {
+		v := rng.Float64() * 10
+		x = append(x, []float64{v + rng.NormFloat64()*0.2, v + rng.NormFloat64()*0.2})
+	}
+	x = append(x, blob(rng, 100, []float64{20, -5}, 0.5)...)
+	m, err := Fit(x, Params{MaxComponents: 6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumActive() < 2 {
+		t.Fatalf("NumActive = %d, want >= 2", m.NumActive())
+	}
+	// The line population and the blob must not share a label.
+	if m.Assign(x[0]) == m.Assign(x[200]) {
+		t.Error("line and blob assigned the same cluster")
+	}
+}
+
+func TestIterationsReported(t *testing.T) {
+	x, _ := threeBlobs(13)
+	m, err := Fit(x, Params{MaxComponents: 4, MaxIter: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Iterations() != 3 {
+		t.Fatalf("Iterations = %d, want capped at 3", m.Iterations())
+	}
+}

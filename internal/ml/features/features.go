@@ -1,0 +1,53 @@
+// Package features extracts fixed-length statistical feature vectors from
+// windows of sensor readings, mirroring the feature stage of the regressor
+// plugin (paper §VI-B): "for each input sensor of a certain unit a series
+// of statistical features (e.g., mean or standard deviation) are computed
+// from its recent readings", then concatenated into the model input.
+package features
+
+import (
+	"github.com/dcdb/wintermute/internal/ml/stats"
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+// PerSensor is the number of features extracted per input sensor.
+const PerSensor = 7
+
+// Names lists the per-sensor feature names in extraction order.
+var Names = [PerSensor]string{"mean", "std", "min", "max", "last", "slope", "delta"}
+
+// Extract appends the feature vector of one reading window to dst and
+// returns the extended slice. The slope feature is computed against time
+// in seconds so its scale is interval-independent. Empty windows
+// contribute zeros, keeping vector length stable for the model.
+func Extract(window []sensor.Reading, dst []float64) []float64 {
+	if len(window) == 0 {
+		for i := 0; i < PerSensor; i++ {
+			dst = append(dst, 0)
+		}
+		return dst
+	}
+	var w stats.Welford
+	for _, r := range window {
+		w.Add(r.Value)
+	}
+	first, last := window[0], window[len(window)-1]
+	slope := 0.0
+	if len(window) >= 2 {
+		xs := make([]float64, len(window))
+		ys := make([]float64, len(window))
+		t0 := first.Time
+		for i, r := range window {
+			xs[i] = float64(r.Time-t0) / 1e9
+			ys[i] = r.Value
+		}
+		slope = stats.Slope(xs, ys)
+	}
+	return append(dst,
+		w.Mean(), w.Std(), w.Min(), w.Max(),
+		last.Value, slope, last.Value-first.Value)
+}
+
+// VectorSize returns the total feature-vector length for a unit with the
+// given number of input sensors.
+func VectorSize(numSensors int) int { return numSensors * PerSensor }

@@ -1,0 +1,126 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+func window(vals ...float64) []sensor.Reading {
+	rs := make([]sensor.Reading, len(vals))
+	for i, v := range vals {
+		rs[i] = sensor.Reading{Value: v, Time: int64(i) * int64(time.Second)}
+	}
+	return rs
+}
+
+func TestExtractKnown(t *testing.T) {
+	f := Extract(window(1, 2, 3, 4, 5), nil)
+	if len(f) != PerSensor {
+		t.Fatalf("len = %d, want %d", len(f), PerSensor)
+	}
+	// mean, std, min, max, last, slope, delta
+	if f[0] != 3 {
+		t.Errorf("mean = %v", f[0])
+	}
+	if math.Abs(f[1]-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("std = %v", f[1])
+	}
+	if f[2] != 1 || f[3] != 5 || f[4] != 5 {
+		t.Errorf("min/max/last = %v/%v/%v", f[2], f[3], f[4])
+	}
+	if math.Abs(f[5]-1) > 1e-12 { // 1 unit per second
+		t.Errorf("slope = %v", f[5])
+	}
+	if f[6] != 4 {
+		t.Errorf("delta = %v", f[6])
+	}
+}
+
+func TestExtractEmpty(t *testing.T) {
+	f := Extract(nil, nil)
+	if len(f) != PerSensor {
+		t.Fatalf("len = %d", len(f))
+	}
+	for i, v := range f {
+		if v != 0 {
+			t.Errorf("feature %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestExtractSingle(t *testing.T) {
+	f := Extract(window(7), nil)
+	if f[0] != 7 || f[1] != 0 || f[5] != 0 || f[6] != 0 {
+		t.Errorf("single-reading features = %v", f)
+	}
+}
+
+func TestExtractAppends(t *testing.T) {
+	dst := []float64{99}
+	f := Extract(window(1, 2), dst)
+	if len(f) != 1+PerSensor || f[0] != 99 {
+		t.Fatalf("append semantics broken: %v", f)
+	}
+}
+
+func TestVectorSize(t *testing.T) {
+	if VectorSize(3) != 3*PerSensor {
+		t.Errorf("VectorSize = %d", VectorSize(3))
+	}
+}
+
+func TestNamesMatchCount(t *testing.T) {
+	if len(Names) != PerSensor {
+		t.Errorf("Names = %d entries, PerSensor = %d", len(Names), PerSensor)
+	}
+}
+
+// TestConstantWindowProperty: a constant window has zero std, slope and
+// delta, and mean == min == max == last == the constant.
+func TestConstantWindowProperty(t *testing.T) {
+	f := func(v float64, nSeed uint8) bool {
+		// Exclude magnitudes where summing n copies overflows float64;
+		// that is an inherent limit of batch means, not a feature bug.
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e300 {
+			return true
+		}
+		n := int(nSeed%20) + 1
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = v
+		}
+		ft := Extract(window(vals...), nil)
+		return ft[0] == v && ft[1] == 0 && ft[2] == v && ft[3] == v &&
+			ft[4] == v && ft[5] == 0 && ft[6] == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShiftInvarianceProperty: shifting timestamps must not change any
+// feature (slope uses relative time).
+func TestShiftInvarianceProperty(t *testing.T) {
+	f := func(shiftSeed uint32) bool {
+		w := window(5, 3, 8, 1)
+		shifted := make([]sensor.Reading, len(w))
+		for i, r := range w {
+			shifted[i] = sensor.Reading{Value: r.Value, Time: r.Time + int64(shiftSeed)}
+		}
+		a := Extract(w, nil)
+		b := Extract(shifted, nil)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

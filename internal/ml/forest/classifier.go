@@ -1,0 +1,274 @@
+package forest
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+)
+
+// ErrNoClasses reports classifier training without any labels.
+var ErrNoClasses = errors.New("forest: no class labels")
+
+// Classifier is a random forest of Gini-impurity classification trees
+// with majority voting — the model family behind application
+// fingerprinting (taxonomy of the paper's Figure 1): mapping windows of
+// derived performance metrics to the application generating them.
+type Classifier struct {
+	params  Params
+	trees   []Tree
+	classes []string
+	dim     int
+}
+
+// NewClassifier creates an untrained classifier.
+func NewClassifier(p Params) *Classifier {
+	return &Classifier{params: p.withDefaults()}
+}
+
+// Classes returns the class names in index order, or nil before training.
+func (c *Classifier) Classes() []string {
+	return append([]string(nil), c.classes...)
+}
+
+// Trained reports whether Fit has completed.
+func (c *Classifier) Trained() bool { return len(c.trees) > 0 }
+
+// Dim returns the trained feature dimensionality.
+func (c *Classifier) Dim() int { return c.dim }
+
+// Fit trains the forest on feature rows x with string labels y.
+func (c *Classifier) Fit(x [][]float64, y []string) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return ErrNoData
+	}
+	dim := len(x[0])
+	if dim == 0 {
+		return ErrShape
+	}
+	for _, row := range x {
+		if len(row) != dim {
+			return ErrShape
+		}
+	}
+	// Stable class indexing: sorted unique labels.
+	seen := map[string]bool{}
+	for _, l := range y {
+		seen[l] = true
+	}
+	if len(seen) == 0 {
+		return ErrNoClasses
+	}
+	classes := make([]string, 0, len(seen))
+	for l := range seen {
+		classes = append(classes, l)
+	}
+	sort.Strings(classes)
+	index := make(map[string]int, len(classes))
+	for i, l := range classes {
+		index[l] = i
+	}
+	labels := make([]int, len(y))
+	for i, l := range y {
+		labels[i] = index[l]
+	}
+
+	p := c.params
+	maxFeat := p.MaxFeatures
+	if maxFeat <= 0 {
+		// sqrt(d) is the standard default for classification forests.
+		for maxFeat*maxFeat < dim {
+			maxFeat++
+		}
+	}
+	if maxFeat > dim {
+		maxFeat = dim
+	}
+	c.dim = dim
+	c.classes = classes
+	c.trees = make([]Tree, p.Trees)
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := classGrower{
+		x: x, labels: labels, k: len(classes),
+		maxDepth: p.MaxDepth, minLeaf: p.MinLeaf, maxFeat: maxFeat,
+		featOrder: make([]int, dim),
+	}
+	for i := range g.featOrder {
+		g.featOrder[i] = i
+	}
+	idx := make([]int, len(x))
+	for t := range c.trees {
+		for i := range idx {
+			idx[i] = rng.Intn(len(x))
+		}
+		g.rng = rand.New(rand.NewSource(rng.Int63()))
+		c.trees[t] = g.grow(idx)
+	}
+	return nil
+}
+
+// Predict returns the majority-vote class for x together with the vote
+// fraction as a confidence in (0, 1]. Untrained classifiers and
+// wrong-size vectors yield ("", 0).
+func (c *Classifier) Predict(x []float64) (string, float64) {
+	probs := c.Proba(x)
+	if probs == nil {
+		return "", 0
+	}
+	best := 0
+	for i := range probs {
+		if probs[i] > probs[best] {
+			best = i
+		}
+	}
+	return c.classes[best], probs[best]
+}
+
+// Proba returns the per-class vote fractions for x, aligned with
+// Classes(); nil when untrained or mis-sized.
+func (c *Classifier) Proba(x []float64) []float64 {
+	if !c.Trained() || len(x) != c.dim {
+		return nil
+	}
+	votes := make([]float64, len(c.classes))
+	for i := range c.trees {
+		votes[int(c.trees[i].predict(x))]++
+	}
+	for i := range votes {
+		votes[i] /= float64(len(c.trees))
+	}
+	return votes
+}
+
+// classGrower grows one Gini classification tree per bootstrap sample.
+type classGrower struct {
+	x         [][]float64
+	labels    []int
+	k         int
+	maxDepth  int
+	minLeaf   int
+	maxFeat   int
+	rng       *rand.Rand
+	featOrder []int
+}
+
+func (g *classGrower) grow(idx []int) Tree {
+	t := Tree{}
+	g.build(&t, idx, 0)
+	return t
+}
+
+// counts tallies class frequencies over idx.
+func (g *classGrower) counts(idx []int) []int {
+	out := make([]int, g.k)
+	for _, i := range idx {
+		out[g.labels[i]]++
+	}
+	return out
+}
+
+// gini returns the Gini impurity of a count vector with total n.
+func gini(counts []int, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	s := 1.0
+	for _, c := range counts {
+		p := float64(c) / n
+		s -= p * p
+	}
+	return s
+}
+
+func majority(counts []int) int {
+	best := 0
+	for i, c := range counts {
+		if c > counts[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func (g *classGrower) build(t *Tree, idx []int, depth int) int32 {
+	self := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{left: -1, right: -1})
+	counts := g.counts(idx)
+	parentGini := gini(counts, float64(len(idx)))
+	if depth >= g.maxDepth || len(idx) < 2*g.minLeaf || parentGini == 0 {
+		t.nodes[self].value = float64(majority(counts))
+		return self
+	}
+	feat, thr := g.bestSplit(idx, parentGini)
+	if feat < 0 {
+		t.nodes[self].value = float64(majority(counts))
+		return self
+	}
+	left := idx[:0:0]
+	right := idx[:0:0]
+	for _, i := range idx {
+		if g.x[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	t.nodes[self].feature = int32(feat)
+	t.nodes[self].threshold = thr
+	l := g.build(t, left, depth+1)
+	r := g.build(t, right, depth+1)
+	t.nodes[self].left = l
+	t.nodes[self].right = r
+	return self
+}
+
+// bestSplit scans a random feature subset for the split maximising Gini
+// reduction, with incremental class-count updates per split point.
+func (g *classGrower) bestSplit(idx []int, parentGini float64) (feat int, thr float64) {
+	feat = -1
+	bestGain := 1e-12
+	for i := 0; i < g.maxFeat; i++ {
+		j := i + g.rng.Intn(len(g.featOrder)-i)
+		g.featOrder[i], g.featOrder[j] = g.featOrder[j], g.featOrder[i]
+	}
+	type pair struct {
+		x     float64
+		label int
+	}
+	pairs := make([]pair, len(idx))
+	leftCounts := make([]int, g.k)
+	rightCounts := make([]int, g.k)
+	n := float64(len(idx))
+	for fi := 0; fi < g.maxFeat; fi++ {
+		fcol := g.featOrder[fi]
+		for kk, i := range idx {
+			pairs[kk] = pair{g.x[i][fcol], g.labels[i]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].x < pairs[b].x })
+		for i := range leftCounts {
+			leftCounts[i] = 0
+			rightCounts[i] = 0
+		}
+		for _, p := range pairs {
+			rightCounts[p.label]++
+		}
+		for kk := 0; kk < len(pairs)-1; kk++ {
+			leftCounts[pairs[kk].label]++
+			rightCounts[pairs[kk].label]--
+			nl := float64(kk + 1)
+			nr := n - nl
+			if int(nl) < g.minLeaf || int(nr) < g.minLeaf {
+				continue
+			}
+			if pairs[kk].x == pairs[kk+1].x {
+				continue
+			}
+			gain := parentGini - (nl*gini(leftCounts, nl)+nr*gini(rightCounts, nr))/n
+			if gain > bestGain {
+				bestGain = gain
+				feat = fcol
+				thr = 0.5 * (pairs[kk].x + pairs[kk+1].x)
+			}
+		}
+	}
+	return feat, thr
+}

@@ -1,0 +1,167 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// makeClasses generates three separable blobs in 2D labelled a/b/c.
+func makeClasses(n int, spread float64, seed int64) ([][]float64, []string) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := map[string][2]float64{
+		"a": {0, 0}, "b": {10, 0}, "c": {0, 10},
+	}
+	var x [][]float64
+	var y []string
+	for label, c := range centers {
+		for i := 0; i < n; i++ {
+			x = append(x, []float64{
+				c[0] + rng.NormFloat64()*spread,
+				c[1] + rng.NormFloat64()*spread,
+			})
+			y = append(y, label)
+		}
+	}
+	return x, y
+}
+
+func TestClassifierSeparableBlobs(t *testing.T) {
+	x, y := makeClasses(150, 1.0, 1)
+	c := NewClassifier(Params{Trees: 20, Seed: 5})
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Trained() || c.Dim() != 2 {
+		t.Fatal("not trained")
+	}
+	if got := c.Classes(); len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("classes = %v", got)
+	}
+	// Held-out accuracy on fresh samples.
+	xt, yt := makeClasses(50, 1.0, 99)
+	correct := 0
+	for i := range xt {
+		pred, conf := c.Predict(xt[i])
+		if pred == yt[i] {
+			correct++
+		}
+		if conf <= 0 || conf > 1 {
+			t.Fatalf("confidence = %v", conf)
+		}
+	}
+	acc := float64(correct) / float64(len(xt))
+	if acc < 0.95 {
+		t.Errorf("accuracy = %v, want >= 0.95 on separable blobs", acc)
+	}
+}
+
+func TestClassifierProba(t *testing.T) {
+	x, y := makeClasses(100, 0.5, 2)
+	c := NewClassifier(Params{Trees: 15, Seed: 3})
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p := c.Proba([]float64{0, 0})
+	if len(p) != 3 {
+		t.Fatalf("proba = %v", p)
+	}
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	// Center of class "a" should dominate.
+	if p[0] < 0.9 {
+		t.Errorf("p(a) at its center = %v", p[0])
+	}
+}
+
+func TestClassifierErrors(t *testing.T) {
+	c := NewClassifier(Params{})
+	if err := c.Fit(nil, nil); err != ErrNoData {
+		t.Errorf("nil fit err = %v", err)
+	}
+	if err := c.Fit([][]float64{{1}}, []string{"a", "b"}); err != ErrNoData {
+		t.Errorf("length mismatch err = %v", err)
+	}
+	if err := c.Fit([][]float64{{}}, []string{"a"}); err != ErrShape {
+		t.Errorf("empty row err = %v", err)
+	}
+	if err := c.Fit([][]float64{{1, 2}, {1}}, []string{"a", "b"}); err != ErrShape {
+		t.Errorf("ragged err = %v", err)
+	}
+	if label, conf := c.Predict([]float64{1}); label != "" || conf != 0 {
+		t.Error("untrained Predict should be empty")
+	}
+	if c.Proba([]float64{1}) != nil {
+		t.Error("untrained Proba should be nil")
+	}
+	if c.Classes() != nil {
+		t.Error("untrained Classes should be nil")
+	}
+}
+
+func TestClassifierSingleClass(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	y := []string{"only", "only", "only"}
+	c := NewClassifier(Params{Trees: 3, Seed: 1})
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	label, conf := c.Predict([]float64{5})
+	if label != "only" || conf != 1 {
+		t.Fatalf("single class predict = %q, %v", label, conf)
+	}
+}
+
+func TestClassifierDeterministic(t *testing.T) {
+	x, y := makeClasses(80, 2.0, 7)
+	a := NewClassifier(Params{Trees: 10, Seed: 11})
+	b := NewClassifier(Params{Trees: 10, Seed: 11})
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		probe := []float64{float64(i) - 5, float64(i) / 2}
+		la, _ := a.Predict(probe)
+		lb, _ := b.Predict(probe)
+		if la != lb {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+}
+
+func TestClassifierOverlappingClassesStillMajority(t *testing.T) {
+	// Heavy overlap: accuracy need not be high, but predictions must be
+	// valid class names.
+	x, y := makeClasses(60, 8.0, 13)
+	c := NewClassifier(Params{Trees: 8, Seed: 2})
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	valid := map[string]bool{"a": true, "b": true, "c": true}
+	for i := range x {
+		label, _ := c.Predict(x[i])
+		if !valid[label] {
+			t.Fatalf("invalid label %q", label)
+		}
+	}
+}
+
+func TestGiniHelper(t *testing.T) {
+	if g := gini([]int{5, 0, 0}, 5); g != 0 {
+		t.Errorf("pure gini = %v", g)
+	}
+	if g := gini([]int{5, 5}, 10); math.Abs(g-0.5) > 1e-12 {
+		t.Errorf("balanced gini = %v", g)
+	}
+	if g := gini([]int{}, 0); g != 0 {
+		t.Errorf("empty gini = %v", g)
+	}
+}

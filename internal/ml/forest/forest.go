@@ -1,0 +1,305 @@
+// Package forest implements random-forest regression from scratch: CART
+// regression trees grown by variance-reduction splitting, combined by
+// bootstrap aggregation with per-split random feature subsets.
+//
+// It is the model behind the regressor operator plugin (paper §VI-B),
+// standing in for the OpenCV random forest the paper used: feature vectors
+// of window statistics are regressed onto the next-interval power reading.
+package forest
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrNoData reports a Fit call without training samples.
+var ErrNoData = errors.New("forest: no training data")
+
+// ErrShape reports ragged or empty feature vectors.
+var ErrShape = errors.New("forest: inconsistent feature dimensions")
+
+// Params configures forest growth. The zero value is completed by
+// sensible defaults in New.
+type Params struct {
+	// Trees is the ensemble size (default 32).
+	Trees int
+	// MaxDepth bounds tree depth (default 12).
+	MaxDepth int
+	// MinLeaf is the minimum number of samples in a leaf (default 2).
+	MinLeaf int
+	// MaxFeatures is the number of features examined per split; 0 means
+	// ceil(d/3), the standard heuristic for regression forests.
+	MaxFeatures int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Trees <= 0 {
+		p.Trees = 32
+	}
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = 12
+	}
+	if p.MinLeaf <= 0 {
+		p.MinLeaf = 2
+	}
+	return p
+}
+
+// node is one tree node in the flat array representation: leaves carry the
+// prediction in value and have left == -1.
+type node struct {
+	feature     int32
+	left, right int32
+	threshold   float64
+	value       float64
+}
+
+// Tree is a single CART regression tree.
+type Tree struct {
+	nodes []node
+}
+
+// Forest is a trained random-forest regressor.
+type Forest struct {
+	params Params
+	trees  []Tree
+	dim    int
+	// importance accumulates per-feature total variance reduction,
+	// normalised at query time.
+	importance []float64
+}
+
+// New creates an untrained forest with the given parameters.
+func New(p Params) *Forest {
+	return &Forest{params: p.withDefaults()}
+}
+
+// Dim returns the feature dimensionality the forest was trained with, or
+// 0 before training.
+func (f *Forest) Dim() int { return f.dim }
+
+// Trained reports whether Fit has completed successfully.
+func (f *Forest) Trained() bool { return len(f.trees) > 0 }
+
+// Fit trains the forest on feature matrix x (one sample per row) and
+// targets y. Previous training state is replaced.
+func (f *Forest) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return ErrNoData
+	}
+	dim := len(x[0])
+	if dim == 0 {
+		return ErrShape
+	}
+	for _, row := range x {
+		if len(row) != dim {
+			return ErrShape
+		}
+	}
+	p := f.params
+	maxFeat := p.MaxFeatures
+	if maxFeat <= 0 {
+		maxFeat = (dim + 2) / 3
+	}
+	if maxFeat > dim {
+		maxFeat = dim
+	}
+	f.dim = dim
+	f.trees = make([]Tree, p.Trees)
+	f.importance = make([]float64, dim)
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := grower{
+		x: x, y: y,
+		maxDepth: p.MaxDepth, minLeaf: p.MinLeaf, maxFeat: maxFeat,
+		featOrder: make([]int, dim),
+		imp:       f.importance,
+	}
+	for i := range g.featOrder {
+		g.featOrder[i] = i
+	}
+	idx := make([]int, len(x))
+	for t := range f.trees {
+		// Bootstrap sample with replacement.
+		for i := range idx {
+			idx[i] = rng.Intn(len(x))
+		}
+		g.rng = rand.New(rand.NewSource(rng.Int63()))
+		f.trees[t] = g.grow(idx)
+	}
+	return nil
+}
+
+// Predict returns the forest's regression estimate for one feature
+// vector: the mean of the per-tree predictions. It returns NaN when the
+// forest is untrained or the vector has the wrong length.
+func (f *Forest) Predict(x []float64) float64 {
+	if !f.Trained() || len(x) != f.dim {
+		return math.NaN()
+	}
+	var s float64
+	for i := range f.trees {
+		s += f.trees[i].predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// Importance returns the per-feature importance scores (total variance
+// reduction attributed to splits on each feature), normalised to sum to 1.
+// It returns nil before training.
+func (f *Forest) Importance() []float64 {
+	if f.importance == nil {
+		return nil
+	}
+	out := make([]float64, len(f.importance))
+	var total float64
+	for _, v := range f.importance {
+		total += v
+	}
+	if total == 0 {
+		return out
+	}
+	for i, v := range f.importance {
+		out[i] = v / total
+	}
+	return out
+}
+
+func (t *Tree) predict(x []float64) float64 {
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.left < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// grower holds the shared state of one tree-growing pass.
+type grower struct {
+	x         [][]float64
+	y         []float64
+	maxDepth  int
+	minLeaf   int
+	maxFeat   int
+	rng       *rand.Rand
+	featOrder []int
+	imp       []float64
+}
+
+func (g *grower) grow(idx []int) Tree {
+	t := Tree{}
+	g.build(&t, idx, 0)
+	return t
+}
+
+// build grows the subtree over samples idx and returns its node index.
+func (g *grower) build(t *Tree, idx []int, depth int) int32 {
+	self := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{left: -1, right: -1})
+
+	mean, variance := meanVar(g.y, idx)
+	if depth >= g.maxDepth || len(idx) < 2*g.minLeaf || variance == 0 {
+		t.nodes[self].value = mean
+		return self
+	}
+	feat, thr, gain := g.bestSplit(idx, variance)
+	if feat < 0 {
+		t.nodes[self].value = mean
+		return self
+	}
+	g.imp[feat] += gain * float64(len(idx))
+	left := idx[:0:0]
+	right := idx[:0:0]
+	for _, i := range idx {
+		if g.x[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	t.nodes[self].feature = int32(feat)
+	t.nodes[self].threshold = thr
+	l := g.build(t, left, depth+1)
+	r := g.build(t, right, depth+1)
+	t.nodes[self].left = l
+	t.nodes[self].right = r
+	return self
+}
+
+// bestSplit scans a random subset of features for the split maximising
+// variance reduction. It returns feature -1 when no valid split exists.
+func (g *grower) bestSplit(idx []int, parentVar float64) (feat int, thr, gain float64) {
+	feat = -1
+	// Partial Fisher-Yates over the feature order to pick maxFeat features.
+	for i := 0; i < g.maxFeat; i++ {
+		j := i + g.rng.Intn(len(g.featOrder)-i)
+		g.featOrder[i], g.featOrder[j] = g.featOrder[j], g.featOrder[i]
+	}
+	type pair struct{ x, y float64 }
+	pairs := make([]pair, len(idx))
+	for fi := 0; fi < g.maxFeat; fi++ {
+		fcol := g.featOrder[fi]
+		for k, i := range idx {
+			pairs[k] = pair{g.x[i][fcol], g.y[i]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].x < pairs[b].x })
+		// Prefix sums enable O(1) variance evaluation per split point.
+		var sumL, sumSqL float64
+		var sumR, sumSqR float64
+		for _, p := range pairs {
+			sumR += p.y
+			sumSqR += p.y * p.y
+		}
+		n := float64(len(pairs))
+		for k := 0; k < len(pairs)-1; k++ {
+			yv := pairs[k].y
+			sumL += yv
+			sumSqL += yv * yv
+			sumR -= yv
+			sumSqR -= yv * yv
+			nl := float64(k + 1)
+			nr := n - nl
+			if int(nl) < g.minLeaf || int(nr) < g.minLeaf {
+				continue
+			}
+			if pairs[k].x == pairs[k+1].x {
+				continue // cannot split between equal values
+			}
+			varL := sumSqL/nl - (sumL/nl)*(sumL/nl)
+			varR := sumSqR/nr - (sumR/nr)*(sumR/nr)
+			red := parentVar - (nl*varL+nr*varR)/n
+			if red > gain {
+				gain = red
+				feat = fcol
+				thr = 0.5 * (pairs[k].x + pairs[k+1].x)
+			}
+		}
+	}
+	return feat, thr, gain
+}
+
+func meanVar(y []float64, idx []int) (mean, variance float64) {
+	if len(idx) == 0 {
+		return 0, 0
+	}
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	mean = s / float64(len(idx))
+	var v float64
+	for _, i := range idx {
+		d := y[i] - mean
+		v += d * d
+	}
+	return mean, v / float64(len(idx))
+}

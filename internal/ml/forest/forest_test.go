@@ -1,0 +1,192 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// makeRegression generates y = 3*x0 - 2*x1 + noise.
+func makeRegression(n int, noise float64, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64()}
+		y[i] = 3*x[i][0] - 2*x[i][1] + rng.NormFloat64()*noise
+	}
+	return x, y
+}
+
+func TestFitPredictLinearTarget(t *testing.T) {
+	x, y := makeRegression(2000, 0.1, 1)
+	f := New(Params{Trees: 40, MaxDepth: 14, Seed: 7})
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Trained() || f.Dim() != 3 {
+		t.Fatal("forest should be trained with dim 3")
+	}
+	// Out-of-sample error should be small relative to target range (~50).
+	xt, yt := makeRegression(300, 0.1, 99)
+	var mae float64
+	for i := range xt {
+		mae += math.Abs(f.Predict(xt[i]) - yt[i])
+	}
+	mae /= float64(len(xt))
+	if mae > 2.5 {
+		t.Errorf("MAE = %v, want < 2.5", mae)
+	}
+}
+
+func TestPredictConstantTarget(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{5, 5, 5, 5}
+	f := New(Params{Trees: 5, Seed: 1})
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Predict([]float64{2.5}); got != 5 {
+		t.Errorf("constant prediction = %v, want 5", got)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	f := New(Params{})
+	if err := f.Fit(nil, nil); err != ErrNoData {
+		t.Errorf("empty fit err = %v", err)
+	}
+	if err := f.Fit([][]float64{{1}}, []float64{1, 2}); err != ErrNoData {
+		t.Errorf("length mismatch err = %v", err)
+	}
+	if err := f.Fit([][]float64{{}}, []float64{1}); err != ErrShape {
+		t.Errorf("empty features err = %v", err)
+	}
+	if err := f.Fit([][]float64{{1, 2}, {1}}, []float64{1, 2}); err != ErrShape {
+		t.Errorf("ragged features err = %v", err)
+	}
+}
+
+func TestPredictUntrained(t *testing.T) {
+	f := New(Params{})
+	if !math.IsNaN(f.Predict([]float64{1})) {
+		t.Error("untrained Predict should be NaN")
+	}
+	x, y := makeRegression(50, 0.1, 3)
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(f.Predict([]float64{1})) {
+		t.Error("wrong-dimension Predict should be NaN")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	x, y := makeRegression(300, 0.5, 5)
+	a := New(Params{Trees: 10, Seed: 42})
+	b := New(Params{Trees: 10, Seed: 42})
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{5, 5, 0.5}
+	if a.Predict(probe) != b.Predict(probe) {
+		t.Error("same seed should give identical predictions")
+	}
+	c := New(Params{Trees: 10, Seed: 43})
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if a.Predict(probe) == c.Predict(probe) {
+		t.Error("different seeds should (almost surely) differ")
+	}
+}
+
+func TestImportanceIdentifiesSignal(t *testing.T) {
+	// Feature 2 is pure noise; features 0 and 1 carry all signal.
+	x, y := makeRegression(1500, 0.1, 11)
+	f := New(Params{Trees: 20, Seed: 3})
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := f.Importance()
+	if len(imp) != 3 {
+		t.Fatalf("importance len = %d", len(imp))
+	}
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importance sums to %v", sum)
+	}
+	if imp[2] > imp[0] || imp[2] > imp[1] {
+		t.Errorf("noise feature ranked too high: %v", imp)
+	}
+}
+
+func TestImportanceUntrained(t *testing.T) {
+	if New(Params{}).Importance() != nil {
+		t.Error("untrained Importance should be nil")
+	}
+}
+
+// TestPredictionWithinRangeProperty: forest predictions are averages of
+// leaf means, so they can never leave the [min(y), max(y)] envelope.
+func TestPredictionWithinRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 60
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			x[i] = []float64{rng.Float64(), rng.Float64()}
+			y[i] = rng.NormFloat64() * 100
+			lo = math.Min(lo, y[i])
+			hi = math.Max(hi, y[i])
+		}
+		fr := New(Params{Trees: 8, Seed: seed})
+		if err := fr.Fit(x, y); err != nil {
+			return false
+		}
+		for k := 0; k < 20; k++ {
+			p := fr.Predict([]float64{rng.Float64(), rng.Float64()})
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	// With MinLeaf = n the tree cannot split: every prediction equals the
+	// bootstrap-sample mean, which lies near the global mean.
+	x, y := makeRegression(200, 0, 2)
+	f := New(Params{Trees: 30, MinLeaf: 200, Seed: 1})
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	if got := f.Predict([]float64{0, 0, 0}); math.Abs(got-mean) > 3 {
+		t.Errorf("no-split prediction = %v, global mean = %v", got, mean)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.Trees != 32 || p.MaxDepth != 12 || p.MinLeaf != 2 {
+		t.Errorf("defaults = %+v", p)
+	}
+}

@@ -1,0 +1,260 @@
+// Package linalg provides the small dense linear-algebra kernel needed by
+// the machine-learning substrates: row-major matrices, Cholesky
+// factorisation, triangular solves, determinants and inverses of symmetric
+// positive-definite matrices. The Bayesian Gaussian mixture plugin (paper
+// §VI-D) is the main consumer, operating on low-dimensional covariance
+// matrices.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSPD reports that a Cholesky factorisation failed because the
+// matrix is not symmetric positive-definite.
+var ErrNotSPD = errors.New("linalg: matrix not positive definite")
+
+// ErrShape reports incompatible matrix/vector dimensions.
+var ErrShape = errors.New("linalg: dimension mismatch")
+
+// Matrix is a dense, row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic("linalg: non-positive dimensions")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// FromRows builds a matrix from row slices; all rows must share a length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrShape)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			return nil, fmt.Errorf("%w: ragged row %d", ErrShape, i)
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// AddScaled adds s*b to m in place; shapes must match.
+func (m *Matrix) AddScaled(b *Matrix, s float64) error {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return ErrShape
+	}
+	for i := range m.Data {
+		m.Data[i] += s * b.Data[i]
+	}
+	return nil
+}
+
+// Scale multiplies every element by s in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Symmetrize averages m with its transpose in place (square matrices),
+// cleaning up floating-point asymmetry from accumulation.
+func (m *Matrix) Symmetrize() {
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			v := 0.5 * (m.At(i, j) + m.At(j, i))
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+}
+
+// MatVec computes m·x.
+func (m *Matrix) MatVec(x []float64) ([]float64, error) {
+	if len(x) != m.Cols {
+		return nil, ErrShape
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// AddOuter adds s * x xᵀ to m in place (square matrices only).
+func (m *Matrix) AddOuter(x []float64, s float64) error {
+	if m.Rows != m.Cols || len(x) != m.Rows {
+		return ErrShape
+	}
+	for i := range x {
+		for j := range x {
+			m.Data[i*m.Cols+j] += s * x[i] * x[j]
+		}
+	}
+	return nil
+}
+
+// Cholesky computes the lower-triangular factor L with A = L Lᵀ for a
+// symmetric positive-definite matrix A. A is not modified.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrShape
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotSPD
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholVec solves A x = b given the Cholesky factor L of A, using one
+// forward and one backward substitution.
+func SolveCholVec(l *Matrix, b []float64) ([]float64, error) {
+	n := l.Rows
+	if len(b) != n {
+		return nil, ErrShape
+	}
+	// Forward: L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Backward: Lᵀ x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// LogDetChol returns log det(A) given the Cholesky factor L of A.
+func LogDetChol(l *Matrix) float64 {
+	var s float64
+	for i := 0; i < l.Rows; i++ {
+		s += math.Log(l.At(i, i))
+	}
+	return 2 * s
+}
+
+// InvertSPD inverts a symmetric positive-definite matrix via its Cholesky
+// factorisation.
+func InvertSPD(a *Matrix) (*Matrix, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	inv := NewMatrix(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := SolveCholVec(l, e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	inv.Symmetrize()
+	return inv, nil
+}
+
+// MahalanobisSq returns (x-mu)ᵀ A⁻¹ (x-mu) given the Cholesky factor L of
+// A: it solves L z = (x-mu) and returns ‖z‖².
+func MahalanobisSq(l *Matrix, x, mu []float64) (float64, error) {
+	n := l.Rows
+	if len(x) != n || len(mu) != n {
+		return 0, ErrShape
+	}
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := x[i] - mu[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * z[k]
+		}
+		z[i] = s / l.At(i, i)
+	}
+	var d float64
+	for _, v := range z {
+		d += v * v
+	}
+	return d, nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// AXPY computes y += s*x in place.
+func AXPY(y, x []float64, s float64) {
+	for i := range y {
+		y[i] += s * x[i]
+	}
+}

@@ -1,0 +1,271 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// randSPD builds a random symmetric positive-definite matrix B Bᵀ + n·I.
+func randSPD(n int, rng *rand.Rand) *Matrix {
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += b.At(i, k) * b.At(j, k)
+			}
+			a.Set(i, j, s)
+		}
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 || m.At(0, 0) != 0 {
+		t.Fatal("At/Set broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone should not alias")
+	}
+	id := Identity(3)
+	if id.At(0, 0) != 1 || id.At(0, 1) != 0 {
+		t.Fatal("Identity wrong")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows: %v %v", m, err)
+	}
+	if _, err := FromRows([][]float64{{1}, {2, 3}}); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestAddScaledScale(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{1, 1}, {1, 1}})
+	if err := a.AddScaled(b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 3 || a.At(1, 1) != 6 {
+		t.Fatalf("AddScaled result %v", a.Data)
+	}
+	a.Scale(0.5)
+	if a.At(0, 0) != 1.5 {
+		t.Fatal("Scale broken")
+	}
+	if err := a.AddScaled(NewMatrix(3, 3), 1); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	y, err := m.MatVec([]float64{1, 1})
+	if err != nil || y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MatVec = %v, %v", y, err)
+	}
+	if _, err := m.MatVec([]float64{1}); err == nil {
+		t.Error("bad vector length should fail")
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	m := NewMatrix(2, 2)
+	if err := m.AddOuter([]float64{1, 2}, 2); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{2, 4}, {4, 8}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if m.At(i, j) != want[i][j] {
+				t.Fatalf("AddOuter = %v", m.Data)
+			}
+		}
+	}
+	if err := m.AddOuter([]float64{1}, 1); err == nil {
+		t.Error("bad length should fail")
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(l.At(0, 0), 2, eps) || !almostEq(l.At(1, 0), 1, eps) ||
+		!almostEq(l.At(1, 1), math.Sqrt(2), eps) {
+		t.Fatalf("L = %v", l.Data)
+	}
+}
+
+func TestCholeskyNotSPD(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 1}}) // indefinite
+	if _, err := Cholesky(a); err != ErrNotSPD {
+		t.Errorf("err = %v, want ErrNotSPD", err)
+	}
+	if _, err := Cholesky(NewMatrix(2, 3)); err != ErrShape {
+		t.Error("non-square should be ErrShape")
+	}
+}
+
+// TestCholeskyReconstructionProperty: L Lᵀ must reproduce A.
+func TestCholeskyReconstructionProperty(t *testing.T) {
+	f := func(seed int64, nSeed uint8) bool {
+		n := int(nSeed%4) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := randSPD(n, rng)
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += l.At(i, k) * l.At(j, k)
+				}
+				if !almostEq(s, a.At(i, j), 1e-8*(1+math.Abs(a.At(i, j)))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolveCholProperty: A·x must reproduce b.
+func TestSolveCholProperty(t *testing.T) {
+	f := func(seed int64, nSeed uint8) bool {
+		n := int(nSeed%4) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := randSPD(n, rng)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		x, err := SolveCholVec(l, b)
+		if err != nil {
+			return false
+		}
+		ax, err := a.MatVec(x)
+		if err != nil {
+			return false
+		}
+		for i := range b {
+			if !almostEq(ax[i], b[i], 1e-7*(1+math.Abs(b[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveCholShape(t *testing.T) {
+	l := Identity(2)
+	if _, err := SolveCholVec(l, []float64{1}); err != ErrShape {
+		t.Error("bad b length should be ErrShape")
+	}
+}
+
+func TestLogDetChol(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 0}, {0, 9}})
+	l, _ := Cholesky(a)
+	if !almostEq(LogDetChol(l), math.Log(36), eps) {
+		t.Errorf("LogDet = %v, want log(36)", LogDetChol(l))
+	}
+}
+
+func TestInvertSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randSPD(3, rng)
+	inv, err := InvertSPD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a * inv ≈ I
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var s float64
+			for k := 0; k < 3; k++ {
+				s += a.At(i, k) * inv.At(k, j)
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEq(s, want, 1e-8) {
+				t.Fatalf("a*inv[%d,%d] = %v", i, j, s)
+			}
+		}
+	}
+}
+
+func TestMahalanobisSq(t *testing.T) {
+	a := Identity(2)
+	l, _ := Cholesky(a)
+	d, err := MahalanobisSq(l, []float64{3, 4}, []float64{0, 0})
+	if err != nil || !almostEq(d, 25, eps) {
+		t.Fatalf("Mahalanobis identity = %v, %v", d, err)
+	}
+	if _, err := MahalanobisSq(l, []float64{1}, []float64{0, 0}); err != ErrShape {
+		t.Error("bad shapes should be ErrShape")
+	}
+	// Scaled covariance: distance shrinks with variance.
+	a2, _ := FromRows([][]float64{{4, 0}, {0, 4}})
+	l2, _ := Cholesky(a2)
+	d2, _ := MahalanobisSq(l2, []float64{3, 4}, []float64{0, 0})
+	if !almostEq(d2, 6.25, eps) {
+		t.Fatalf("Mahalanobis scaled = %v", d2)
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {4, 1}})
+	m.Symmetrize()
+	if m.At(0, 1) != 3 || m.At(1, 0) != 3 {
+		t.Fatalf("Symmetrize = %v", m.Data)
+	}
+}
+
+func TestDotAXPY(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("Dot wrong")
+	}
+	y := []float64{1, 1}
+	AXPY(y, []float64{2, 3}, 2)
+	if y[0] != 5 || y[1] != 7 {
+		t.Errorf("AXPY = %v", y)
+	}
+}

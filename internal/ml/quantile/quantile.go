@@ -1,0 +1,190 @@
+// Package quantile provides the quantile machinery behind the persyst
+// operator plugin (paper §VI-C), which re-implements the PerSyst transport
+// of performance data through quantiles: exact batch quantiles with linear
+// interpolation, the decile vectors the paper plots in Figure 7, and a P²
+// streaming estimator for single quantiles over unbounded streams.
+package quantile
+
+import (
+	"math"
+	"sort"
+)
+
+// Exact returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between closest ranks (the "type 7" estimator used by R
+// and NumPy). It returns NaN for empty input or q outside [0, 1]. xs is
+// not modified.
+func Exact(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return sortedQuantile(s, q)
+}
+
+// ExactMany returns the quantiles of xs at each probability in qs,
+// sorting the data only once. Invalid probabilities yield NaN entries.
+func ExactMany(xs []float64, qs []float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	for i, q := range qs {
+		if q < 0 || q > 1 || math.IsNaN(q) {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = sortedQuantile(s, q)
+	}
+	return out
+}
+
+func sortedQuantile(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Deciles returns the 11-element vector of deciles 0..10 of xs (decile 0
+// is the minimum, 5 the median, 10 the maximum) — the exact statistic the
+// persyst plugin publishes per job. Empty input yields NaN entries.
+func Deciles(xs []float64) [11]float64 {
+	var out [11]float64
+	qs := make([]float64, 11)
+	for i := range qs {
+		qs[i] = float64(i) / 10
+	}
+	vals := ExactMany(xs, qs)
+	copy(out[:], vals)
+	return out
+}
+
+// P2 estimates a single quantile of an unbounded stream with O(1) memory
+// using the P² algorithm (Jain & Chlamtac, 1985). It maintains five
+// markers whose heights converge to the target quantile.
+type P2 struct {
+	q        float64
+	n        int
+	heights  [5]float64
+	pos      [5]float64 // actual marker positions (1-based)
+	desired  [5]float64
+	deltas   [5]float64
+	boot     [5]float64
+	bootSize int
+}
+
+// NewP2 creates a streaming estimator for the q-quantile (0 < q < 1).
+// It panics on out-of-range q, which indicates a configuration bug.
+func NewP2(q float64) *P2 {
+	if q <= 0 || q >= 1 || math.IsNaN(q) {
+		panic("quantile: P2 requires 0 < q < 1")
+	}
+	p := &P2{q: q}
+	p.deltas = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p
+}
+
+// Add folds one observation into the estimator.
+func (p *P2) Add(x float64) {
+	if p.bootSize < 5 {
+		p.boot[p.bootSize] = x
+		p.bootSize++
+		if p.bootSize == 5 {
+			s := p.boot
+			sort.Float64s(s[:])
+			p.heights = s
+			p.pos = [5]float64{1, 2, 3, 4, 5}
+			p.desired = [5]float64{1, 1 + 2*p.q, 1 + 4*p.q, 3 + 2*p.q, 5}
+			p.n = 5
+		}
+		return
+	}
+	p.n++
+	// Locate the cell containing x and update extreme heights.
+	var k int
+	switch {
+	case x < p.heights[0]:
+		p.heights[0] = x
+		k = 0
+	case x >= p.heights[4]:
+		p.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < p.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := range p.desired {
+		p.desired[i] += p.deltas[i]
+	}
+	// Adjust interior markers with parabolic (or linear) interpolation.
+	for i := 1; i <= 3; i++ {
+		d := p.desired[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := p.parabolic(i, sign)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, sign)
+			}
+			p.pos[i] += sign
+		}
+	}
+}
+
+func (p *P2) parabolic(i int, d float64) float64 {
+	return p.heights[i] + d/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+d)*(p.heights[i+1]-p.heights[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-d)*(p.heights[i]-p.heights[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+func (p *P2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return p.heights[i] + d*(p.heights[j]-p.heights[i])/(p.pos[j]-p.pos[i])
+}
+
+// N returns the number of observations seen.
+func (p *P2) N() int {
+	if p.bootSize < 5 {
+		return p.bootSize
+	}
+	return p.n
+}
+
+// Value returns the current quantile estimate. Before five observations
+// have arrived it falls back to the exact quantile of the bootstrap
+// buffer; with no data it returns NaN.
+func (p *P2) Value() float64 {
+	if p.bootSize == 0 {
+		return math.NaN()
+	}
+	if p.bootSize < 5 {
+		return Exact(p.boot[:p.bootSize], p.q)
+	}
+	return p.heights[2]
+}

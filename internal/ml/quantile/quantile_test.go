@@ -1,0 +1,177 @@
+package quantile
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestExactKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+		{0.1, 1.4}, // interpolation: pos = 0.4
+	}
+	for _, c := range cases {
+		if got := Exact(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Exact(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestExactEdgeCases(t *testing.T) {
+	if !math.IsNaN(Exact(nil, 0.5)) {
+		t.Error("empty input should give NaN")
+	}
+	if !math.IsNaN(Exact([]float64{1}, -0.1)) || !math.IsNaN(Exact([]float64{1}, 1.1)) {
+		t.Error("out-of-range q should give NaN")
+	}
+	if Exact([]float64{7}, 0.3) != 7 {
+		t.Error("single element should be returned for any q")
+	}
+	// Input must not be reordered.
+	xs := []float64{3, 1, 2}
+	Exact(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Exact must not modify its input")
+	}
+}
+
+func TestExactMany(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	got := ExactMany(xs, []float64{0, 0.5, 1, -1})
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 || !math.IsNaN(got[3]) {
+		t.Fatalf("ExactMany = %v", got)
+	}
+	for _, v := range ExactMany(nil, []float64{0.5}) {
+		if !math.IsNaN(v) {
+			t.Error("empty data should yield NaN")
+		}
+	}
+}
+
+func TestDeciles(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	d := Deciles(xs)
+	for i := 0; i <= 10; i++ {
+		if !almostEq(d[i], float64(i*10), 1e-9) {
+			t.Errorf("decile %d = %v, want %d", i, d[i], i*10)
+		}
+	}
+}
+
+// TestDecilesMonotoneProperty: deciles are always non-decreasing and
+// bounded by min/max.
+func TestDecilesMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		d := Deciles(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		if d[0] != sorted[0] || d[10] != sorted[len(sorted)-1] {
+			return false
+		}
+		for i := 1; i <= 10; i++ {
+			if d[i] < d[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestP2Median(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := NewP2(0.5)
+	n := 50000
+	for i := 0; i < n; i++ {
+		p.Add(rng.NormFloat64())
+	}
+	if p.N() != n {
+		t.Fatalf("N = %d", p.N())
+	}
+	if got := p.Value(); math.Abs(got) > 0.03 {
+		t.Errorf("P2 median of N(0,1) = %v, want ~0", got)
+	}
+}
+
+func TestP2Tail(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := NewP2(0.9)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+		p.Add(xs[i])
+	}
+	exact := Exact(xs, 0.9)
+	if got := p.Value(); math.Abs(got-exact) > 0.1*exact {
+		t.Errorf("P2 q90 = %v, exact = %v", got, exact)
+	}
+}
+
+func TestP2Bootstrap(t *testing.T) {
+	p := NewP2(0.5)
+	if !math.IsNaN(p.Value()) {
+		t.Error("empty estimator should return NaN")
+	}
+	p.Add(3)
+	p.Add(1)
+	if p.N() != 2 {
+		t.Fatalf("N = %d", p.N())
+	}
+	if got := p.Value(); !almostEq(got, 2, 1e-12) {
+		t.Errorf("bootstrap median = %v, want 2", got)
+	}
+}
+
+func TestP2Panics(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2(%v) should panic", q)
+				}
+			}()
+			NewP2(q)
+		}()
+	}
+}
+
+// TestP2WithinDataRange: the estimate always lies within [min, max] of the
+// observed data.
+func TestP2WithinDataRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewP2(0.25)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 500; i++ {
+			x := rng.NormFloat64() * 10
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+			p.Add(x)
+		}
+		v := p.Value()
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

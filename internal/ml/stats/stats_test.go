@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWelfordAgainstBatch(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != 8 || w.Mean() != 5 {
+		t.Fatalf("N/Mean = %d/%v", w.N(), w.Mean())
+	}
+	if !almostEq(w.Var(), 4, 1e-12) {
+		t.Fatalf("Var = %v, want 4", w.Var())
+	}
+	if !almostEq(w.SampleVar(), 32.0/7, 1e-12) {
+		t.Fatalf("SampleVar = %v", w.SampleVar())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", w.Min(), w.Max())
+	}
+	if !almostEq(w.Std(), 2, 1e-12) {
+		t.Fatalf("Std = %v", w.Std())
+	}
+}
+
+func TestWelfordEmptyAndReset(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.N() != 0 {
+		t.Fatal("zero value should be neutral")
+	}
+	w.Add(5)
+	if w.Var() != 0 {
+		t.Fatal("single value variance should be 0")
+	}
+	w.Reset()
+	if w.N() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+// TestWelfordMatchesNaive: streaming statistics must agree with the
+// two-pass formulas on arbitrary data.
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		var w Welford
+		for _, x := range clean {
+			w.Add(x)
+		}
+		m := Mean(clean)
+		var v float64
+		for _, x := range clean {
+			v += (x - m) * (x - m)
+		}
+		v /= float64(len(clean))
+		scale := 1 + math.Abs(v)
+		return almostEq(w.Mean(), m, 1e-9*(1+math.Abs(m))) && almostEq(w.Var(), v, 1e-6*scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlope(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // slope 2
+	if !almostEq(Slope(x, y), 2, 1e-12) {
+		t.Fatalf("Slope = %v", Slope(x, y))
+	}
+	if Slope([]float64{1}, []float64{1}) != 0 {
+		t.Error("degenerate input should give 0")
+	}
+	if Slope([]float64{2, 2, 2}, []float64{1, 2, 3}) != 0 {
+		t.Error("constant x should give 0")
+	}
+	if Slope(x, y[:2]) != 0 {
+		t.Error("length mismatch should give 0")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if !almostEq(Pearson(x, y), 1, 1e-12) {
+		t.Fatalf("perfect correlation = %v", Pearson(x, y))
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if !almostEq(Pearson(x, neg), -1, 1e-12) {
+		t.Fatalf("perfect anticorrelation = %v", Pearson(x, neg))
+	}
+	if Pearson(x, []float64{5, 5, 5, 5, 5}) != 0 {
+		t.Error("constant y should give 0")
+	}
+}
+
+func TestGaussianPDF(t *testing.T) {
+	// Standard normal at 0: 1/sqrt(2π).
+	want := 1 / math.Sqrt(2*math.Pi)
+	if !almostEq(GaussianPDF(0, 0, 1), want, 1e-12) {
+		t.Fatalf("pdf(0) = %v", GaussianPDF(0, 0, 1))
+	}
+	if GaussianPDF(1, 0, 0) != 0 {
+		t.Error("zero sigma should give 0")
+	}
+	// Log form must agree with the log of the direct form.
+	p := GaussianPDF(1.3, 0.2, 2.5)
+	lp := LogGaussianPDF(1.3, 0.2, 2.5)
+	if !almostEq(math.Log(p), lp, 1e-10) {
+		t.Fatalf("log pdf mismatch: %v vs %v", math.Log(p), lp)
+	}
+}
+
+func TestGaussianSymmetryProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 30 {
+			return true
+		}
+		return almostEq(GaussianPDF(x, 0, 1), GaussianPDF(-x, 0, 1), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0.5, 1, 3, 5, 7, 9, 9.9} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Counts[0] != 2 || h.Counts[4] != 2 {
+		t.Fatalf("Counts = %v", h.Counts)
+	}
+	// Clamping.
+	h.Add(-100)
+	h.Add(100)
+	if h.Counts[0] != 3 || h.Counts[4] != 3 {
+		t.Fatalf("clamped Counts = %v", h.Counts)
+	}
+	pdf := h.PDF()
+	var sum float64
+	for _, p := range pdf {
+		sum += p
+	}
+	if !almostEq(sum, 1, 1e-12) {
+		t.Fatalf("PDF sums to %v", sum)
+	}
+	if !almostEq(h.BinCenter(0), 1, 1e-12) {
+		t.Fatalf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	pdf := h.PDF()
+	for _, p := range pdf {
+		if p != 0 {
+			t.Fatal("empty PDF should be zeros")
+		}
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewHistogram(1, 0, 4)
+}
+
+func TestDigammaKnownValues(t *testing.T) {
+	const gamma = 0.5772156649015329 // Euler–Mascheroni
+	cases := []struct{ x, want float64 }{
+		{1, -gamma},
+		{0.5, -gamma - 2*math.Ln2},
+		{2, 1 - gamma},
+		{10, 2.251752589066721},
+	}
+	for _, c := range cases {
+		if got := Digamma(c.x); !almostEq(got, c.want, 1e-10) {
+			t.Errorf("Digamma(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if !math.IsNaN(Digamma(0)) || !math.IsNaN(Digamma(-3)) {
+		t.Error("poles should return NaN")
+	}
+}
+
+// TestDigammaRecurrence: ψ(x+1) = ψ(x) + 1/x.
+func TestDigammaRecurrence(t *testing.T) {
+	f := func(seed uint16) bool {
+		x := 0.1 + float64(seed%1000)/50
+		return almostEq(Digamma(x+1), Digamma(x)+1/x, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if !almostEq(RelativeError(110, 100), 0.1, 1e-12) {
+		t.Error("10% error expected")
+	}
+	if RelativeError(5, 0) != 5 {
+		t.Error("zero actual should return absolute difference")
+	}
+	if RelativeError(100, 100) != 0 {
+		t.Error("exact prediction should give 0")
+	}
+}
+
+func TestBatchHelpers(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if !almostEq(Std([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2, 1e-12) {
+		t.Error("Std wrong")
+	}
+}

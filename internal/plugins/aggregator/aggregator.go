@@ -1,0 +1,145 @@
+// Package aggregator implements the general-purpose aggregation operator
+// plugin: per unit, it reduces the readings of all input sensors over a
+// time window to a single statistic (mean, sum, min, max, std or latest
+// delta) written to the unit's outputs.
+//
+// It is the workhorse for hierarchical roll-ups — e.g. rack power as the
+// sum of node powers — and the first stage of many pipelines (paper
+// §IV-d). Wintermute's production deployment on CooLMUC-3 "performs
+// aggregation of monitored metrics" with exactly this kind of plugin.
+package aggregator
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/core"
+	"github.com/dcdb/wintermute/internal/core/units"
+	"github.com/dcdb/wintermute/internal/ml/stats"
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+// Op names an aggregation function.
+type Op string
+
+// Supported aggregation operations. Mean, Min, Max and Std reduce over
+// every reading of every input in the window; Sum adds the per-sensor
+// window means (so a rack-power roll-up is the sum of node powers, not a
+// multiple of it); Delta adds the per-sensor last-minus-first differences,
+// the natural reduction for monotonic counters.
+const (
+	Mean  Op = "mean"
+	Sum   Op = "sum"
+	Min   Op = "min"
+	Max   Op = "max"
+	Std   Op = "std"
+	Delta Op = "delta"
+)
+
+// Config parameterises an aggregator operator.
+type Config struct {
+	core.OperatorConfig
+	// Operation is one of mean, sum, min, max, std, delta (default mean).
+	Operation Op `json:"operation"`
+	// WindowMs is the aggregation window in milliseconds (default: one
+	// computation interval).
+	WindowMs int `json:"windowMs"`
+}
+
+// Operator aggregates input readings into one statistic per unit.
+type Operator struct {
+	*core.Base
+	op     Op
+	window time.Duration
+}
+
+// New builds an aggregator operator from a parsed config.
+func New(cfg Config, qe *core.QueryEngine) (*Operator, error) {
+	switch cfg.Operation {
+	case "":
+		cfg.Operation = Mean
+	case Mean, Sum, Min, Max, Std, Delta:
+	default:
+		return nil, fmt.Errorf("aggregator: unknown operation %q", cfg.Operation)
+	}
+	base, err := cfg.OperatorConfig.Build("aggregator", qe.Navigator())
+	if err != nil {
+		return nil, err
+	}
+	window := time.Duration(cfg.WindowMs) * time.Millisecond
+	if window <= 0 {
+		window = cfg.OperatorConfig.IntervalDuration()
+	}
+	return &Operator{Base: base, op: cfg.Operation, window: window}, nil
+}
+
+// Compute implements core.Operator.
+func (o *Operator) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) ([]core.Output, error) {
+	var w stats.Welford
+	var sum, deltaSum float64
+	sensorsSeen := 0
+	var buf []sensor.Reading
+	for _, in := range u.Inputs {
+		buf = qe.QueryRelative(in, o.window, buf[:0])
+		if len(buf) == 0 {
+			continue
+		}
+		sensorsSeen++
+		switch o.op {
+		case Delta:
+			deltaSum += buf[len(buf)-1].Value - buf[0].Value
+		case Sum:
+			var s float64
+			for _, r := range buf {
+				s += r.Value
+			}
+			sum += s / float64(len(buf))
+		default:
+			for _, r := range buf {
+				w.Add(r.Value)
+			}
+		}
+	}
+	if sensorsSeen == 0 {
+		return nil, fmt.Errorf("aggregator: unit %s has no data", u.Name)
+	}
+	var v float64
+	switch o.op {
+	case Mean:
+		v = w.Mean()
+	case Sum:
+		v = sum
+	case Min:
+		v = w.Min()
+	case Max:
+		v = w.Max()
+	case Std:
+		v = w.Std()
+	case Delta:
+		v = deltaSum
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil, fmt.Errorf("aggregator: unit %s produced non-finite %v", u.Name, v)
+	}
+	outs := make([]core.Output, 0, len(u.Outputs))
+	for _, out := range u.Outputs {
+		outs = append(outs, core.Output{Topic: out, Reading: sensor.At(v, now)})
+	}
+	return outs, nil
+}
+
+func init() {
+	core.RegisterPlugin("aggregator", func(raw json.RawMessage, qe *core.QueryEngine, env core.Env) ([]core.Operator, error) {
+		var cfg Config
+		if err := json.Unmarshal(raw, &cfg); err != nil {
+			return nil, err
+		}
+		op, err := New(cfg, qe)
+		if err != nil {
+			return nil, err
+		}
+		return []core.Operator{op}, nil
+	})
+}

@@ -1,0 +1,18 @@
+// Package all registers every operator plugin with the Wintermute plugin
+// registry. Executables and tests import it for side effects:
+//
+//	import _ "github.com/dcdb/wintermute/internal/plugins/all"
+package all
+
+import (
+	_ "github.com/dcdb/wintermute/internal/plugins/aggregator"
+	_ "github.com/dcdb/wintermute/internal/plugins/clustering"
+	_ "github.com/dcdb/wintermute/internal/plugins/controller"
+	_ "github.com/dcdb/wintermute/internal/plugins/fingerprint"
+	_ "github.com/dcdb/wintermute/internal/plugins/health"
+	_ "github.com/dcdb/wintermute/internal/plugins/perfmetrics"
+	_ "github.com/dcdb/wintermute/internal/plugins/persyst"
+	_ "github.com/dcdb/wintermute/internal/plugins/regressor"
+	_ "github.com/dcdb/wintermute/internal/plugins/smoothing"
+	_ "github.com/dcdb/wintermute/internal/plugins/tester"
+)

@@ -1,0 +1,207 @@
+// Package pusher implements the DCDB Pusher: the per-node daemon that
+// samples sensors through monitoring plugins, keeps recent readings in
+// in-memory caches, forwards data to a Collect Agent over the MQTT-style
+// transport, and embeds the Wintermute framework for in-band operational
+// data analytics (paper §IV-A).
+//
+// Operators instantiated in a Pusher see only locally-sampled sensors and
+// their caches — the location "optimal for runtime models requiring data
+// liveness, low latency and horizontal scalability".
+package pusher
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/cache"
+	"github.com/dcdb/wintermute/internal/core"
+	"github.com/dcdb/wintermute/internal/navigator"
+	"github.com/dcdb/wintermute/internal/samplers"
+	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/transport"
+)
+
+// Config parameterises a Pusher.
+type Config struct {
+	// Name identifies the pusher (usually the hostname).
+	Name string
+	// CacheRetention sizes sensor caches by time span (default 180 s, the
+	// evaluation configuration of the paper).
+	CacheRetention time.Duration
+	// MQTTAddr is the Collect Agent broker address; empty disables
+	// forwarding (standalone operation).
+	MQTTAddr string
+	// Env is handed to Wintermute plugin configurators.
+	Env core.Env
+}
+
+// Pusher hosts sampler plugins and a Wintermute manager.
+type Pusher struct {
+	cfg Config
+
+	Nav     *navigator.Navigator
+	Caches  *cache.Set
+	QE      *core.QueryEngine
+	Manager *core.Manager
+
+	sink *core.CacheSink
+	mqtt *transport.Client
+
+	mu       sync.Mutex
+	samplers []samplers.Sampler
+	stops    []chan struct{}
+	running  bool
+	wg       sync.WaitGroup
+
+	samples atomic.Uint64
+}
+
+// mqttSink forwards readings to the broker, one message per reading.
+type mqttSink struct{ c *transport.Client }
+
+func (s mqttSink) Push(topic sensor.Topic, r sensor.Reading) {
+	// Forwarding is best-effort: local caching and analytics continue
+	// even when the Collect Agent is unreachable.
+	_ = s.c.Publish(topic, []sensor.Reading{r})
+}
+
+// New creates a Pusher, connecting to the MQTT broker when configured.
+func New(cfg Config) (*Pusher, error) {
+	if cfg.CacheRetention <= 0 {
+		cfg.CacheRetention = 180 * time.Second
+	}
+	nav := navigator.New()
+	caches := cache.NewSet()
+	qe := core.NewQueryEngine(nav, caches, nil)
+	sink := core.NewCacheSink(caches, nav, int(cfg.CacheRetention/time.Second), time.Second)
+	p := &Pusher{
+		cfg:    cfg,
+		Nav:    nav,
+		Caches: caches,
+		QE:     qe,
+		sink:   sink,
+	}
+	if cfg.MQTTAddr != "" {
+		client, err := transport.Dial(cfg.MQTTAddr)
+		if err != nil {
+			return nil, fmt.Errorf("pusher: connecting to broker: %w", err)
+		}
+		p.mqtt = client
+		sink.Forward = mqttSink{client}
+	}
+	p.Manager = core.NewManager(qe, sink, cfg.Env)
+	return p, nil
+}
+
+// Sink returns the pusher's reading sink (caches + MQTT forwarding).
+func (p *Pusher) Sink() core.Sink { return p.sink }
+
+// Samples returns the total number of readings sampled so far.
+func (p *Pusher) Samples() uint64 { return p.samples.Load() }
+
+// AddSampler registers a monitoring plugin: its sensors are added to the
+// sensor tree and given caches sized for the configured retention.
+func (p *Pusher) AddSampler(s samplers.Sampler) error {
+	for _, info := range s.Sensors() {
+		if err := p.Nav.AddSensor(info.Topic); err != nil {
+			return fmt.Errorf("pusher: sampler %s: %w", s.Name(), err)
+		}
+		interval := info.Interval
+		if interval <= 0 {
+			interval = s.Interval()
+		}
+		capacity := int(p.cfg.CacheRetention / interval)
+		if capacity < 1 {
+			capacity = 1
+		}
+		p.Caches.GetOrCreate(info.Topic, capacity, interval)
+	}
+	p.mu.Lock()
+	p.samplers = append(p.samplers, s)
+	p.mu.Unlock()
+	return nil
+}
+
+// SampleOnce synchronously runs one sampling round of every sampler at
+// the given time, pushing readings into the sink. Experiment harnesses
+// drive pushers with SampleOnce under simulated clocks.
+func (p *Pusher) SampleOnce(now time.Time) {
+	p.mu.Lock()
+	ss := append([]samplers.Sampler(nil), p.samplers...)
+	p.mu.Unlock()
+	var buf []core.Output
+	for _, s := range ss {
+		buf = s.Sample(now, buf[:0])
+		for _, o := range buf {
+			p.sink.Push(o.Topic, o.Reading)
+		}
+		p.samples.Add(uint64(len(buf)))
+	}
+}
+
+// TickOnce synchronously runs one Wintermute computation round at the
+// given time.
+func (p *Pusher) TickOnce(now time.Time) error {
+	return p.Manager.TickAll(now)
+}
+
+// Start launches one sampling loop per sampler plus the Wintermute
+// operator loops.
+func (p *Pusher) Start() {
+	p.mu.Lock()
+	if p.running {
+		p.mu.Unlock()
+		return
+	}
+	p.running = true
+	for _, s := range p.samplers {
+		stop := make(chan struct{})
+		p.stops = append(p.stops, stop)
+		p.wg.Add(1)
+		go p.sampleLoop(s, stop)
+	}
+	p.mu.Unlock()
+	p.Manager.Start()
+}
+
+func (p *Pusher) sampleLoop(s samplers.Sampler, stop chan struct{}) {
+	defer p.wg.Done()
+	ticker := time.NewTicker(s.Interval())
+	defer ticker.Stop()
+	var buf []core.Output
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-ticker.C:
+			buf = s.Sample(now, buf[:0])
+			for _, o := range buf {
+				p.sink.Push(o.Topic, o.Reading)
+			}
+			p.samples.Add(uint64(len(buf)))
+		}
+	}
+}
+
+// Stop halts sampling loops and operators, then closes the broker
+// connection.
+func (p *Pusher) Stop() {
+	p.mu.Lock()
+	if !p.running {
+		p.mu.Unlock()
+		return
+	}
+	p.running = false
+	for _, stop := range p.stops {
+		close(stop)
+	}
+	p.stops = nil
+	p.mu.Unlock()
+	p.wg.Wait()
+	p.Manager.Stop()
+	if p.mqtt != nil {
+		_ = p.mqtt.Close()
+	}
+}

@@ -1,0 +1,127 @@
+package pusher
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/collect"
+	"github.com/dcdb/wintermute/internal/samplers"
+	"github.com/dcdb/wintermute/internal/sim/hardware"
+	"github.com/dcdb/wintermute/internal/sim/workload"
+)
+
+func TestStandalonePusherSampling(t *testing.T) {
+	p, err := New(Config{Name: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSampler(samplers.NewTester("t", "/node/", 5, time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Nav.NumSensors() != 5 {
+		t.Fatalf("sensors registered = %d", p.Nav.NumSensors())
+	}
+	for i := 0; i < 3; i++ {
+		p.SampleOnce(time.Unix(int64(i), 0))
+	}
+	if p.Samples() != 15 {
+		t.Fatalf("Samples = %d, want 15", p.Samples())
+	}
+	c, ok := p.Caches.Get("/node/test0")
+	if !ok {
+		t.Fatal("cache missing")
+	}
+	r, _ := c.Latest()
+	if r.Value != 3 {
+		t.Fatalf("latest = %v, want 3", r.Value)
+	}
+	// Query engine sees the data.
+	if got := p.QE.QueryRelative("/node/test0", time.Hour, nil); len(got) != 3 {
+		t.Fatalf("query = %d readings", len(got))
+	}
+}
+
+func TestCacheRetentionSizing(t *testing.T) {
+	p, err := New(Config{CacheRetention: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := hardware.NewNode(hardware.Config{Cores: 2, Seed: 1})
+	if err := p.AddSampler(samplers.NewPowerSim(node, "/n1/", 2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := p.Caches.Get("/n1/power")
+	if !ok {
+		t.Fatal("power cache missing")
+	}
+	if c.Capacity() != 5 {
+		t.Fatalf("capacity = %d, want 10s/2s = 5", c.Capacity())
+	}
+}
+
+func TestPusherToCollectAgentFlow(t *testing.T) {
+	agent, err := collect.New(collect.Config{ListenMQTT: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	p, err := New(Config{MQTTAddr: agent.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	node := hardware.NewNode(hardware.Config{Cores: 2, Seed: 2})
+	node.SetApp(workload.MustNew("hpl", 1, 3600), 0)
+	if err := p.AddSampler(samplers.NewPowerSim(node, "/r1/n1/", time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		p.SampleOnce(time.Unix(int64(i), 0))
+	}
+	// Await asynchronous delivery into the agent's store.
+	deadline := time.Now().Add(2 * time.Second)
+	for agent.Store.Count("/r1/n1/power") < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("store has %d readings, want 5", agent.Store.Count("/r1/n1/power"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The agent's sensor tree learned the topics.
+	if !agent.Nav.HasSensor("/r1/n1/temp") {
+		t.Error("agent navigator missing forwarded sensor")
+	}
+	// Cache-first query works on the agent side too.
+	if _, ok := agent.QE.Latest("/r1/n1/power"); !ok {
+		t.Error("agent query engine has no data")
+	}
+}
+
+func TestStartStopLoops(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSampler(samplers.NewTester("t", "/n/", 3, 5*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	p.Start() // idempotent
+	time.Sleep(40 * time.Millisecond)
+	p.Stop()
+	p.Stop() // idempotent
+	if p.Samples() == 0 {
+		t.Error("sampling loop produced no samples")
+	}
+	n := p.Samples()
+	time.Sleep(20 * time.Millisecond)
+	if p.Samples() != n {
+		t.Error("sampling continued after Stop")
+	}
+}
+
+func TestBadBrokerAddress(t *testing.T) {
+	if _, err := New(Config{MQTTAddr: "127.0.0.1:1"}); err == nil {
+		t.Error("connecting to a dead broker should fail")
+	}
+}

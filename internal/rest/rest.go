@@ -1,0 +1,228 @@
+// Package rest implements the RESTful control and query API that DCDB
+// exposes on every component (paper §IV-A, §V-A): plugin and operator
+// introspection, operator life-cycle control, on-demand computation
+// triggers, sensor discovery and cache/store queries.
+package rest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/core"
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+// API wraps a Wintermute manager and query engine with HTTP handlers.
+type API struct {
+	m  *core.Manager
+	qe *core.QueryEngine
+}
+
+// NewHandler builds the HTTP handler tree for one DCDB component.
+func NewHandler(m *core.Manager, qe *core.QueryEngine) http.Handler {
+	api := &API{m: m, qe: qe}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /plugins", api.plugins)
+	mux.HandleFunc("GET /operators", api.operators)
+	mux.HandleFunc("GET /units", api.units)
+	mux.HandleFunc("GET /sensors", api.sensors)
+	mux.HandleFunc("GET /average", api.average)
+	mux.HandleFunc("GET /query", api.query)
+	mux.HandleFunc("POST /operators/start", api.start)
+	mux.HandleFunc("POST /operators/stop", api.stop)
+	mux.HandleFunc("POST /compute", api.compute)
+	mux.HandleFunc("POST /plugins/load", api.load)
+	mux.HandleFunc("POST /plugins/unload", api.unload)
+	return mux
+}
+
+// Server is a running REST endpoint.
+type Server struct {
+	http net.Listener
+	srv  *http.Server
+}
+
+// Serve starts the API on addr (e.g. "127.0.0.1:0").
+func Serve(addr string, m *core.Manager, qe *core.QueryEngine) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewHandler(m, qe)}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{http: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.http.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (a *API) plugins(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"plugins": core.RegisteredPlugins()})
+}
+
+func (a *API) operators(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.m.Status())
+}
+
+func (a *API) units(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("operator")
+	op, ok := a.m.Operator(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown operator %q", name))
+		return
+	}
+	type unitJSON struct {
+		Name    sensor.Topic   `json:"name"`
+		Inputs  []sensor.Topic `json:"inputs"`
+		Outputs []sensor.Topic `json:"outputs"`
+	}
+	var out []unitJSON
+	for _, u := range op.Units() {
+		out = append(out, unitJSON{Name: u.Name, Inputs: u.Inputs, Outputs: u.Outputs})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (a *API) sensors(w http.ResponseWriter, r *http.Request) {
+	nav := a.qe.Navigator()
+	prefix := r.URL.Query().Get("prefix")
+	var topics []sensor.Topic
+	if prefix == "" {
+		topics = nav.AllSensors()
+	} else {
+		topics = nav.SensorsBelow(sensor.Topic(prefix))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sensors": topics, "count": len(topics)})
+}
+
+func (a *API) average(w http.ResponseWriter, r *http.Request) {
+	topic := sensor.Topic(r.URL.Query().Get("sensor"))
+	window, err := parseWindow(r.URL.Query().Get("window"), 60*time.Second)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	avg, ok := a.qe.Average(topic, window)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no data for %q", topic))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sensor": topic, "window": window.String(), "average": avg})
+}
+
+func (a *API) query(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	topic := sensor.Topic(q.Get("sensor"))
+	var readings []sensor.Reading
+	switch {
+	case q.Get("lookback") != "":
+		lookback, err := parseWindow(q.Get("lookback"), 0)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		readings = a.qe.QueryRelative(topic, lookback, nil)
+	case q.Get("from") != "" || q.Get("to") != "":
+		from, err1 := strconv.ParseInt(q.Get("from"), 10, 64)
+		to, err2 := strconv.ParseInt(q.Get("to"), 10, 64)
+		if err1 != nil || err2 != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("from/to must be nanosecond timestamps"))
+			return
+		}
+		readings = a.qe.QueryAbsolute(topic, from, to, nil)
+	default:
+		if latest, ok := a.qe.Latest(topic); ok {
+			readings = []sensor.Reading{latest}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sensor": topic, "readings": readings, "count": len(readings)})
+}
+
+func (a *API) start(w http.ResponseWriter, r *http.Request) {
+	if err := a.m.StartOperator(r.URL.Query().Get("operator")); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "started"})
+}
+
+func (a *API) stop(w http.ResponseWriter, r *http.Request) {
+	if err := a.m.StopOperator(r.URL.Query().Get("operator")); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "stopped"})
+}
+
+func (a *API) compute(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	outs, err := a.m.OnDemand(q.Get("operator"), sensor.Topic(q.Get("unit")), time.Now())
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	type outJSON struct {
+		Topic sensor.Topic `json:"topic"`
+		Value float64      `json:"value"`
+		Time  int64        `json:"time"`
+	}
+	res := make([]outJSON, 0, len(outs))
+	for _, o := range outs {
+		res = append(res, outJSON{Topic: o.Topic, Value: o.Reading.Value, Time: o.Reading.Time})
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (a *API) load(w http.ResponseWriter, r *http.Request) {
+	plugin := r.URL.Query().Get("plugin")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := a.m.LoadPlugin(plugin, body); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "loaded"})
+}
+
+func (a *API) unload(w http.ResponseWriter, r *http.Request) {
+	n := a.m.UnloadPlugin(r.URL.Query().Get("plugin"))
+	writeJSON(w, http.StatusOK, map[string]any{"status": "unloaded", "operators": n})
+}
+
+func parseWindow(s string, def time.Duration) (time.Duration, error) {
+	if s == "" {
+		if def > 0 {
+			return def, nil
+		}
+		return 0, fmt.Errorf("missing duration parameter")
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q: %w", s, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %q", s)
+	}
+	return d, nil
+}

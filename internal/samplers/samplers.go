@@ -1,0 +1,240 @@
+// Package samplers implements the monitoring (data-acquisition) plugins
+// hosted by DCDB Pushers. Each sampler owns a set of sensors and produces
+// readings for them on demand; the Pusher drives sampling loops and routes
+// the readings into caches and over MQTT.
+//
+// Production DCDB ships perfevent, sysFS, ProcFS and OPA plugins reading
+// real hardware; this package provides their simulated counterparts
+// reading from the hardware models of internal/sim/hardware, plus the
+// "tester" plugin of paper §VI-A, which produces configurable numbers of
+// monotonic sensors with negligible overhead to serve as a controlled
+// baseline.
+package samplers
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/core"
+	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/sim/cluster"
+	"github.com/dcdb/wintermute/internal/sim/hardware"
+)
+
+// Sampler is a monitoring plugin: a named source of sensors sampled at a
+// common interval.
+type Sampler interface {
+	// Name identifies the sampler instance.
+	Name() string
+	// Interval is the nominal sampling interval.
+	Interval() time.Duration
+	// Sensors describes every sensor this sampler produces.
+	Sensors() []sensor.Info
+	// Sample appends readings for all sensors at the given time to dst.
+	Sample(now time.Time, dst []core.Output) []core.Output
+}
+
+// --- Tester --------------------------------------------------------------
+
+// Tester produces n monotonic counter sensors under a base component path,
+// mirroring the tester monitoring plugin of paper §VI-A ("a total of 1000
+// monotonic sensors with negligible overhead, so as to provide a reliable
+// baseline").
+type Tester struct {
+	name     string
+	interval time.Duration
+	topics   []sensor.Topic
+	counter  float64
+}
+
+// NewTester creates a tester sampler with n sensors named test0..test<n-1>
+// under base.
+func NewTester(name string, base sensor.Topic, n int, interval time.Duration) *Tester {
+	t := &Tester{name: name, interval: interval}
+	base = base.AsNode()
+	for i := 0; i < n; i++ {
+		t.topics = append(t.topics, base.Join(fmt.Sprintf("test%d", i)))
+	}
+	return t
+}
+
+// Name implements Sampler.
+func (t *Tester) Name() string { return t.name }
+
+// Interval implements Sampler.
+func (t *Tester) Interval() time.Duration { return t.interval }
+
+// Sensors implements Sampler.
+func (t *Tester) Sensors() []sensor.Info {
+	out := make([]sensor.Info, len(t.topics))
+	for i, tp := range t.topics {
+		out[i] = sensor.Info{Topic: tp, Unit: "count", Interval: t.interval, Monotonic: true}
+	}
+	return out
+}
+
+// Sample implements Sampler: every sensor advances by one per sample.
+func (t *Tester) Sample(now time.Time, dst []core.Output) []core.Output {
+	t.counter++
+	r := sensor.At(t.counter, now)
+	for _, tp := range t.topics {
+		dst = append(dst, core.Output{Topic: tp, Reading: r})
+	}
+	return dst
+}
+
+// --- PowerSim ------------------------------------------------------------
+
+// PowerSim reads node-level power, temperature, cumulative energy and the
+// DVFS knob from a hardware model — the stand-in for the sysFS/IPMI power
+// instrumentation of CooLMUC-3.
+type PowerSim struct {
+	name     string
+	interval time.Duration
+	node     *hardware.Node
+	path     sensor.Topic
+}
+
+// NewPowerSim creates a power sampler for the node model mounted at the
+// given component path.
+func NewPowerSim(node *hardware.Node, path sensor.Topic, interval time.Duration) *PowerSim {
+	return &PowerSim{
+		name:     "powersim" + string(path.AsNode()),
+		interval: interval,
+		node:     node,
+		path:     path.AsNode(),
+	}
+}
+
+// Name implements Sampler.
+func (p *PowerSim) Name() string { return p.name }
+
+// Interval implements Sampler.
+func (p *PowerSim) Interval() time.Duration { return p.interval }
+
+// Sensors implements Sampler.
+func (p *PowerSim) Sensors() []sensor.Info {
+	return []sensor.Info{
+		{Topic: p.path.Join("power"), Unit: "W", Interval: p.interval},
+		{Topic: p.path.Join("temp"), Unit: "C", Interval: p.interval},
+		{Topic: p.path.Join("energy"), Unit: "J", Interval: p.interval, Monotonic: true},
+		{Topic: p.path.Join("freq-scale"), Unit: "ratio", Interval: p.interval},
+	}
+}
+
+// Sample implements Sampler.
+func (p *PowerSim) Sample(now time.Time, dst []core.Output) []core.Output {
+	ns := now.UnixNano()
+	p.node.Advance(ns)
+	return append(dst,
+		core.Output{Topic: p.path.Join("power"), Reading: sensor.Reading{Value: p.node.Power(), Time: ns}},
+		core.Output{Topic: p.path.Join("temp"), Reading: sensor.Reading{Value: p.node.Temp(), Time: ns}},
+		core.Output{Topic: p.path.Join("energy"), Reading: sensor.Reading{Value: p.node.EnergyJoules(), Time: ns}},
+		core.Output{Topic: p.path.Join("freq-scale"), Reading: sensor.Reading{Value: p.node.FreqScale(), Time: ns}},
+	)
+}
+
+// --- ProcSim -------------------------------------------------------------
+
+// ProcSim reads OS-level metrics (cumulative CPU idle time) from a
+// hardware model — the ProcFS plugin's counterpart.
+type ProcSim struct {
+	name     string
+	interval time.Duration
+	node     *hardware.Node
+	path     sensor.Topic
+}
+
+// NewProcSim creates a ProcFS-like sampler for a node model.
+func NewProcSim(node *hardware.Node, path sensor.Topic, interval time.Duration) *ProcSim {
+	return &ProcSim{
+		name:     "procsim" + string(path.AsNode()),
+		interval: interval,
+		node:     node,
+		path:     path.AsNode(),
+	}
+}
+
+// Name implements Sampler.
+func (p *ProcSim) Name() string { return p.name }
+
+// Interval implements Sampler.
+func (p *ProcSim) Interval() time.Duration { return p.interval }
+
+// Sensors implements Sampler.
+func (p *ProcSim) Sensors() []sensor.Info {
+	return []sensor.Info{
+		{Topic: p.path.Join("idle-time"), Unit: "s", Interval: p.interval, Monotonic: true},
+	}
+}
+
+// Sample implements Sampler.
+func (p *ProcSim) Sample(now time.Time, dst []core.Output) []core.Output {
+	ns := now.UnixNano()
+	p.node.Advance(ns)
+	return append(dst, core.Output{
+		Topic:   p.path.Join("idle-time"),
+		Reading: sensor.Reading{Value: p.node.IdleSeconds(), Time: ns},
+	})
+}
+
+// --- PerfSim -------------------------------------------------------------
+
+// PerfSim reads per-core performance counters from a hardware model — the
+// perfevent plugin's counterpart. It produces one sensor per (core,
+// counter) pair under <node>/cpuNN/.
+type PerfSim struct {
+	name     string
+	interval time.Duration
+	node     *hardware.Node
+	path     sensor.Topic
+	cpuPaths []sensor.Topic
+}
+
+// NewPerfSim creates a perfevent-like sampler for a node model.
+func NewPerfSim(node *hardware.Node, path sensor.Topic, interval time.Duration) *PerfSim {
+	p := &PerfSim{
+		name:     "perfsim" + string(path.AsNode()),
+		interval: interval,
+		node:     node,
+		path:     path.AsNode(),
+	}
+	for c := 0; c < node.Cores(); c++ {
+		p.cpuPaths = append(p.cpuPaths, p.path.JoinNode(fmt.Sprintf("cpu%02d", c)))
+	}
+	return p
+}
+
+// Name implements Sampler.
+func (p *PerfSim) Name() string { return p.name }
+
+// Interval implements Sampler.
+func (p *PerfSim) Interval() time.Duration { return p.interval }
+
+// Sensors implements Sampler.
+func (p *PerfSim) Sensors() []sensor.Info {
+	out := make([]sensor.Info, 0, len(p.cpuPaths)*len(cluster.CPUSensors))
+	for _, cp := range p.cpuPaths {
+		for _, s := range cluster.CPUSensors {
+			out = append(out, sensor.Info{Topic: cp.Join(s), Unit: "count", Interval: p.interval, Monotonic: true})
+		}
+	}
+	return out
+}
+
+// Sample implements Sampler.
+func (p *PerfSim) Sample(now time.Time, dst []core.Output) []core.Output {
+	ns := now.UnixNano()
+	p.node.Advance(ns)
+	for c, cp := range p.cpuPaths {
+		cycles, instrs, miss, flops, vec := p.node.CoreCounters(c)
+		dst = append(dst,
+			core.Output{Topic: cp.Join("cpu-cycles"), Reading: sensor.Reading{Value: cycles, Time: ns}},
+			core.Output{Topic: cp.Join("instructions"), Reading: sensor.Reading{Value: instrs, Time: ns}},
+			core.Output{Topic: cp.Join("cache-misses"), Reading: sensor.Reading{Value: miss, Time: ns}},
+			core.Output{Topic: cp.Join("flops"), Reading: sensor.Reading{Value: flops, Time: ns}},
+			core.Output{Topic: cp.Join("vector-ops"), Reading: sensor.Reading{Value: vec, Time: ns}},
+		)
+	}
+	return dst
+}

@@ -1,0 +1,142 @@
+package samplers
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/core"
+	"github.com/dcdb/wintermute/internal/sim/hardware"
+	"github.com/dcdb/wintermute/internal/sim/workload"
+)
+
+func TestTesterSampler(t *testing.T) {
+	s := NewTester("tester1", "/r1/n1/", 10, time.Second)
+	if s.Name() != "tester1" || s.Interval() != time.Second {
+		t.Fatal("identity wrong")
+	}
+	infos := s.Sensors()
+	if len(infos) != 10 {
+		t.Fatalf("sensors = %d", len(infos))
+	}
+	if infos[0].Topic != "/r1/n1/test0" || !infos[0].Monotonic {
+		t.Fatalf("info[0] = %+v", infos[0])
+	}
+	now := time.Unix(100, 0)
+	outs := s.Sample(now, nil)
+	if len(outs) != 10 {
+		t.Fatalf("outputs = %d", len(outs))
+	}
+	if outs[0].Reading.Value != 1 {
+		t.Errorf("first sample value = %v", outs[0].Reading.Value)
+	}
+	outs = s.Sample(now.Add(time.Second), outs[:0])
+	if outs[0].Reading.Value != 2 {
+		t.Errorf("monotonic counter = %v, want 2", outs[0].Reading.Value)
+	}
+}
+
+func TestPowerSimSampler(t *testing.T) {
+	node := hardware.NewNode(hardware.Config{Cores: 2, Seed: 1})
+	node.SetApp(workload.MustNew("hpl", 1, 3600), 0)
+	s := NewPowerSim(node, "/r1/n1", time.Second)
+	infos := s.Sensors()
+	if len(infos) != 4 {
+		t.Fatalf("sensors = %v", infos)
+	}
+	var outs []core.Output
+	for i := 0; i < 60; i++ {
+		outs = s.Sample(time.Unix(int64(i), 0), outs[:0])
+	}
+	if len(outs) != 4 {
+		t.Fatalf("outputs = %d", len(outs))
+	}
+	byName := map[string]float64{}
+	for _, o := range outs {
+		byName[o.Topic.Name()] = o.Reading.Value
+	}
+	if byName["power"] < 150 {
+		t.Errorf("power = %v, want loaded", byName["power"])
+	}
+	if byName["temp"] < 43 {
+		t.Errorf("temp = %v", byName["temp"])
+	}
+	if byName["energy"] <= 0 {
+		t.Errorf("energy = %v", byName["energy"])
+	}
+	if byName["freq-scale"] != 1 {
+		t.Errorf("freq-scale = %v", byName["freq-scale"])
+	}
+}
+
+func TestProcSimSampler(t *testing.T) {
+	node := hardware.NewNode(hardware.Config{Cores: 2, Seed: 2})
+	s := NewProcSim(node, "/r1/n1/", time.Second)
+	if len(s.Sensors()) != 1 {
+		t.Fatal("procsim should expose idle-time")
+	}
+	var last float64
+	for i := 0; i < 30; i++ {
+		outs := s.Sample(time.Unix(int64(i), 0), nil)
+		v := outs[0].Reading.Value
+		if v < last {
+			t.Fatalf("idle-time decreased: %v -> %v", last, v)
+		}
+		last = v
+	}
+	if last < 25 {
+		t.Errorf("idle node idle-time = %v, want ~29", last)
+	}
+}
+
+func TestPerfSimSampler(t *testing.T) {
+	node := hardware.NewNode(hardware.Config{Cores: 4, Seed: 3})
+	node.SetApp(workload.MustNew("lammps", 1, 3600), 0)
+	s := NewPerfSim(node, "/r1/n1", time.Second)
+	infos := s.Sensors()
+	if len(infos) != 4*5 {
+		t.Fatalf("sensors = %d, want 20", len(infos))
+	}
+	var out1, out2 []core.Output
+	out1 = s.Sample(time.Unix(0, 0), nil)
+	out1 = s.Sample(time.Unix(10, 0), out1[:0])
+	out2 = s.Sample(time.Unix(20, 0), nil)
+	if len(out1) != 20 || len(out2) != 20 {
+		t.Fatalf("outputs = %d/%d", len(out1), len(out2))
+	}
+	// Find cpu00 cycles and instructions in both samples and check the
+	// derived CPI is in the LAMMPS band.
+	find := func(outs []core.Output, topic string) float64 {
+		for _, o := range outs {
+			if string(o.Topic) == topic {
+				return o.Reading.Value
+			}
+		}
+		t.Fatalf("topic %q missing", topic)
+		return 0
+	}
+	dCycles := find(out2, "/r1/n1/cpu00/cpu-cycles") - find(out1, "/r1/n1/cpu00/cpu-cycles")
+	dInstr := find(out2, "/r1/n1/cpu00/instructions") - find(out1, "/r1/n1/cpu00/instructions")
+	cpi := dCycles / dInstr
+	if cpi < 1.2 || cpi > 2.2 {
+		t.Errorf("derived CPI = %v, want ~1.6", cpi)
+	}
+}
+
+func TestSamplerInterfaceCompliance(t *testing.T) {
+	node := hardware.NewNode(hardware.Config{Cores: 1, Seed: 4})
+	for _, s := range []Sampler{
+		NewTester("t", "/n/", 1, time.Second),
+		NewPowerSim(node, "/n/", time.Second),
+		NewProcSim(node, "/n/", time.Second),
+		NewPerfSim(node, "/n/", time.Second),
+	} {
+		if s.Name() == "" {
+			t.Errorf("%T has empty name", s)
+		}
+		for _, info := range s.Sensors() {
+			if err := info.Topic.Validate(); err != nil {
+				t.Errorf("%T produces invalid topic %q", s, info.Topic)
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package sensor
+
+import "time"
+
+// Reading is a single sensor sample: a numerical value paired with a
+// nanosecond Unix timestamp. Readings are the atomic unit of data flowing
+// through pushers, collect agents, caches, the storage backend and every
+// Wintermute operator.
+type Reading struct {
+	Value float64
+	Time  int64 // nanoseconds since the Unix epoch
+}
+
+// At builds a reading from a value and a wall-clock time.
+func At(v float64, t time.Time) Reading {
+	return Reading{Value: v, Time: t.UnixNano()}
+}
+
+// T returns the reading's timestamp as a time.Time.
+func (r Reading) T() time.Time {
+	return time.Unix(0, r.Time)
+}
+
+// Before reports whether r was sampled strictly before s.
+func (r Reading) Before(s Reading) bool {
+	return r.Time < s.Time
+}
+
+// Rate converts two samples of a monotonic counter into a per-second rate.
+// It returns 0 when the timestamps do not advance or the counter wrapped
+// (cur < prev), which is the conventional defensive behaviour for hardware
+// counters.
+func Rate(prev, cur Reading) float64 {
+	dt := float64(cur.Time-prev.Time) / float64(time.Second)
+	if dt <= 0 {
+		return 0
+	}
+	dv := cur.Value - prev.Value
+	if dv < 0 {
+		return 0
+	}
+	return dv / dt
+}
+
+// Delta returns the value difference cur-prev, clamped to zero when a
+// monotonic counter wraps.
+func Delta(prev, cur Reading) float64 {
+	d := cur.Value - prev.Value
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Info describes a sensor: its topic, the physical unit of its readings,
+// its nominal sampling interval and whether it is a monotonically
+// increasing counter (as opposed to a gauge).
+type Info struct {
+	Topic       Topic
+	Unit        string
+	Interval    time.Duration
+	Monotonic   bool
+	Description string
+}
+
+// Name returns the sensor's short name (last topic segment).
+func (i Info) Name() string { return i.Topic.Name() }

@@ -1,0 +1,71 @@
+package sensor
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestReadingAt(t *testing.T) {
+	now := time.Now()
+	r := At(42.5, now)
+	if r.Value != 42.5 {
+		t.Errorf("Value = %v", r.Value)
+	}
+	if !r.T().Equal(now.Truncate(0)) && r.Time != now.UnixNano() {
+		t.Errorf("Time round trip failed: %v vs %v", r.T(), now)
+	}
+}
+
+func TestBefore(t *testing.T) {
+	a := Reading{Value: 1, Time: 100}
+	b := Reading{Value: 2, Time: 200}
+	if !a.Before(b) || b.Before(a) || a.Before(a) {
+		t.Error("Before ordering wrong")
+	}
+}
+
+func TestRate(t *testing.T) {
+	sec := int64(time.Second)
+	cases := []struct {
+		prev, cur Reading
+		want      float64
+	}{
+		{Reading{0, 0}, Reading{100, sec}, 100},
+		{Reading{50, 0}, Reading{100, 2 * sec}, 25},
+		{Reading{100, 0}, Reading{50, sec}, 0},  // counter wrap
+		{Reading{0, sec}, Reading{100, sec}, 0}, // no time advance
+		{Reading{0, 2 * sec}, Reading{100, sec}, 0},
+	}
+	for i, c := range cases {
+		if got := Rate(c.prev, c.cur); got != c.want {
+			t.Errorf("case %d: Rate = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestRateNonNegativeProperty(t *testing.T) {
+	f := func(v1, v2 float64, t1, t2 int64) bool {
+		r := Rate(Reading{v1, t1}, Reading{v2, t2})
+		return r >= 0 || r != r // allow NaN propagation from NaN inputs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	if got := Delta(Reading{10, 0}, Reading{25, 1}); got != 15 {
+		t.Errorf("Delta = %v, want 15", got)
+	}
+	if got := Delta(Reading{25, 0}, Reading{10, 1}); got != 0 {
+		t.Errorf("Delta wrap = %v, want 0", got)
+	}
+}
+
+func TestInfoName(t *testing.T) {
+	i := Info{Topic: "/r01/c01/s01/power", Unit: "W"}
+	if i.Name() != "power" {
+		t.Errorf("Name = %q", i.Name())
+	}
+}

@@ -1,0 +1,119 @@
+// Package cluster generates the topology — and thus the sensor-topic tree
+// — of a simulated HPC system: racks containing chassis containing compute
+// nodes containing CPU cores.
+//
+// The default topology mirrors CooLMUC-3, the evaluation system of the
+// paper: 148 compute nodes with 64 cores each.
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/dcdb/wintermute/internal/navigator"
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+// Topology describes the component hierarchy of a cluster.
+type Topology struct {
+	Racks           int
+	ChassisPerRack  int
+	NodesPerChassis int
+	CoresPerNode    int
+	// MaxNodes caps the total number of nodes generated (0 = no cap); it
+	// allows non-rectangular totals such as CooLMUC-3's 148.
+	MaxNodes int
+}
+
+// CooLMUC3 returns the topology of the paper's evaluation system:
+// 148 nodes of 64 cores, arranged in 4 racks x 4 chassis x 10 node slots.
+func CooLMUC3() Topology {
+	return Topology{
+		Racks:           4,
+		ChassisPerRack:  4,
+		NodesPerChassis: 10,
+		CoresPerNode:    64,
+		MaxNodes:        148,
+	}
+}
+
+// Small returns a compact topology for tests and examples.
+func Small() Topology {
+	return Topology{Racks: 2, ChassisPerRack: 2, NodesPerChassis: 2, CoresPerNode: 4}
+}
+
+// NumNodes returns the total number of compute nodes in the topology.
+func (t Topology) NumNodes() int {
+	n := t.Racks * t.ChassisPerRack * t.NodesPerChassis
+	if t.MaxNodes > 0 && n > t.MaxNodes {
+		n = t.MaxNodes
+	}
+	return n
+}
+
+// NodePaths returns the component paths of all compute nodes, in
+// deterministic order: /r01/c01/s01/, /r01/c01/s02/, ...
+func (t Topology) NodePaths() []sensor.Topic {
+	out := make([]sensor.Topic, 0, t.NumNodes())
+	for r := 1; r <= t.Racks; r++ {
+		rack := sensor.Root.JoinNode(fmt.Sprintf("r%02d", r))
+		for c := 1; c <= t.ChassisPerRack; c++ {
+			chassis := rack.JoinNode(fmt.Sprintf("c%02d", c))
+			for s := 1; s <= t.NodesPerChassis; s++ {
+				if t.MaxNodes > 0 && len(out) >= t.MaxNodes {
+					return out
+				}
+				out = append(out, chassis.JoinNode(fmt.Sprintf("s%02d", s)))
+			}
+		}
+	}
+	return out
+}
+
+// CPUPaths returns the component paths of the cores of one node:
+// <node>/cpu00/, <node>/cpu01/, ...
+func (t Topology) CPUPaths(node sensor.Topic) []sensor.Topic {
+	out := make([]sensor.Topic, t.CoresPerNode)
+	for c := 0; c < t.CoresPerNode; c++ {
+		out[c] = node.JoinNode(fmt.Sprintf("cpu%02d", c))
+	}
+	return out
+}
+
+// Standard sensor names published by the simulated samplers.
+var (
+	// NodeSensors are per-node sensors (powersim/procsim).
+	NodeSensors = []string{"power", "temp", "energy", "idle-time", "freq-scale"}
+	// CPUSensors are per-core counters (perfsim).
+	CPUSensors = []string{"cpu-cycles", "instructions", "cache-misses", "flops", "vector-ops"}
+	// RackSensors are per-rack facility sensors.
+	RackSensors = []string{"inlet-temp"}
+)
+
+// SensorTopics returns every sensor topic of the cluster: rack-level
+// facility sensors, node-level power/thermal/OS sensors and per-core
+// performance counters.
+func (t Topology) SensorTopics() []sensor.Topic {
+	var out []sensor.Topic
+	for r := 1; r <= t.Racks; r++ {
+		rack := sensor.Root.JoinNode(fmt.Sprintf("r%02d", r))
+		for _, s := range RackSensors {
+			out = append(out, rack.Join(s))
+		}
+	}
+	for _, node := range t.NodePaths() {
+		for _, s := range NodeSensors {
+			out = append(out, node.Join(s))
+		}
+		for _, cpu := range t.CPUPaths(node) {
+			for _, s := range CPUSensors {
+				out = append(out, cpu.Join(s))
+			}
+		}
+	}
+	return out
+}
+
+// Populate registers every sensor of the topology in a navigator.
+func (t Topology) Populate(nav *navigator.Navigator) error {
+	return nav.AddSensors(t.SensorTopics())
+}

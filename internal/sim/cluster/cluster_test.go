@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/dcdb/wintermute/internal/navigator"
+)
+
+func TestCooLMUC3Shape(t *testing.T) {
+	topo := CooLMUC3()
+	if topo.NumNodes() != 148 {
+		t.Fatalf("NumNodes = %d, want 148", topo.NumNodes())
+	}
+	nodes := topo.NodePaths()
+	if len(nodes) != 148 {
+		t.Fatalf("NodePaths = %d", len(nodes))
+	}
+	if nodes[0] != "/r01/c01/s01/" {
+		t.Errorf("first node = %q", nodes[0])
+	}
+	// 148 = 3 full racks (120) + 28 into rack 4.
+	if nodes[147] != "/r04/c03/s08/" {
+		t.Errorf("last node = %q", nodes[147])
+	}
+	cpus := topo.CPUPaths(nodes[0])
+	if len(cpus) != 64 || cpus[0] != "/r01/c01/s01/cpu00/" || cpus[63] != "/r01/c01/s01/cpu63/" {
+		t.Errorf("cpus = %v...%v", cpus[0], cpus[63])
+	}
+}
+
+func TestSensorTopicsCount(t *testing.T) {
+	topo := Small() // 8 nodes, 4 cores
+	topics := topo.SensorTopics()
+	want := topo.Racks*len(RackSensors) +
+		topo.NumNodes()*(len(NodeSensors)+topo.CoresPerNode*len(CPUSensors))
+	if len(topics) != want {
+		t.Fatalf("topics = %d, want %d", len(topics), want)
+	}
+	seen := map[string]bool{}
+	for _, tp := range topics {
+		if err := tp.Validate(); err != nil {
+			t.Fatalf("invalid topic %q: %v", tp, err)
+		}
+		if seen[string(tp)] {
+			t.Fatalf("duplicate topic %q", tp)
+		}
+		seen[string(tp)] = true
+	}
+}
+
+func TestPopulate(t *testing.T) {
+	topo := Small()
+	nv := navigator.New()
+	if err := topo.Populate(nv); err != nil {
+		t.Fatal(err)
+	}
+	if nv.NumSensors() != len(topo.SensorTopics()) {
+		t.Fatalf("navigator sensors = %d", nv.NumSensors())
+	}
+	// Tree depth: rack(1)/chassis(2)/node(3)/cpu(4).
+	if nv.MaxDepth() != 4 {
+		t.Fatalf("MaxDepth = %d, want 4", nv.MaxDepth())
+	}
+	if len(nv.NodesAtDepth(3)) != topo.NumNodes() {
+		t.Fatalf("node count at depth 3 = %d", len(nv.NodesAtDepth(3)))
+	}
+	if len(nv.NodesAtDepth(4)) != topo.NumNodes()*topo.CoresPerNode {
+		t.Fatalf("cpu count at depth 4 = %d", len(nv.NodesAtDepth(4)))
+	}
+}
+
+func TestMaxNodesCap(t *testing.T) {
+	topo := Topology{Racks: 2, ChassisPerRack: 2, NodesPerChassis: 10, CoresPerNode: 1, MaxNodes: 13}
+	if topo.NumNodes() != 13 {
+		t.Fatalf("NumNodes = %d", topo.NumNodes())
+	}
+	if got := len(topo.NodePaths()); got != 13 {
+		t.Fatalf("NodePaths = %d", got)
+	}
+	uncapped := Topology{Racks: 1, ChassisPerRack: 1, NodesPerChassis: 3, CoresPerNode: 1}
+	if uncapped.NumNodes() != 3 {
+		t.Fatal("uncapped NumNodes wrong")
+	}
+}
+
+func TestNodePathsDeterministicOrder(t *testing.T) {
+	a := CooLMUC3().NodePaths()
+	b := CooLMUC3().NodePaths()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("NodePaths not deterministic")
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			t.Fatal("NodePaths not sorted")
+		}
+	}
+}

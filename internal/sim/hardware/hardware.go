@@ -1,0 +1,286 @@
+// Package hardware models the physical sensors of a simulated compute
+// node: power draw, temperature, cumulative CPU idle time, energy, and
+// per-core performance counters (cycles, instructions, cache misses,
+// floating-point and vector operations).
+//
+// The models are physically motivated and calibrated to the CooLMUC-3
+// ranges visible in the paper's Figure 8: node power between roughly 80 W
+// (idle) and 205 W (saturated, with Turbo spikes above), temperature
+// tracking power through a first-order thermal RC response between ~47 °C
+// and ~54 °C, and idle-time counters that integrate (1 - utilisation).
+// Sampler plugins read the node state exactly like the perfevent/sysFS/
+// ProcFS plugins read real hardware.
+package hardware
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"github.com/dcdb/wintermute/internal/sim/workload"
+)
+
+// Config parameterises a node model. Zero fields take CooLMUC-3-like
+// defaults from DefaultConfig.
+type Config struct {
+	Cores       int     // physical cores (KNL: 64)
+	IdlePower   float64 // W at zero utilisation
+	MaxPower    float64 // W at full utilisation (pre-Turbo)
+	NoisePower  float64 // sensor + electrical noise, std dev in W
+	TurboProb   float64 // probability of a Turbo spike per step
+	TurboBoost  float64 // W added during a Turbo spike
+	AmbientTemp float64 // °C inlet
+	TempPerWatt float64 // steady-state °C per W above ambient baseline
+	ThermalTau  float64 // thermal time constant, seconds
+	CoreFreqHz  float64 // nominal core clock
+	Seed        int64
+}
+
+// DefaultConfig returns the CooLMUC-3-like calibration.
+func DefaultConfig() Config {
+	return Config{
+		Cores:       64,
+		IdlePower:   78,
+		MaxPower:    205,
+		NoisePower:  2.5,
+		TurboProb:   0.02,
+		TurboBoost:  18,
+		AmbientTemp: 42,
+		TempPerWatt: 0.058,
+		ThermalTau:  45,
+		CoreFreqHz:  1.3e9,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Cores <= 0 {
+		c.Cores = d.Cores
+	}
+	if c.IdlePower <= 0 {
+		c.IdlePower = d.IdlePower
+	}
+	if c.MaxPower <= 0 {
+		c.MaxPower = d.MaxPower
+	}
+	if c.NoisePower < 0 {
+		c.NoisePower = d.NoisePower
+	}
+	if c.TurboProb <= 0 {
+		c.TurboProb = d.TurboProb
+	}
+	if c.TurboBoost <= 0 {
+		c.TurboBoost = d.TurboBoost
+	}
+	if c.AmbientTemp <= 0 {
+		c.AmbientTemp = d.AmbientTemp
+	}
+	if c.TempPerWatt <= 0 {
+		c.TempPerWatt = d.TempPerWatt
+	}
+	if c.ThermalTau <= 0 {
+		c.ThermalTau = d.ThermalTau
+	}
+	if c.CoreFreqHz <= 0 {
+		c.CoreFreqHz = d.CoreFreqHz
+	}
+	return c
+}
+
+// Node is the state of one simulated compute node. All methods are safe
+// for concurrent use; Advance is idempotent per timestamp so several
+// sampler plugins can share one node.
+type Node struct {
+	cfg Config
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	lastNs   int64
+	started  bool
+	app      workload.App
+	appStart int64
+
+	// Degradation multiplies power draw, modelling the anomalous node of
+	// Figure 8 (~20 % extra power at equal load).
+	powerFactor float64
+	// FreqScale models a DVFS knob in [0.5, 1]: the feedback-loop case
+	// study's actuator. It scales utilisation's power contribution and
+	// core clocks.
+	freqScale float64
+
+	power   float64
+	temp    float64
+	idleSec float64
+	energyJ float64
+
+	cycles    []float64
+	instrs    []float64
+	cacheMiss []float64
+	flops     []float64
+	vecOps    []float64
+}
+
+// NewNode builds a node model.
+func NewNode(cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		powerFactor: 1,
+		freqScale:   1,
+		temp:        cfg.AmbientTemp + cfg.TempPerWatt*cfg.IdlePower,
+		power:       cfg.IdlePower,
+		cycles:      make([]float64, cfg.Cores),
+		instrs:      make([]float64, cfg.Cores),
+		cacheMiss:   make([]float64, cfg.Cores),
+		flops:       make([]float64, cfg.Cores),
+		vecOps:      make([]float64, cfg.Cores),
+	}
+	return n
+}
+
+// Cores returns the number of modelled cores.
+func (n *Node) Cores() int { return n.cfg.Cores }
+
+// SetApp assigns the application running on the node from startNs onward;
+// a nil app returns the node to idle.
+func (n *Node) SetApp(app workload.App, startNs int64) {
+	n.mu.Lock()
+	n.app = app
+	n.appStart = startNs
+	n.mu.Unlock()
+}
+
+// App returns the currently-assigned application, if any.
+func (n *Node) App() workload.App {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.app
+}
+
+// SetPowerFactor scales the node's power draw, modelling component-level
+// degradation (Figure 8's outlier consumes ~20 % extra power: factor 1.2).
+func (n *Node) SetPowerFactor(f float64) {
+	n.mu.Lock()
+	n.powerFactor = f
+	n.mu.Unlock()
+}
+
+// SetFreqScale adjusts the simulated DVFS knob in [0.5, 1].
+func (n *Node) SetFreqScale(f float64) {
+	n.mu.Lock()
+	n.freqScale = math.Max(0.5, math.Min(1, f))
+	n.mu.Unlock()
+}
+
+// FreqScale returns the current DVFS setting.
+func (n *Node) FreqScale() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.freqScale
+}
+
+// Advance integrates the node state up to nowNs. Repeated calls with the
+// same timestamp are no-ops, so multiple samplers can call it freely.
+func (n *Node) Advance(nowNs int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.started {
+		n.started = true
+		n.lastNs = nowNs
+		return
+	}
+	if nowNs <= n.lastNs {
+		return
+	}
+	dt := float64(nowNs-n.lastNs) / 1e9
+	n.lastNs = nowNs
+
+	util := 0.02
+	var t float64
+	if n.app != nil {
+		t = float64(nowNs-n.appStart) / 1e9
+		if t >= 0 {
+			util = n.app.Util(t)
+		}
+	}
+	eff := util * n.freqScale
+
+	// Power: linear in effective utilisation plus Turbo excursions and
+	// measurement noise; degradation scales the whole draw.
+	p := n.cfg.IdlePower + (n.cfg.MaxPower-n.cfg.IdlePower)*eff
+	if util > 0.5 && n.rng.Float64() < n.cfg.TurboProb {
+		p += n.cfg.TurboBoost * n.rng.Float64()
+	}
+	p += n.rng.NormFloat64() * n.cfg.NoisePower
+	p *= n.powerFactor
+	if p < 0.5*n.cfg.IdlePower {
+		p = 0.5 * n.cfg.IdlePower
+	}
+	n.power = p
+
+	// First-order thermal response towards the steady-state temperature.
+	steady := n.cfg.AmbientTemp + n.cfg.TempPerWatt*p
+	alpha := 1 - math.Exp(-dt/n.cfg.ThermalTau)
+	n.temp += (steady - n.temp) * alpha
+
+	n.idleSec += (1 - util) * dt
+	n.energyJ += p * dt
+
+	// Per-core counters.
+	freq := n.cfg.CoreFreqHz * n.freqScale
+	for c := 0; c < n.cfg.Cores; c++ {
+		dCycles := freq * dt * math.Max(util, 0.01)
+		cpi := 2.5
+		flopFrac, vecFrac := 0.02, 0.05
+		if n.app != nil && t >= 0 {
+			cpi = n.app.CPI(c, t)
+			flopFrac = n.app.FlopFrac(c, t)
+			vecFrac = n.app.VectorRatio(c, t)
+		}
+		dInstr := dCycles / cpi
+		n.cycles[c] += dCycles
+		n.instrs[c] += dInstr
+		// Miss rate grows with CPI: stalls come from the memory system.
+		n.cacheMiss[c] += dInstr * 0.002 * cpi
+		dFlops := dInstr * flopFrac
+		n.flops[c] += dFlops
+		n.vecOps[c] += dFlops * vecFrac
+	}
+}
+
+// Power returns the instantaneous node power draw in W.
+func (n *Node) Power() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.power
+}
+
+// Temp returns the node temperature in °C.
+func (n *Node) Temp() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.temp
+}
+
+// IdleSeconds returns cumulative idle time in seconds.
+func (n *Node) IdleSeconds() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.idleSec
+}
+
+// EnergyJoules returns cumulative energy in J.
+func (n *Node) EnergyJoules() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.energyJ
+}
+
+// CoreCounters returns the cumulative counters of one core:
+// cycles, instructions, cache misses, floating-point ops and vector ops.
+func (n *Node) CoreCounters(core int) (cycles, instrs, cacheMiss, flops, vecOps float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cycles[core], n.instrs[core], n.cacheMiss[core], n.flops[core], n.vecOps[core]
+}

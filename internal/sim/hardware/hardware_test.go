@@ -1,0 +1,232 @@
+package hardware
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/sim/workload"
+)
+
+const sec = int64(time.Second)
+
+func TestIdleNodeRanges(t *testing.T) {
+	n := NewNode(Config{Seed: 1})
+	for i := int64(0); i < 300; i++ {
+		n.Advance(i * sec)
+	}
+	p := n.Power()
+	if p < 60 || p > 100 {
+		t.Errorf("idle power = %v, want ~78", p)
+	}
+	tc := n.Temp()
+	if tc < 44 || tc > 50 {
+		t.Errorf("idle temp = %v, want ~46.5", tc)
+	}
+	// Nearly all time idle.
+	if idle := n.IdleSeconds(); idle < 280 {
+		t.Errorf("idle seconds = %v, want ~293", idle)
+	}
+}
+
+func TestLoadedNodeRanges(t *testing.T) {
+	n := NewNode(Config{Seed: 2})
+	n.SetApp(workload.MustNew("hpl", 1, 3600), 0)
+	for i := int64(0); i < 600; i++ {
+		n.Advance(i * sec)
+	}
+	p := n.Power()
+	if p < 170 || p > 240 {
+		t.Errorf("loaded power = %v, want ~200", p)
+	}
+	tc := n.Temp()
+	if tc < 51 || tc > 57 {
+		t.Errorf("loaded temp = %v, want ~54", tc)
+	}
+	if idle := n.IdleSeconds(); idle > 30 {
+		t.Errorf("idle seconds under load = %v, want small", idle)
+	}
+	if n.EnergyJoules() < 100*599 {
+		t.Errorf("energy = %v, too low", n.EnergyJoules())
+	}
+}
+
+func TestTemperatureTracksPowerSlowly(t *testing.T) {
+	n := NewNode(Config{Seed: 3})
+	for i := int64(0); i < 100; i++ {
+		n.Advance(i * sec)
+	}
+	coldTemp := n.Temp()
+	n.SetApp(workload.MustNew("hpl", 1, 3600), 100*sec)
+	n.Advance(101 * sec)
+	// One second after the load starts the temperature has barely moved
+	// (thermal tau is 45s) even though power jumped.
+	if n.Temp() > coldTemp+2 {
+		t.Errorf("temp rose too fast: %v -> %v", coldTemp, n.Temp())
+	}
+	for i := int64(102); i < 400; i++ {
+		n.Advance(i * sec)
+	}
+	if n.Temp() < coldTemp+4 {
+		t.Errorf("temp did not converge upward: %v -> %v", coldTemp, n.Temp())
+	}
+}
+
+func TestCountersMonotonic(t *testing.T) {
+	n := NewNode(Config{Cores: 4, Seed: 4})
+	n.SetApp(workload.MustNew("lammps", 1, 3600), 0)
+	var prev [5]float64
+	for i := int64(1); i < 50; i++ {
+		n.Advance(i * sec)
+		for c := 0; c < 4; c++ {
+			cy, in, cm, fl, ve := n.CoreCounters(c)
+			if c == 0 {
+				cur := [5]float64{cy, in, cm, fl, ve}
+				for k := range cur {
+					if cur[k] < prev[k] {
+						t.Fatalf("counter %d decreased: %v -> %v", k, prev[k], cur[k])
+					}
+				}
+				prev = cur
+			}
+			if in > cy {
+				t.Fatalf("instructions %v exceed cycles %v (CPI < 1 impossible here)", in, cy)
+			}
+		}
+	}
+}
+
+func TestCPIRecoverableFromCounters(t *testing.T) {
+	n := NewNode(Config{Cores: 2, Seed: 5})
+	n.SetApp(workload.MustNew("lammps", 1, 3600), 0)
+	n.Advance(0)
+	n.Advance(10 * sec)
+	c0, i0, _, _, _ := n.CoreCounters(0)
+	n.Advance(20 * sec)
+	c1, i1, _, _, _ := n.CoreCounters(0)
+	cpi := (c1 - c0) / (i1 - i0)
+	if cpi < 1.2 || cpi > 2.2 {
+		t.Errorf("derived CPI = %v, want ~1.6 for LAMMPS", cpi)
+	}
+}
+
+func TestAdvanceIdempotentPerTimestamp(t *testing.T) {
+	n := NewNode(Config{Seed: 6})
+	n.Advance(0)
+	n.Advance(10 * sec)
+	p := n.Power()
+	e := n.EnergyJoules()
+	// Re-advancing to the same (or an older) time must not change state.
+	n.Advance(10 * sec)
+	n.Advance(5 * sec)
+	if n.Power() != p || n.EnergyJoules() != e {
+		t.Error("Advance not idempotent per timestamp")
+	}
+}
+
+func TestPowerFactorDegradation(t *testing.T) {
+	mkAvg := func(factor float64) float64 {
+		n := NewNode(Config{Seed: 7, NoisePower: 0.01, TurboProb: 1e-9})
+		n.SetPowerFactor(factor)
+		n.SetApp(workload.MustNew("hpl", 1, 3600), 0)
+		var sum float64
+		var cnt int
+		for i := int64(0); i < 120; i++ {
+			n.Advance(i * sec)
+			if i > 20 {
+				sum += n.Power()
+				cnt++
+			}
+		}
+		return sum / float64(cnt)
+	}
+	healthy := mkAvg(1.0)
+	degraded := mkAvg(1.2)
+	ratio := degraded / healthy
+	if ratio < 1.15 || ratio > 1.25 {
+		t.Errorf("degradation ratio = %v, want ~1.2", ratio)
+	}
+}
+
+func TestFreqScaleReducesPowerAndCycles(t *testing.T) {
+	run := func(scale float64) (power, cycles float64) {
+		n := NewNode(Config{Cores: 2, Seed: 8, NoisePower: 0.01, TurboProb: 1e-9})
+		n.SetFreqScale(scale)
+		n.SetApp(workload.MustNew("hpl", 1, 3600), 0)
+		for i := int64(0); i <= 60; i++ {
+			n.Advance(i * sec)
+		}
+		cy, _, _, _, _ := n.CoreCounters(0)
+		return n.Power(), cy
+	}
+	pFull, cFull := run(1.0)
+	pHalf, cHalf := run(0.5)
+	if pHalf >= pFull {
+		t.Errorf("power at half freq (%v) should be below full (%v)", pHalf, pFull)
+	}
+	if cHalf >= cFull*0.7 {
+		t.Errorf("cycles at half freq (%v) should be well below full (%v)", cHalf, cFull)
+	}
+	// Clamping.
+	n := NewNode(Config{Seed: 9})
+	n.SetFreqScale(0.1)
+	if n.FreqScale() != 0.5 {
+		t.Errorf("FreqScale clamped = %v, want 0.5", n.FreqScale())
+	}
+	n.SetFreqScale(2)
+	if n.FreqScale() != 1 {
+		t.Errorf("FreqScale clamped = %v, want 1", n.FreqScale())
+	}
+}
+
+func TestSetAppSwitchesBehavior(t *testing.T) {
+	n := NewNode(Config{Seed: 10})
+	n.SetApp(workload.MustNew("hpl", 1, 3600), 0)
+	for i := int64(0); i < 120; i++ {
+		n.Advance(i * sec)
+	}
+	loaded := n.Power()
+	n.SetApp(nil, 0)
+	for i := int64(120); i < 360; i++ {
+		n.Advance(i * sec)
+	}
+	idle := n.Power()
+	if idle >= loaded-40 {
+		t.Errorf("power did not drop after app removal: %v -> %v", loaded, idle)
+	}
+	if n.App() != nil {
+		t.Error("App() should be nil after reset")
+	}
+}
+
+func TestConcurrentSamplers(t *testing.T) {
+	n := NewNode(Config{Cores: 8, Seed: 11})
+	n.SetApp(workload.MustNew("amg", 1, 3600), 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < 200; i++ {
+				n.Advance(i * sec / 4)
+				n.Power()
+				n.Temp()
+				n.IdleSeconds()
+				n.CoreCounters(int(i) % 8)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	d := DefaultConfig()
+	if cfg.Cores != d.Cores || cfg.IdlePower != d.IdlePower || cfg.ThermalTau != d.ThermalTau {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	n := NewNode(Config{})
+	if n.Cores() != 64 {
+		t.Errorf("Cores = %d, want 64", n.Cores())
+	}
+}

@@ -1,0 +1,100 @@
+// Package jobs provides the resource-manager stand-in for job operator
+// plugins: a job table recording which jobs run on which compute nodes
+// over which time spans (paper §V-C, job operator plugins).
+//
+// The production integration reads this from SLURM; every consumer in the
+// codebase needs only the (id, user, node list, time span) tuples this
+// table serves.
+package jobs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/dcdb/wintermute/internal/core"
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+// Table is a concurrency-safe job registry implementing core.JobProvider.
+type Table struct {
+	mu   sync.RWMutex
+	jobs map[string]core.Job
+	seq  int
+}
+
+// NewTable creates an empty job table.
+func NewTable() *Table {
+	return &Table{jobs: make(map[string]core.Job)}
+}
+
+// Submit registers a job with an auto-assigned id, returning the id.
+// End may be 0 for jobs without a known end time.
+func (t *Table) Submit(user string, nodes []sensor.Topic, start, end int64) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	id := fmt.Sprintf("job%04d", t.seq)
+	t.jobs[id] = core.Job{ID: id, User: user, Nodes: nodes, Start: start, End: end}
+	return id
+}
+
+// Add registers a fully-specified job, replacing any previous job with
+// the same id.
+func (t *Table) Add(j core.Job) {
+	t.mu.Lock()
+	t.jobs[j.ID] = j
+	t.mu.Unlock()
+}
+
+// Finish sets the end time of a job; unknown ids are ignored.
+func (t *Table) Finish(id string, end int64) {
+	t.mu.Lock()
+	if j, ok := t.jobs[id]; ok {
+		j.End = end
+		t.jobs[id] = j
+	}
+	t.mu.Unlock()
+}
+
+// Job returns a job by id.
+func (t *Table) Job(id string) (core.Job, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	j, ok := t.jobs[id]
+	return j, ok
+}
+
+// RunningJobs implements core.JobProvider: all jobs with Start <= now and
+// (End == 0 or End > now), sorted by id for determinism.
+func (t *Table) RunningJobs(now int64) []core.Job {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []core.Job
+	for _, j := range t.jobs {
+		if j.Start <= now && (j.End == 0 || j.End > now) {
+			out = append(out, j)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// All returns every job in the table, sorted by id.
+func (t *Table) All() []core.Job {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]core.Job, 0, len(t.jobs))
+	for _, j := range t.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Len returns the number of jobs in the table.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.jobs)
+}

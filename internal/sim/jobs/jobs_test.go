@@ -1,0 +1,111 @@
+package jobs
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/dcdb/wintermute/internal/core"
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+func TestSubmitAndRunning(t *testing.T) {
+	tb := NewTable()
+	nodes := []sensor.Topic{"/r1/n1/", "/r1/n2/"}
+	id1 := tb.Submit("alice", nodes, 100, 200)
+	id2 := tb.Submit("bob", nodes[:1], 150, 0) // open-ended
+	if id1 == id2 {
+		t.Fatal("ids must be unique")
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	// Before any job.
+	if got := tb.RunningJobs(50); len(got) != 0 {
+		t.Fatalf("running at 50 = %v", got)
+	}
+	// Both running.
+	if got := tb.RunningJobs(160); len(got) != 2 {
+		t.Fatalf("running at 160 = %d", len(got))
+	}
+	// job1 ended at 200 (exclusive).
+	got := tb.RunningJobs(200)
+	if len(got) != 1 || got[0].User != "bob" {
+		t.Fatalf("running at 200 = %+v", got)
+	}
+}
+
+func TestRunningJobsSorted(t *testing.T) {
+	tb := NewTable()
+	for i := 0; i < 5; i++ {
+		tb.Submit("u", nil, 0, 0)
+	}
+	got := tb.RunningJobs(10)
+	for i := 1; i < len(got); i++ {
+		if got[i].ID <= got[i-1].ID {
+			t.Fatal("RunningJobs not sorted by id")
+		}
+	}
+}
+
+func TestFinish(t *testing.T) {
+	tb := NewTable()
+	id := tb.Submit("alice", nil, 0, 0)
+	if got := tb.RunningJobs(1000); len(got) != 1 {
+		t.Fatal("job should be running")
+	}
+	tb.Finish(id, 500)
+	if got := tb.RunningJobs(1000); len(got) != 0 {
+		t.Fatal("job should be finished")
+	}
+	j, ok := tb.Job(id)
+	if !ok || j.End != 500 {
+		t.Fatalf("Job = %+v, %v", j, ok)
+	}
+	tb.Finish("nonexistent", 1) // must not panic
+}
+
+func TestAddReplaces(t *testing.T) {
+	tb := NewTable()
+	tb.Add(core.Job{ID: "j1", User: "x", Start: 1})
+	tb.Add(core.Job{ID: "j1", User: "y", Start: 2})
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	j, _ := tb.Job("j1")
+	if j.User != "y" {
+		t.Errorf("User = %q", j.User)
+	}
+	if len(tb.All()) != 1 {
+		t.Error("All length wrong")
+	}
+}
+
+func TestJobProviderInterface(t *testing.T) {
+	var _ core.JobProvider = NewTable()
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	tb := NewTable()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := tb.Submit("u", nil, int64(i), 0)
+				if i%3 == 0 {
+					tb.Finish(id, int64(i+10))
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		tb.RunningJobs(int64(i))
+		tb.All()
+		tb.Len()
+	}
+	wg.Wait()
+	if tb.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", tb.Len())
+	}
+}

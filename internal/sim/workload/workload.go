@@ -1,0 +1,321 @@
+// Package workload models the applications of the paper's evaluation as
+// phase-based synthetic workloads: the HPL overhead baseline (§VI-A) and
+// the CORAL-2 applications Kripke, AMG, Nekbone and LAMMPS (§VI-B/C).
+//
+// Each model maps (core, time) to instantaneous CPI, node utilisation and
+// instruction-mix fractions, reproducing the per-application signatures
+// the paper reports in Figure 7:
+//
+//   - LAMMPS: compute-bound; CPI tight around 1.6 with minimal spread;
+//   - AMG: network-bound; low median CPI but heavy-tailed per-core
+//     latency spikes pushing top deciles to CPI ≈ 30;
+//   - Kripke: network/memory-bound; CPI ramps and resets with each sweep
+//     iteration, synchronously across all cores;
+//   - Nekbone: compute-bound at first, then — as growing problem sizes
+//     exceed the 16 GB high-bandwidth memory — at least 20 % of cores
+//     drift to high CPI, widening the decile spread dramatically.
+//
+// Models are deterministic functions of (seed, core, time): noise comes
+// from a counter-based hash, so readings are reproducible regardless of
+// sampling order.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// App is a synthetic application running on one simulated node.
+type App interface {
+	// Name returns the application name.
+	Name() string
+	// Duration returns the nominal run time in seconds.
+	Duration() float64
+	// Util returns the node utilisation in [0, 1] at time t seconds from
+	// job start.
+	Util(t float64) float64
+	// CPI returns the instantaneous cycles-per-instruction of a core at
+	// time t seconds from job start.
+	CPI(core int, t float64) float64
+	// FlopFrac returns the fraction of retired instructions that are
+	// floating-point operations at time t.
+	FlopFrac(core int, t float64) float64
+	// VectorRatio returns the fraction of floating-point instructions
+	// that are vectorised at time t.
+	VectorRatio(core int, t float64) float64
+}
+
+// noiseTick quantises time for noise generation (250 ms), matching the
+// finest sampling interval used in the paper's case studies.
+const noiseTick = 0.25
+
+// splitmix64 is the counter-based hash behind all model noise.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// uniform returns a deterministic pseudo-uniform in [0,1) for the tuple
+// (seed, core, tick, salt).
+func uniform(seed uint64, core int, t float64, salt uint64) float64 {
+	tick := uint64(int64(t / noiseTick))
+	h := splitmix64(seed ^ splitmix64(uint64(core)+1) ^ splitmix64(tick+7) ^ splitmix64(salt+13))
+	return float64(h>>11) / (1 << 53)
+}
+
+// gauss returns a deterministic standard-normal sample via Box-Muller.
+func gauss(seed uint64, core int, t float64, salt uint64) float64 {
+	u1 := uniform(seed, core, t, salt)
+	u2 := uniform(seed, core, t, salt+0x5bd1)
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// coreTrait returns a stable pseudo-uniform per (seed, core): the per-core
+// "personality" used to pick affected subsets (e.g. Nekbone's memory-bound
+// cores).
+func coreTrait(seed uint64, core int) float64 {
+	h := splitmix64(seed ^ splitmix64(uint64(core)*0x9e37+0x51))
+	return float64(h>>11) / (1 << 53)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// base carries the fields shared by all application models.
+type base struct {
+	name     string
+	seed     uint64
+	duration float64
+}
+
+func (b base) Name() string      { return b.name }
+func (b base) Duration() float64 { return b.duration }
+
+// flopsFromCPI derives a plausible floating-point instruction fraction:
+// compute-bound phases (low CPI) retire more FP work.
+func flopsFromCPI(cpi float64) float64 {
+	return clamp(0.55/cpi, 0.02, 0.5)
+}
+
+// vecFromCPI derives a vectorisation ratio that degrades as codes become
+// memory- or network-bound.
+func vecFromCPI(cpi float64) float64 {
+	return clamp(0.9-0.12*(cpi-1), 0.05, 0.9)
+}
+
+// --- HPL ---------------------------------------------------------------
+
+// hpl models the High-Performance Linpack benchmark: steady, CPU-saturating
+// and compute-bound — the interference baseline of §VI-A.
+type hpl struct{ base }
+
+func (a hpl) Util(t float64) float64 { return 0.98 }
+
+func (a hpl) CPI(core int, t float64) float64 {
+	return clamp(1.2+0.05*gauss(a.seed, core, t, 1), 0.4, 4)
+}
+
+func (a hpl) FlopFrac(core int, t float64) float64 { return 0.45 }
+
+func (a hpl) VectorRatio(core int, t float64) float64 { return 0.88 }
+
+// --- LAMMPS ------------------------------------------------------------
+
+// lammps models the molecular-dynamics code: "low CPI values averaging at
+// 1.6, with minimum spread in the distribution" (paper §VI-C).
+type lammps struct{ base }
+
+func (a lammps) Util(t float64) float64 {
+	return 0.95 + 0.01*gauss(a.seed, -1, t, 2)
+}
+
+func (a lammps) CPI(core int, t float64) float64 {
+	return clamp(1.6+0.1*gauss(a.seed, core, t, 3), 0.8, 4)
+}
+
+func (a lammps) FlopFrac(core int, t float64) float64 {
+	return flopsFromCPI(a.CPI(core, t))
+}
+
+func (a lammps) VectorRatio(core int, t float64) float64 {
+	return vecFromCPI(a.CPI(core, t))
+}
+
+// --- AMG ---------------------------------------------------------------
+
+// amg models the algebraic multigrid solver: low CPI up to the median but
+// heavy network-latency tails — "deciles 8 and 10 show spikes up to CPI
+// values of 30" (paper §VI-C).
+type amg struct{ base }
+
+func (a amg) Util(t float64) float64 {
+	// Multigrid V-cycles alternate compute and communication phases.
+	phase := math.Sin(2 * math.Pi * t / 25)
+	return clamp(0.86+0.05*phase+0.01*gauss(a.seed, -1, t, 4), 0, 1)
+}
+
+func (a amg) CPI(core int, t float64) float64 {
+	cpi := 2.0 + 0.25*gauss(a.seed, core, t, 5)
+	// A random minority of cores waits on network I/O each tick.
+	if uniform(a.seed, core, t, 6) < 0.12 {
+		tail := -6 * math.Log(1-uniform(a.seed, core, t, 7))
+		cpi += tail
+	}
+	return clamp(cpi, 0.8, 30)
+}
+
+func (a amg) FlopFrac(core int, t float64) float64 {
+	return flopsFromCPI(a.CPI(core, t))
+}
+
+func (a amg) VectorRatio(core int, t float64) float64 {
+	return vecFromCPI(a.CPI(core, t))
+}
+
+// --- Kripke ------------------------------------------------------------
+
+// kripkeIterPeriod is the sweep iteration length in seconds; the paper
+// notes "it is possible to separate each single iteration, thanks to the
+// increase and decrease in CPI values across all deciles".
+const kripkeIterPeriod = 40.0
+
+// kripke models the particle-transport proxy app with its per-iteration
+// CPI ramps, synchronised across cores.
+type kripke struct{ base }
+
+func (a kripke) iterPhase(t float64) float64 {
+	return math.Mod(t, kripkeIterPeriod) / kripkeIterPeriod
+}
+
+func (a kripke) Util(t float64) float64 {
+	// Communication-heavy at iteration boundaries.
+	return clamp(0.92-0.08*a.iterPhase(t)+0.01*gauss(a.seed, -1, t, 8), 0, 1)
+}
+
+func (a kripke) CPI(core int, t float64) float64 {
+	ramp := 3 + 11*a.iterPhase(t)
+	return clamp(ramp*(0.95+0.1*gauss(a.seed, core, t, 9)), 1, 25)
+}
+
+func (a kripke) FlopFrac(core int, t float64) float64 {
+	return flopsFromCPI(a.CPI(core, t))
+}
+
+func (a kripke) VectorRatio(core int, t float64) float64 {
+	return vecFromCPI(a.CPI(core, t))
+}
+
+// --- Nekbone -----------------------------------------------------------
+
+// nekboneAffectedFrac is the share of cores that become memory-limited in
+// the second half of the run ("at least 20% of the CPUs exhibiting higher
+// CPI values", paper §VI-C).
+const nekboneAffectedFrac = 0.25
+
+// nekbone models the spectral-element proxy: compute-bound batches of
+// increasing problem size until the working set exceeds high-bandwidth
+// memory.
+type nekbone struct{ base }
+
+func (a nekbone) Util(t float64) float64 {
+	u := 0.93
+	if t > a.duration/2 {
+		u = 0.88
+	}
+	return clamp(u+0.01*gauss(a.seed, -1, t, 10), 0, 1)
+}
+
+func (a nekbone) CPI(core int, t float64) float64 {
+	cpi := 1.5 + 0.12*gauss(a.seed, core, t, 11)
+	half := a.duration / 2
+	if t > half && coreTrait(a.seed, core) < nekboneAffectedFrac {
+		// Memory pressure grows with problem size past the HBM capacity.
+		growth := (t - half) / half * 18
+		cpi = 6 + growth + 1.5*gauss(a.seed, core, t, 12)
+	}
+	return clamp(cpi, 0.8, 40)
+}
+
+func (a nekbone) FlopFrac(core int, t float64) float64 {
+	return flopsFromCPI(a.CPI(core, t))
+}
+
+func (a nekbone) VectorRatio(core int, t float64) float64 {
+	return vecFromCPI(a.CPI(core, t))
+}
+
+// --- Idle --------------------------------------------------------------
+
+// idle models an unallocated node: background OS activity only.
+type idle struct{ base }
+
+func (a idle) Util(t float64) float64 {
+	return clamp(0.02+0.005*gauss(a.seed, -1, t, 13), 0, 0.1)
+}
+
+func (a idle) CPI(core int, t float64) float64 {
+	return clamp(2.5+0.3*gauss(a.seed, core, t, 14), 1, 6)
+}
+
+func (a idle) FlopFrac(core int, t float64) float64 { return 0.02 }
+
+func (a idle) VectorRatio(core int, t float64) float64 { return 0.05 }
+
+// --- Registry ----------------------------------------------------------
+
+type factory func(seed int64, duration float64) App
+
+var registry = map[string]factory{
+	"hpl":     func(s int64, d float64) App { return hpl{base{"hpl", uint64(s), d}} },
+	"lammps":  func(s int64, d float64) App { return lammps{base{"lammps", uint64(s), d}} },
+	"amg":     func(s int64, d float64) App { return amg{base{"amg", uint64(s), d}} },
+	"kripke":  func(s int64, d float64) App { return kripke{base{"kripke", uint64(s), d}} },
+	"nekbone": func(s int64, d float64) App { return nekbone{base{"nekbone", uint64(s), d}} },
+	"idle":    func(s int64, d float64) App { return idle{base{"idle", uint64(s), d}} },
+}
+
+// Names returns the sorted names of available application models.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New instantiates an application model. Each simulated node gets its own
+// instance with a distinct seed so per-core traits differ between nodes.
+// A non-positive duration defaults to 600 s.
+func New(name string, seed int64, duration float64) (App, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown application %q (have %v)", name, Names())
+	}
+	if duration <= 0 {
+		duration = 600
+	}
+	return f(seed, duration), nil
+}
+
+// MustNew is New for static names; it panics on unknown applications.
+func MustNew(name string, seed int64, duration float64) App {
+	a, err := New(name, seed, duration)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sampleCPIs(a App, cores int, t float64) []float64 {
+	out := make([]float64, cores)
+	for c := 0; c < cores; c++ {
+		out[c] = a.CPI(c, t)
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestRegistryAndNew(t *testing.T) {
+	names := Names()
+	if len(names) != 6 {
+		t.Fatalf("Names = %v", names)
+	}
+	for _, n := range names {
+		a, err := New(n, 1, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name() != n {
+			t.Errorf("Name = %q, want %q", a.Name(), n)
+		}
+		if a.Duration() != 600 {
+			t.Errorf("%s Duration = %v", n, a.Duration())
+		}
+	}
+	if _, err := New("fortnite", 1, 10); err == nil {
+		t.Error("unknown app should fail")
+	}
+	a := MustNew("hpl", 1, 0)
+	if a.Duration() != 600 {
+		t.Error("default duration should be 600")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on unknown app")
+		}
+	}()
+	MustNew("nope", 0, 0)
+}
+
+func TestDeterminism(t *testing.T) {
+	a1 := MustNew("amg", 42, 600)
+	a2 := MustNew("amg", 42, 600)
+	for _, tt := range []float64{0, 1.3, 77.7, 599} {
+		for c := 0; c < 8; c++ {
+			if a1.CPI(c, tt) != a2.CPI(c, tt) {
+				t.Fatalf("CPI not deterministic at core %d t %v", c, tt)
+			}
+		}
+		if a1.Util(tt) != a2.Util(tt) {
+			t.Fatalf("Util not deterministic at %v", tt)
+		}
+	}
+	// Different seeds differ.
+	a3 := MustNew("amg", 43, 600)
+	if a1.CPI(0, 10) == a3.CPI(0, 10) {
+		t.Error("different seeds should (almost surely) differ")
+	}
+}
+
+// TestLAMMPSSignature: CPI tight around 1.6 with minimal spread.
+func TestLAMMPSSignature(t *testing.T) {
+	a := MustNew("lammps", 7, 600)
+	var all []float64
+	for tt := 10.0; tt < 500; tt += 25 {
+		all = append(all, sampleCPIs(a, 64, tt)...)
+	}
+	m := mean(all)
+	if m < 1.4 || m > 1.8 {
+		t.Errorf("LAMMPS mean CPI = %v, want ~1.6", m)
+	}
+	sort.Float64s(all)
+	spread := all[len(all)*9/10] - all[len(all)/10]
+	if spread > 0.6 {
+		t.Errorf("LAMMPS decile spread = %v, want tight", spread)
+	}
+}
+
+// TestAMGSignature: low median, heavy right tail reaching high CPI.
+func TestAMGSignature(t *testing.T) {
+	a := MustNew("amg", 7, 600)
+	var all []float64
+	for tt := 10.0; tt < 500; tt += 5 {
+		all = append(all, sampleCPIs(a, 64, tt)...)
+	}
+	sort.Float64s(all)
+	median := all[len(all)/2]
+	p99 := all[len(all)*99/100]
+	if median > 3.5 {
+		t.Errorf("AMG median CPI = %v, want low", median)
+	}
+	if p99 < 8 {
+		t.Errorf("AMG p99 CPI = %v, want heavy tail", p99)
+	}
+	if all[len(all)-1] > 30.001 {
+		t.Errorf("AMG max CPI = %v, should clamp at 30", all[len(all)-1])
+	}
+}
+
+// TestKripkeSignature: CPI must ramp within an iteration and reset at the
+// boundary, synchronously across cores.
+func TestKripkeSignature(t *testing.T) {
+	a := MustNew("kripke", 7, 600)
+	early := mean(sampleCPIs(a, 64, 41)) // just after iteration start
+	late := mean(sampleCPIs(a, 64, 79))  // near iteration end
+	reset := mean(sampleCPIs(a, 64, 81)) // next iteration began
+	if late < early+5 {
+		t.Errorf("Kripke ramp missing: early %v late %v", early, late)
+	}
+	if reset > early+2 {
+		t.Errorf("Kripke reset missing: reset %v early %v", reset, early)
+	}
+}
+
+// TestNekboneSignature: tight low CPI in the first half; wide spread with
+// a high-CPI core subset in the second half.
+func TestNekboneSignature(t *testing.T) {
+	a := MustNew("nekbone", 7, 800)
+	first := sampleCPIs(a, 64, 100)
+	second := sampleCPIs(a, 64, 700)
+	sort.Float64s(first)
+	sort.Float64s(second)
+	if first[62] > 3 {
+		t.Errorf("first-half high decile = %v, want low", first[62])
+	}
+	// At least ~20% of cores should be memory-limited late in the run.
+	high := 0
+	for _, v := range second {
+		if v > 6 {
+			high++
+		}
+	}
+	if high < 64/5 {
+		t.Errorf("only %d/64 cores memory-limited in second half", high)
+	}
+	// The unaffected majority stays low.
+	if second[10] > 3 {
+		t.Errorf("low decile in second half = %v, want low", second[10])
+	}
+}
+
+func TestHPLSteady(t *testing.T) {
+	a := MustNew("hpl", 7, 600)
+	for tt := 0.0; tt < 600; tt += 60 {
+		if u := a.Util(tt); u < 0.9 {
+			t.Errorf("HPL util at %v = %v, want saturated", tt, u)
+		}
+	}
+}
+
+func TestIdleLow(t *testing.T) {
+	a := MustNew("idle", 7, 600)
+	for tt := 0.0; tt < 600; tt += 60 {
+		if u := a.Util(tt); u > 0.1 {
+			t.Errorf("idle util = %v, want < 0.1", u)
+		}
+	}
+}
+
+// TestBoundsProperty: every model keeps util in [0,1] and CPI positive and
+// finite for arbitrary times and cores.
+func TestBoundsProperty(t *testing.T) {
+	apps := make([]App, 0, len(Names()))
+	for _, n := range Names() {
+		apps = append(apps, MustNew(n, 99, 600))
+	}
+	f := func(coreSeed uint8, tSeed uint16) bool {
+		core := int(coreSeed)
+		tt := float64(tSeed) / 10
+		for _, a := range apps {
+			u := a.Util(tt)
+			if u < 0 || u > 1 || math.IsNaN(u) {
+				return false
+			}
+			cpi := a.CPI(core, tt)
+			if cpi <= 0 || cpi > 100 || math.IsNaN(cpi) {
+				return false
+			}
+			ff := a.FlopFrac(core, tt)
+			if ff < 0 || ff > 1 {
+				return false
+			}
+			vr := a.VectorRatio(core, tt)
+			if vr < 0 || vr > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(5, 0, 1) != 1 || clamp(-5, 0, 1) != 0 || clamp(0.5, 0, 1) != 0.5 {
+		t.Error("clamp broken")
+	}
+}
+
+func TestCoreTraitStable(t *testing.T) {
+	if coreTrait(1, 5) != coreTrait(1, 5) {
+		t.Error("coreTrait must be stable")
+	}
+	if coreTrait(1, 5) == coreTrait(2, 5) {
+		t.Error("coreTrait should vary with seed")
+	}
+}

@@ -1,0 +1,107 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+func populated() *Store {
+	s := New(0)
+	for i := 0; i < 50; i++ {
+		s.Insert("/a/power", sensor.Reading{Value: float64(i), Time: int64(i)})
+		if i%2 == 0 {
+			s.Insert("/b/temp", sensor.Reading{Value: float64(i) / 2, Time: int64(i)})
+		}
+	}
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := populated()
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New(0)
+	if err := dst.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Count("/a/power") != 50 || dst.Count("/b/temp") != 25 {
+		t.Fatalf("counts = %d/%d", dst.Count("/a/power"), dst.Count("/b/temp"))
+	}
+	a := src.Range("/a/power", 0, 100, nil)
+	b := dst.Range("/a/power", 0, 100, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reading %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSnapshotMergesIntoExisting(t *testing.T) {
+	src := populated()
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New(0)
+	dst.Insert("/c/extra", sensor.Reading{Value: 1, Time: 1})
+	if err := dst.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Count("/c/extra") != 1 || dst.Count("/a/power") != 50 {
+		t.Fatal("merge lost data")
+	}
+}
+
+func TestSnapshotBadData(t *testing.T) {
+	s := New(0)
+	if err := s.ReadSnapshot(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage should fail to decode")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.snap")
+	src := populated()
+	if err := src.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Atomic write leaves no temp file behind.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temporary file left behind")
+	}
+	dst := New(0)
+	if err := dst.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if dst.TotalReadings() != src.TotalReadings() {
+		t.Fatalf("readings = %d, want %d", dst.TotalReadings(), src.TotalReadings())
+	}
+	if err := dst.LoadFile(filepath.Join(dir, "missing.snap")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestSnapshotRespectsRetention(t *testing.T) {
+	src := populated() // 50 readings on /a/power
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New(10) // bounded store keeps only the newest 10
+	if err := dst.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Count("/a/power") != 10 {
+		t.Fatalf("count = %d, want 10", dst.Count("/a/power"))
+	}
+	if r, _ := dst.Latest("/a/power"); r.Value != 49 {
+		t.Fatal("retention dropped the wrong end")
+	}
+}

@@ -1,0 +1,172 @@
+// Package store implements the DCDB Storage Backend as an embedded,
+// concurrency-safe time-series store.
+//
+// The production DCDB deployment uses Apache Cassandra; every consumer in
+// this codebase (Collect Agent inserts, Query Engine fallback reads, REST
+// queries) only relies on per-sensor ordered insert and time-range query
+// semantics, which this package provides in memory. Distribution and
+// replication are orthogonal to all of the paper's experiments (see
+// DESIGN.md, substitution table).
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+// Store holds one ordered reading series per sensor topic. The zero value
+// is not usable; construct with New.
+type Store struct {
+	mu           sync.RWMutex
+	series       map[sensor.Topic]*series
+	maxPerSeries int // readings retained per sensor; 0 means unlimited
+}
+
+type series struct {
+	mu   sync.RWMutex
+	data []sensor.Reading
+}
+
+// New creates a store retaining up to maxPerSeries readings per sensor
+// (the oldest are evicted first); 0 disables the bound.
+func New(maxPerSeries int) *Store {
+	return &Store{
+		series:       make(map[sensor.Topic]*series),
+		maxPerSeries: maxPerSeries,
+	}
+}
+
+func (s *Store) get(topic sensor.Topic, create bool) *series {
+	s.mu.RLock()
+	se := s.series[topic]
+	s.mu.RUnlock()
+	if se != nil || !create {
+		return se
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if se = s.series[topic]; se == nil {
+		se = &series{}
+		s.series[topic] = se
+	}
+	return se
+}
+
+// Insert appends a reading to the series of topic. Readings arriving out
+// of timestamp order are placed at their sorted position, so range queries
+// always observe a time-ordered series.
+func (s *Store) Insert(topic sensor.Topic, r sensor.Reading) {
+	se := s.get(topic, true)
+	se.mu.Lock()
+	n := len(se.data)
+	if n == 0 || se.data[n-1].Time <= r.Time {
+		se.data = append(se.data, r)
+	} else {
+		i := sort.Search(n, func(i int) bool { return se.data[i].Time > r.Time })
+		se.data = append(se.data, sensor.Reading{})
+		copy(se.data[i+1:], se.data[i:])
+		se.data[i] = r
+	}
+	if s.maxPerSeries > 0 && len(se.data) > s.maxPerSeries {
+		drop := len(se.data) - s.maxPerSeries
+		se.data = append(se.data[:0], se.data[drop:]...)
+	}
+	se.mu.Unlock()
+}
+
+// InsertBatch appends several readings to one topic.
+func (s *Store) InsertBatch(topic sensor.Topic, rs []sensor.Reading) {
+	for _, r := range rs {
+		s.Insert(topic, r)
+	}
+}
+
+// Range appends to dst the readings of topic with timestamps in [t0, t1]
+// (inclusive) and returns the extended slice.
+func (s *Store) Range(topic sensor.Topic, t0, t1 int64, dst []sensor.Reading) []sensor.Reading {
+	se := s.get(topic, false)
+	if se == nil || t1 < t0 {
+		return dst
+	}
+	se.mu.RLock()
+	defer se.mu.RUnlock()
+	lo := sort.Search(len(se.data), func(i int) bool { return se.data[i].Time >= t0 })
+	hi := sort.Search(len(se.data), func(i int) bool { return se.data[i].Time > t1 })
+	return append(dst, se.data[lo:hi]...)
+}
+
+// Latest returns the most recent reading of topic, if any.
+func (s *Store) Latest(topic sensor.Topic) (sensor.Reading, bool) {
+	se := s.get(topic, false)
+	if se == nil {
+		return sensor.Reading{}, false
+	}
+	se.mu.RLock()
+	defer se.mu.RUnlock()
+	if len(se.data) == 0 {
+		return sensor.Reading{}, false
+	}
+	return se.data[len(se.data)-1], true
+}
+
+// Count returns the number of readings stored for topic.
+func (s *Store) Count(topic sensor.Topic) int {
+	se := s.get(topic, false)
+	if se == nil {
+		return 0
+	}
+	se.mu.RLock()
+	defer se.mu.RUnlock()
+	return len(se.data)
+}
+
+// Topics returns all topics with at least one stored reading, sorted.
+func (s *Store) Topics() []sensor.Topic {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]sensor.Topic, 0, len(s.series))
+	for t, se := range s.series {
+		se.mu.RLock()
+		n := len(se.data)
+		se.mu.RUnlock()
+		if n > 0 {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Prune drops all readings strictly older than cutoff (nanoseconds) from
+// every series, implementing retention (the TTL of the Cassandra schema).
+// It returns the number of readings removed.
+func (s *Store) Prune(cutoff int64) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	removed := 0
+	for _, se := range s.series {
+		se.mu.Lock()
+		lo := sort.Search(len(se.data), func(i int) bool { return se.data[i].Time >= cutoff })
+		if lo > 0 {
+			removed += lo
+			se.data = append(se.data[:0], se.data[lo:]...)
+		}
+		se.mu.Unlock()
+	}
+	return removed
+}
+
+// TotalReadings returns the number of readings across all series.
+func (s *Store) TotalReadings() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, se := range s.series {
+		se.mu.RLock()
+		n += len(se.data)
+		se.mu.RUnlock()
+	}
+	return n
+}

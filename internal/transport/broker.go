@@ -1,0 +1,183 @@
+package transport
+
+import (
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+// Handler consumes published messages delivered to a subscription.
+type Handler func(Message)
+
+// Broker is the message broker at the heart of a Collect Agent: it
+// accepts Pusher connections, routes published reading batches to network
+// subscribers whose filters match, and delivers them to local handlers
+// registered in-process (the Collect Agent's storage path).
+type Broker struct {
+	ln net.Listener
+
+	mu     sync.RWMutex
+	conns  map[net.Conn][]string // network subscriptions per connection
+	local  []localSub
+	closed bool
+
+	wg sync.WaitGroup
+	// published counts all messages routed, for the footprint experiment.
+	published atomic.Uint64
+}
+
+type localSub struct {
+	filter string
+	fn     Handler
+}
+
+// NewBroker starts a broker listening on addr (e.g. "127.0.0.1:0").
+func NewBroker(addr string) (*Broker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	b := &Broker{ln: ln, conns: make(map[net.Conn][]string)}
+	b.wg.Add(1)
+	go b.acceptLoop()
+	return b, nil
+}
+
+// Addr returns the broker's listen address.
+func (b *Broker) Addr() string { return b.ln.Addr().String() }
+
+// Published returns the number of messages routed since start.
+func (b *Broker) Published() uint64 { return b.published.Load() }
+
+// SubscribeLocal registers an in-process handler for every message whose
+// topic matches filter ('#' wildcard supported). Used by the Collect Agent
+// to receive data without a network hop.
+func (b *Broker) SubscribeLocal(filter string, fn Handler) {
+	b.mu.Lock()
+	b.local = append(b.local, localSub{filter: filter, fn: fn})
+	b.mu.Unlock()
+}
+
+// Close stops the broker and disconnects all clients.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	conns := make([]net.Conn, 0, len(b.conns))
+	for c := range b.conns {
+		conns = append(conns, c)
+	}
+	b.mu.Unlock()
+	err := b.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	b.wg.Wait()
+	return err
+}
+
+func (b *Broker) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			conn.Close()
+			return
+		}
+		b.conns[conn] = nil
+		b.mu.Unlock()
+		b.wg.Add(1)
+		go b.serveConn(conn)
+	}
+}
+
+func (b *Broker) serveConn(conn net.Conn) {
+	defer b.wg.Done()
+	defer func() {
+		b.mu.Lock()
+		delete(b.conns, conn)
+		b.mu.Unlock()
+		conn.Close()
+	}()
+	var writeMu sync.Mutex
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case frameConnect:
+			writeMu.Lock()
+			err = writeFrame(conn, frameConnAck, nil)
+			writeMu.Unlock()
+		case framePublish:
+			msg, derr := DecodePublish(payload)
+			if derr != nil {
+				log.Printf("transport: broker: dropping bad publish: %v", derr)
+				continue
+			}
+			b.route(msg, payload)
+		case frameSubscribe:
+			filter, derr := decodeString(payload)
+			if derr != nil {
+				return
+			}
+			b.mu.Lock()
+			b.conns[conn] = append(b.conns[conn], filter)
+			b.mu.Unlock()
+			writeMu.Lock()
+			err = writeFrame(conn, frameSubAck, nil)
+			writeMu.Unlock()
+		case framePingReq:
+			writeMu.Lock()
+			err = writeFrame(conn, framePingResp, nil)
+			writeMu.Unlock()
+		case frameDisconnect:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// route delivers a message to local handlers and matching subscribers.
+// The already-encoded payload is reused for network forwarding.
+func (b *Broker) route(msg Message, payload []byte) {
+	b.published.Add(1)
+	b.mu.RLock()
+	locals := b.local
+	var targets []net.Conn
+	for conn, filters := range b.conns {
+		for _, f := range filters {
+			if sensor.MatchFilter(f, msg.Topic) {
+				targets = append(targets, conn)
+				break
+			}
+		}
+	}
+	b.mu.RUnlock()
+	for _, ls := range locals {
+		if sensor.MatchFilter(ls.filter, msg.Topic) {
+			ls.fn(msg)
+		}
+	}
+	for _, conn := range targets {
+		// Best effort: a slow or dead subscriber must not stall routing
+		// for others; errors surface as connection teardown on read.
+		if err := writeFrame(conn, framePublish, payload); err != nil {
+			conn.Close()
+		}
+	}
+}

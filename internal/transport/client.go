@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+// ErrClosed reports use of a closed client.
+var ErrClosed = errors.New("transport: client closed")
+
+// Client is the Pusher-side MQTT-style client: it publishes reading
+// batches to the broker and can subscribe to topic filters.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	mu       sync.Mutex
+	subs     []localSub
+	closed   bool
+	pingResp chan struct{}
+	ackCh    chan byte
+
+	wg sync.WaitGroup
+}
+
+// Dial connects and performs the CONNECT handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:     conn,
+		pingResp: make(chan struct{}, 1),
+		ackCh:    make(chan byte, 4),
+	}
+	if err := writeFrame(conn, frameConnect, nil); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	if err := c.waitAck(frameConnAck); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	for {
+		typ, payload, err := readFrame(c.conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case frameConnAck, frameSubAck:
+			select {
+			case c.ackCh <- typ:
+			default:
+			}
+		case framePingResp:
+			select {
+			case c.pingResp <- struct{}{}:
+			default:
+			}
+		case framePublish:
+			msg, derr := DecodePublish(payload)
+			if derr != nil {
+				continue
+			}
+			c.mu.Lock()
+			subs := c.subs
+			c.mu.Unlock()
+			for _, s := range subs {
+				if sensor.MatchFilter(s.filter, msg.Topic) {
+					s.fn(msg)
+				}
+			}
+		}
+	}
+}
+
+func (c *Client) waitAck(want byte) error {
+	select {
+	case got := <-c.ackCh:
+		if got != want {
+			return errors.New("transport: unexpected ack type")
+		}
+		return nil
+	case <-time.After(5 * time.Second):
+		return errors.New("transport: ack timeout")
+	}
+}
+
+// Publish sends one batch of readings for a topic. It is safe for
+// concurrent use.
+func (c *Client) Publish(topic sensor.Topic, readings []sensor.Reading) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	payload := EncodePublish(Message{Topic: topic, Readings: readings})
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return writeFrame(c.conn, framePublish, payload)
+}
+
+// Subscribe registers fn for all messages matching filter and waits for
+// the broker's acknowledgement.
+func (c *Client) Subscribe(filter string, fn Handler) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.subs = append(c.subs, localSub{filter: filter, fn: fn})
+	c.mu.Unlock()
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, frameSubscribe, encodeString(filter))
+	c.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return c.waitAck(frameSubAck)
+}
+
+// Ping performs a PINGREQ/PINGRESP round trip.
+func (c *Client) Ping() error {
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, framePingReq, nil)
+	c.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	select {
+	case <-c.pingResp:
+		return nil
+	case <-time.After(5 * time.Second):
+		return errors.New("transport: ping timeout")
+	}
+}
+
+// Close sends DISCONNECT and tears the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.writeMu.Lock()
+	_ = writeFrame(c.conn, frameDisconnect, nil)
+	c.writeMu.Unlock()
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}

@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+// TestBrokerSurvivesGarbage injects malformed bytes on a raw TCP
+// connection; the broker must drop that client and keep serving others.
+func TestBrokerSurvivesGarbage(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Raw connection writing junk.
+	raw, err := net.Dial("tcp", b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0xff, 0xff, 0xff, 0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+
+	// A well-behaved client still works.
+	c, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("broker unhealthy after garbage: %v", err)
+	}
+}
+
+// TestBrokerDropsBadPublishKeepsConnection: a structurally-valid frame
+// with a corrupt PUBLISH payload is dropped without killing the session.
+func TestBrokerDropsBadPublishKeepsConnection(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	got := make(chan Message, 1)
+	b.SubscribeLocal("#", func(m Message) { got <- m })
+
+	raw, err := net.Dial("tcp", b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if err := writeFrame(raw, frameConnect, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt publish payload: declares a topic longer than the frame.
+	if err := writeFrame(raw, framePublish, []byte{200, 'x'}); err != nil {
+		t.Fatal(err)
+	}
+	// A valid publish on the same connection must still be routed.
+	valid := EncodePublish(Message{Topic: "/ok", Readings: []sensor.Reading{{Value: 1, Time: 1}}})
+	if err := writeFrame(raw, framePublish, valid); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Topic != "/ok" {
+			t.Fatalf("routed %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("valid publish after corrupt one was not routed")
+	}
+}
+
+// TestSubscriberDisconnectDoesNotStallRouting: publishing continues for
+// healthy subscribers when one subscriber's connection dies.
+func TestSubscriberDisconnectDoesNotStallRouting(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	dead, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dead.Subscribe("#", func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	got := make(chan Message, 16)
+	if err := healthy.Subscribe("#", func(m Message) { got <- m }); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the first subscriber abruptly.
+	dead.conn.Close()
+
+	pub, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if err := pub.Publish("/x", []sensor.Reading{{Value: 1, Time: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-got:
+			return // healthy subscriber still served
+		case <-time.After(50 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthy subscriber starved after peer death")
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package transport implements the MQTT-flavoured push transport between
+// DCDB Pushers and Collect Agents: a minimal topic-based publish/subscribe
+// protocol over TCP.
+//
+// The production DCDB uses full MQTT brokers; every data path in this
+// codebase needs exactly the subset implemented here — CONNECT, PUBLISH of
+// reading batches to slash-separated topics, SUBSCRIBE with the '#'
+// multi-level wildcard, and PING — over length-prefixed binary frames.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+// Frame types.
+const (
+	frameConnect    = 1
+	frameConnAck    = 2
+	framePublish    = 3
+	frameSubscribe  = 4
+	frameSubAck     = 5
+	framePingReq    = 6
+	framePingResp   = 7
+	frameDisconnect = 8
+)
+
+// maxFrameSize bounds a single frame payload; larger frames indicate a
+// protocol violation or corruption.
+const maxFrameSize = 16 << 20
+
+// ErrFrameTooLarge reports an oversized frame.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+
+// ErrBadFrame reports a structurally invalid frame payload.
+var ErrBadFrame = errors.New("transport: malformed frame")
+
+// writeFrame emits one frame: type byte, 4-byte big-endian length, payload.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxFrameSize {
+		return ErrFrameTooLarge
+	}
+	hdr := [5]byte{typ}
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrameSize {
+		return 0, nil, ErrFrameTooLarge
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// Message is one published batch of readings for a topic.
+type Message struct {
+	Topic    sensor.Topic
+	Readings []sensor.Reading
+}
+
+// EncodePublish serialises a message into a PUBLISH payload: uvarint topic
+// length, topic bytes, uvarint reading count, then (value, time) pairs as
+// fixed 16-byte records.
+func EncodePublish(m Message) []byte {
+	topic := []byte(m.Topic)
+	buf := make([]byte, 0, len(topic)+10+16*len(m.Readings))
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(topic)))
+	buf = append(buf, tmp[:n]...)
+	buf = append(buf, topic...)
+	n = binary.PutUvarint(tmp[:], uint64(len(m.Readings)))
+	buf = append(buf, tmp[:n]...)
+	var rec [16]byte
+	for _, r := range m.Readings {
+		binary.BigEndian.PutUint64(rec[0:8], math.Float64bits(r.Value))
+		binary.BigEndian.PutUint64(rec[8:16], uint64(r.Time))
+		buf = append(buf, rec[:]...)
+	}
+	return buf
+}
+
+// DecodePublish parses a PUBLISH payload.
+func DecodePublish(payload []byte) (Message, error) {
+	var m Message
+	tl, n := binary.Uvarint(payload)
+	if n <= 0 || uint64(len(payload)-n) < tl {
+		return m, fmt.Errorf("%w: topic length", ErrBadFrame)
+	}
+	payload = payload[n:]
+	m.Topic = sensor.Topic(payload[:tl])
+	payload = payload[tl:]
+	cnt, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return m, fmt.Errorf("%w: reading count", ErrBadFrame)
+	}
+	payload = payload[n:]
+	if uint64(len(payload)) != cnt*16 {
+		return m, fmt.Errorf("%w: reading records", ErrBadFrame)
+	}
+	m.Readings = make([]sensor.Reading, cnt)
+	for i := range m.Readings {
+		m.Readings[i].Value = math.Float64frombits(binary.BigEndian.Uint64(payload[0:8]))
+		m.Readings[i].Time = int64(binary.BigEndian.Uint64(payload[8:16]))
+		payload = payload[16:]
+	}
+	return m, nil
+}
+
+// encodeString serialises a SUBSCRIBE filter.
+func encodeString(s string) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(s)))
+	return append(tmp[:n:n], s...)
+}
+
+// decodeString parses a SUBSCRIBE filter.
+func decodeString(payload []byte) (string, error) {
+	l, n := binary.Uvarint(payload)
+	if n <= 0 || uint64(len(payload)-n) != l {
+		return "", fmt.Errorf("%w: string field", ErrBadFrame)
+	}
+	return string(payload[n : n+int(l)]), nil
+}
