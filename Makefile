@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled runs for the concurrency-sensitive packages: the operator
+# manager/scheduler and the sharded sensor caches.
+race:
+	$(GO) test -race -count=1 ./internal/core/... ./internal/cache/...
+
+# Short benchmark smoke: the tick-path contention pair plus the cache view
+# micro-benches. Full suite: go test -bench=. -benchmem .
+bench:
+	$(GO) test -run '^$$' -bench 'TickAllContention|CacheView' -benchtime 10x -benchmem .
+
+ci: build vet test race bench

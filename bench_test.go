@@ -83,7 +83,9 @@ func testerEnv(b *testing.B, sensors int) (*core.QueryEngine, *core.Manager) {
 	}
 	qe := core.NewQueryEngine(nav, caches, nil)
 	sink := core.NewCacheSink(caches, nav, 180, time.Second)
-	return qe, core.NewManager(qe, sink, core.Env{})
+	m := core.NewManager(qe, sink, core.Env{})
+	b.Cleanup(m.Close)
+	return qe, m
 }
 
 func benchTesterOperator(b *testing.B, absolute bool) {
@@ -253,6 +255,116 @@ func BenchmarkUnitsParallel(b *testing.B) {
 		}
 	}
 }
+
+// --- Tentpole: pooled TickAll under many-operator contention -------------
+
+// probeOp models an in-band analytics operator at realistic shape: each
+// per-unit computation issues cache queries through the Query Engine (lock
+// contention on the sharded cache.Set) and then pays a fixed probe latency,
+// standing in for the blocking reads of perf counters / sysfs / IPMI that
+// real node-level operators perform. Operator-level concurrency can overlap
+// the probes; the query load contends on the cache shards.
+type probeOp struct {
+	*core.Base
+	queries int
+	probe   time.Duration
+}
+
+func (o *probeOp) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) ([]core.Output, error) {
+	buf := make([]sensor.Reading, 0, 256)
+	for q := 0; q < o.queries; q++ {
+		in := u.Inputs[q%len(u.Inputs)]
+		buf = qe.QueryRelative(in, 100*time.Second, buf[:0])
+	}
+	if o.probe > 0 {
+		time.Sleep(o.probe)
+	}
+	outs := make([]core.Output, 0, len(u.Outputs))
+	for _, topic := range u.Outputs {
+		outs = append(outs, core.Output{Topic: topic, Reading: sensor.At(float64(len(buf)), now)})
+	}
+	return outs, nil
+}
+
+type probeConfig struct {
+	Ops     int `json:"ops"`
+	Queries int `json:"queries"`
+	ProbeUs int `json:"probeUs"`
+}
+
+func init() {
+	core.RegisterPlugin("benchprobe", func(cfg json.RawMessage, qe *core.QueryEngine, env core.Env) ([]core.Operator, error) {
+		var c probeConfig
+		if err := json.Unmarshal(cfg, &c); err != nil {
+			return nil, err
+		}
+		ops := make([]core.Operator, 0, c.Ops)
+		for i := 0; i < c.Ops; i++ {
+			oc := core.OperatorConfig{
+				Name:     fmt.Sprintf("probe%d", i),
+				Inputs:   []string{"power"},
+				Outputs:  []string{fmt.Sprintf("<bottomup>probe%d", i)},
+				Parallel: true,
+			}
+			base, err := oc.Build("benchprobe", qe.Navigator())
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, &probeOp{
+				Base:    base,
+				queries: c.Queries,
+				probe:   time.Duration(c.ProbeUs) * time.Microsecond,
+			})
+		}
+		return ops, nil
+	})
+}
+
+// benchTickAllContention drives 8 online operators with parallel units (16
+// units each) over one sharded cache.Set through Manager.TickAll, with the
+// manager's worker pool sized by threads. threads=1 is the sequential
+// baseline: every computation of every operator runs one after another,
+// like the pre-scheduler TickAll.
+func benchTickAllContention(b *testing.B, threads int) {
+	nav := navigator.New()
+	caches := cache.NewSet()
+	for n := 0; n < 16; n++ {
+		topic := sensor.Topic(fmt.Sprintf("/r1/n%02d/power", n))
+		if err := nav.AddSensor(topic); err != nil {
+			b.Fatal(err)
+		}
+		c := caches.GetOrCreate(topic, 180, time.Second)
+		for k := 0; k < 180; k++ {
+			c.Store(sensor.Reading{Value: float64(k), Time: int64(k) * sec})
+		}
+	}
+	qe := core.NewQueryEngine(nav, caches, nil)
+	sink := core.NewCacheSink(caches, nav, 180, time.Second)
+	m := core.NewManager(qe, sink, core.Env{})
+	m.SetThreads(threads)
+	b.Cleanup(m.Close)
+	raw, _ := json.Marshal(probeConfig{Ops: 8, Queries: 25, ProbeUs: 100})
+	if err := m.LoadPlugin("benchprobe", raw); err != nil {
+		b.Fatal(err)
+	}
+	now := time.Unix(179, 0)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.TickAll(now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTickAllContentionSequential is the pre-scheduler baseline: one
+// computation at a time.
+func BenchmarkTickAllContentionSequential(b *testing.B) { benchTickAllContention(b, 1) }
+
+// BenchmarkTickAllContentionPooled runs the same load on an 8-thread pool
+// (the paper's `threads` knob); 8 operators x 16 parallel units overlap
+// both their probe latencies and their cache queries.
+func BenchmarkTickAllContentionPooled(b *testing.B) { benchTickAllContention(b, 8) }
 
 // --- Figure 6: random forest ---------------------------------------------
 

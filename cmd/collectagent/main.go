@@ -34,6 +34,7 @@ func main() {
 		retention  = flag.Duration("retention", 180*time.Second, "sensor cache retention")
 		storeMax   = flag.Int("store-max", 100000, "max readings per sensor in the storage backend (0: unlimited)")
 		configPath = flag.String("config", "", "Wintermute plugin configuration (JSON)")
+		threads    = flag.Int("threads", 0, "Wintermute worker pool size (0: GOMAXPROCS)")
 		snapshot   = flag.String("snapshot", "", "storage snapshot file: loaded at start, written at shutdown")
 	)
 	flag.Parse()
@@ -42,6 +43,7 @@ func main() {
 		ListenMQTT:     *mqttAddr,
 		CacheRetention: *retention,
 		StoreRetention: *storeMax,
+		Threads:        *threads,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -76,6 +78,12 @@ func main() {
 		if err := agent.Manager.LoadConfig(cfg); err != nil {
 			log.Fatal(err)
 		}
+		// An explicit -threads flag beats the config file's threads field.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "threads" && *threads > 0 {
+				agent.Manager.SetThreads(*threads)
+			}
+		})
 	}
 
 	srv, err := rest.Serve(*httpAddr, agent.Manager, agent.QE)
@@ -83,7 +91,8 @@ func main() {
 		log.Fatal(err)
 	}
 	agent.Start()
-	log.Printf("broker on %s; REST on http://%s", agent.Addr(), srv.Addr())
+	log.Printf("broker on %s; REST on http://%s; %d wintermute threads",
+		agent.Addr(), srv.Addr(), agent.Manager.Threads())
 	fmt.Printf("MQTT: %s\nREST: http://%s\n", agent.Addr(), srv.Addr())
 
 	sig := make(chan os.Signal, 1)

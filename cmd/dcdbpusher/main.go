@@ -46,6 +46,7 @@ func main() {
 		retention  = flag.Duration("retention", 180*time.Second, "sensor cache retention")
 		configPath = flag.String("config", "", "Wintermute plugin configuration (JSON)")
 		testers    = flag.Int("testers", 0, "additional tester sensors (monotonic counters)")
+		threads    = flag.Int("threads", 0, "Wintermute worker pool size (0: GOMAXPROCS)")
 		seed       = flag.Int64("seed", 1, "simulation seed")
 	)
 	flag.Parse()
@@ -54,6 +55,7 @@ func main() {
 		Name:           *nodePath,
 		CacheRetention: *retention,
 		MQTTAddr:       *mqttAddr,
+		Threads:        *threads,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -89,6 +91,12 @@ func main() {
 		if err := p.Manager.LoadConfig(cfg); err != nil {
 			log.Fatal(err)
 		}
+		// An explicit -threads flag beats the config file's threads field.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "threads" && *threads > 0 {
+				p.Manager.SetThreads(*threads)
+			}
+		})
 	}
 
 	srv, err := rest.Serve(*httpAddr, p.Manager, p.QE)
@@ -96,8 +104,8 @@ func main() {
 		log.Fatal(err)
 	}
 	p.Start()
-	log.Printf("node %s running %s on %d cores; REST on http://%s; %d sensors",
-		*nodePath, *app, *cores, srv.Addr(), p.Nav.NumSensors())
+	log.Printf("node %s running %s on %d cores; REST on http://%s; %d sensors; %d wintermute threads",
+		*nodePath, *app, *cores, srv.Addr(), p.Nav.NumSensors(), p.Manager.Threads())
 	fmt.Printf("REST: http://%s\n", srv.Addr())
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,3 @@
+module github.com/dcdb/wintermute
+
+go 1.22

@@ -196,37 +196,67 @@ func (c *Cache) Average(lookback time.Duration) (avg float64, ok bool) {
 	return sum / float64(n), true
 }
 
-// Set is a concurrency-safe collection of caches keyed by sensor topic.
-// Pushers and collect agents each own one Set; the Query Engine consults it
-// before falling back to the storage backend.
-type Set struct {
+// setShards is the number of hash shards in a Set; a power of two so the
+// shard index is a mask. 64 shards keep the probability of two hot topics
+// colliding low even on many-core nodes, at ~64 map headers of overhead.
+const setShards = 64
+
+type setShard struct {
 	mu     sync.RWMutex
 	caches map[sensor.Topic]*Cache
 }
 
+// Set is a concurrency-safe collection of caches keyed by sensor topic.
+// Pushers and collect agents each own one Set; the Query Engine consults it
+// before falling back to the storage backend.
+//
+// The set is hash-sharded by topic: lookups and inserts for different
+// sensors land on different locks, so pusher sampling loops and the
+// operator worker pool querying thousands of sensors do not contend on a
+// single global mutex.
+type Set struct {
+	shards [setShards]setShard
+}
+
 // NewSet creates an empty cache set.
 func NewSet() *Set {
-	return &Set{caches: make(map[sensor.Topic]*Cache)}
+	s := &Set{}
+	for i := range s.shards {
+		s.shards[i].caches = make(map[sensor.Topic]*Cache)
+	}
+	return s
+}
+
+// shard maps a topic to its shard with FNV-1a over the topic bytes.
+func (s *Set) shard(topic sensor.Topic) *setShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(topic); i++ {
+		h ^= uint32(topic[i])
+		h *= 16777619
+	}
+	return &s.shards[h&(setShards-1)]
 }
 
 // GetOrCreate returns the cache for topic, creating it with the given
 // parameters if absent. Existing caches keep their original parameters.
 func (s *Set) GetOrCreate(topic sensor.Topic, capacity int, interval time.Duration) *Cache {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c, ok := s.caches[topic]; ok {
+	sh := s.shard(topic)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c, ok := sh.caches[topic]; ok {
 		return c
 	}
 	c := New(capacity, interval)
-	s.caches[topic] = c
+	sh.caches[topic] = c
 	return c
 }
 
 // Get returns the cache for topic, if present.
 func (s *Set) Get(topic sensor.Topic) (*Cache, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	c, ok := s.caches[topic]
+	sh := s.shard(topic)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	c, ok := sh.caches[topic]
 	return c, ok
 }
 
@@ -240,20 +270,30 @@ func (s *Set) Store(topic sensor.Topic, r sensor.Reading) bool {
 	return false
 }
 
-// Topics returns the topics of all caches in the set.
+// Topics returns the topics of all caches in the set, in no particular
+// order. The snapshot is per-shard consistent, not global: topics created
+// concurrently may or may not appear.
 func (s *Set) Topics() []sensor.Topic {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]sensor.Topic, 0, len(s.caches))
-	for t := range s.caches {
-		out = append(out, t)
+	out := make([]sensor.Topic, 0, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for t := range sh.caches {
+			out = append(out, t)
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
 // Len returns the number of caches in the set.
 func (s *Set) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.caches)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.caches)
+		sh.mu.RUnlock()
+	}
+	return n
 }

@@ -33,6 +33,9 @@ type Config struct {
 	// StoreRetention caps readings kept per sensor in the Storage
 	// Backend (0 = unlimited).
 	StoreRetention int
+	// Threads sizes the Wintermute worker pool executing operator
+	// computations (0: runtime.GOMAXPROCS).
+	Threads int
 	// Env is handed to Wintermute plugin configurators (job providers
 	// attach here).
 	Env core.Env
@@ -69,6 +72,9 @@ func New(cfg Config) (*Agent, error) {
 		sink:   sink,
 	}
 	a.Manager = core.NewManager(qe, sink, cfg.Env)
+	if cfg.Threads > 0 {
+		a.Manager.SetThreads(cfg.Threads)
+	}
 	if cfg.ListenMQTT != "" {
 		b, err := transport.NewBroker(cfg.ListenMQTT)
 		if err != nil {
@@ -109,9 +115,10 @@ func (a *Agent) TickOnce(now time.Time) error {
 // Start launches the Wintermute operator loops.
 func (a *Agent) Start() { a.Manager.Start() }
 
-// Close stops operators and shuts the broker down.
+// Close stops operators, shuts the Wintermute worker pool down, and
+// closes the broker.
 func (a *Agent) Close() error {
-	a.Manager.Stop()
+	a.Manager.Close()
 	if a.Broker != nil {
 		return a.Broker.Close()
 	}

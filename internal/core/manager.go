@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -92,6 +93,10 @@ type opRuntime struct {
 	stop    chan struct{}
 	running bool
 
+	// tickMu serializes tick execution: no two ticks of the same operator
+	// ever overlap, even when a wall-clock loop and TickAll race.
+	tickMu sync.Mutex
+
 	mu      sync.Mutex
 	ticks   uint64
 	lastErr error
@@ -108,7 +113,9 @@ type OperatorStatus struct {
 	Units    int           `json:"units"`
 	Running  bool          `json:"running"`
 	Ticks    uint64        `json:"ticks"`
-	LastErr  string        `json:"lastError,omitempty"`
+	// LastDuration is the wall-clock duration of the most recent tick.
+	LastDuration time.Duration `json:"lastDurationNs,omitempty"`
+	LastErr      string        `json:"lastError,omitempty"`
 }
 
 // Manager is the central entity responsible for reading Wintermute
@@ -119,22 +126,59 @@ type Manager struct {
 	sink Sink
 	env  Env
 
-	mu  sync.Mutex
-	ops map[string]*opRuntime // by operator name
+	mu    sync.Mutex
+	ops   map[string]*opRuntime // by operator name
+	sched *Scheduler
 }
 
 // NewManager creates a manager computing against qe and emitting operator
-// output to sink.
+// output to sink. Operator computations run on a worker pool sized
+// runtime.GOMAXPROCS by default; SetThreads or the `threads` field of
+// Config resize it.
 func NewManager(qe *QueryEngine, sink Sink, env Env) *Manager {
-	return &Manager{qe: qe, sink: sink, env: env, ops: make(map[string]*opRuntime)}
+	return &Manager{
+		qe:    qe,
+		sink:  sink,
+		env:   env,
+		ops:   make(map[string]*opRuntime),
+		sched: NewScheduler(0),
+	}
 }
 
 // QueryEngine returns the manager's query engine.
 func (m *Manager) QueryEngine() *QueryEngine { return m.qe }
 
+// SetThreads replaces the computation pool with one of the given size
+// (non-positive: runtime.GOMAXPROCS). The previous pool drains its queued
+// work and shuts down; in-flight ticks complete on it.
+func (m *Manager) SetThreads(threads int) {
+	m.mu.Lock()
+	old := m.sched
+	m.sched = NewScheduler(threads)
+	m.mu.Unlock()
+	old.Close()
+}
+
+// Threads returns the size of the computation pool.
+func (m *Manager) Threads() int { return m.scheduler().Threads() }
+
+// SchedulerStats returns a snapshot of the computation pool: size, queued
+// and active tasks, total completed tasks.
+func (m *Manager) SchedulerStats() SchedulerStats { return m.scheduler().Stats() }
+
+func (m *Manager) scheduler() *Scheduler {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sched
+}
+
 // Config is the top-level Wintermute configuration: the list of plugin
-// blocks to load.
+// blocks to load and the size of the shared computation pool.
 type Config struct {
+	// Threads sizes the worker pool executing operator computations
+	// (paper §V-A: the `threads` knob of the operator manager). Zero or
+	// negative selects runtime.GOMAXPROCS.
+	Threads int            `json:"threads"`
 	Plugins []PluginConfig `json:"plugins"`
 }
 
@@ -144,8 +188,12 @@ type PluginConfig struct {
 	Config json.RawMessage `json:"config"`
 }
 
-// LoadConfig loads every plugin block of a configuration.
+// LoadConfig applies the pool size and loads every plugin block of a
+// configuration.
 func (m *Manager) LoadConfig(cfg Config) error {
+	if cfg.Threads > 0 {
+		m.SetThreads(cfg.Threads)
+	}
 	for _, pc := range cfg.Plugins {
 		if err := m.LoadPlugin(pc.Plugin, pc.Config); err != nil {
 			return err
@@ -241,6 +289,15 @@ func (m *Manager) Stop() {
 	}
 }
 
+// Close stops all operators and shuts the computation pool down, ending
+// its worker goroutines. The manager stays usable afterwards — further
+// ticks run synchronously on their callers — but cannot regain a pool;
+// use Stop for a restartable halt.
+func (m *Manager) Close() {
+	m.Stop()
+	m.scheduler().Close()
+}
+
 // StartOperator launches the tick loop of one operator. OnDemand
 // operators have no loop and are silently left alone.
 func (m *Manager) StartOperator(name string) error {
@@ -255,7 +312,7 @@ func (m *Manager) StartOperator(name string) error {
 	}
 	rt.stop = make(chan struct{})
 	rt.running = true
-	go m.runLoop(rt)
+	go m.runLoop(rt, rt.stop)
 	return nil
 }
 
@@ -283,12 +340,16 @@ func (m *Manager) stopRuntime(rt *opRuntime) {
 	close(stop)
 }
 
-func (m *Manager) runLoop(rt *opRuntime) {
+// runLoop drives one operator with a wall-clock ticker. The stop channel
+// is passed in rather than read from rt: a stopped operator can be
+// restarted, and reading rt.stop here would race with StartOperator
+// reassigning it for the new loop.
+func (m *Manager) runLoop(rt *opRuntime, stop <-chan struct{}) {
 	ticker := time.NewTicker(rt.op.Interval())
 	defer ticker.Stop()
 	for {
 		select {
-		case <-rt.stop:
+		case <-stop:
 			return
 		case now := <-ticker.C:
 			m.tickRuntime(rt, now)
@@ -296,42 +357,51 @@ func (m *Manager) runLoop(rt *opRuntime) {
 	}
 }
 
-func (m *Manager) tickRuntime(rt *opRuntime, now time.Time) {
+// tickRuntime runs one serialized tick of an operator: computations land
+// on the manager's worker pool, and rt.tickMu guarantees ticks of the same
+// operator never overlap (a tick outlasting its interval delays the next
+// one instead of racing it).
+func (m *Manager) tickRuntime(rt *opRuntime, now time.Time) error {
+	rt.tickMu.Lock()
+	defer rt.tickMu.Unlock()
 	start := time.Now()
-	err := Tick(rt.op, m.qe, m.sink, now)
+	err := TickScheduled(rt.op, m.qe, m.sink, now, m.scheduler())
 	rt.mu.Lock()
 	rt.ticks++
 	rt.lastErr = err
 	rt.lastDur = time.Since(start)
 	rt.mu.Unlock()
+	return err
 }
 
 // TickAll synchronously runs one computation round of every Online
 // operator at the given simulated time. Experiment harnesses and tests
 // drive managers with TickAll instead of wall-clock tickers, so that weeks
-// of monitoring data can be processed in seconds. It returns the first
-// error encountered.
+// of monitoring data can be processed in seconds. Operators are dispatched
+// concurrently — the actual computations are bounded by the manager's
+// worker pool — and all failures are aggregated with errors.Join.
 func (m *Manager) TickAll(now time.Time) error {
-	var firstErr error
-	for _, op := range m.Operators() {
-		if op.Mode() != Online {
-			continue
-		}
-		m.mu.Lock()
-		rt := m.ops[op.Name()]
-		m.mu.Unlock()
-		if rt == nil {
-			continue
-		}
-		m.tickRuntime(rt, now)
-		rt.mu.Lock()
-		err := rt.lastErr
-		rt.mu.Unlock()
-		if err != nil && firstErr == nil {
-			firstErr = err
+	m.mu.Lock()
+	rts := make([]*opRuntime, 0, len(m.ops))
+	for _, rt := range m.ops {
+		if rt.op.Mode() == Online {
+			rts = append(rts, rt)
 		}
 	}
-	return firstErr
+	m.mu.Unlock()
+	// Deterministic error ordering across runs.
+	sort.Slice(rts, func(i, j int) bool { return rts[i].op.Name() < rts[j].op.Name() })
+	errs := make([]error, len(rts))
+	var wg sync.WaitGroup
+	for i, rt := range rts {
+		wg.Add(1)
+		go func(i int, rt *opRuntime) {
+			defer wg.Done()
+			errs[i] = m.tickRuntime(rt, now)
+		}(i, rt)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // OnDemand triggers the computation of one operator through the REST
@@ -372,33 +442,40 @@ func (m *Manager) OnDemand(opName string, unitName sensor.Topic, now time.Time) 
 	return outs, nil
 }
 
-// Status returns a snapshot of every operator, sorted by name.
+// Status returns a snapshot of every operator, sorted by name. The
+// running flags are captured in the same m.mu pass that collects the
+// runtimes, so Status never interleaves m.mu with the per-runtime locks
+// (interleaving the two was a lock-order inversion waiting to deadlock).
 func (m *Manager) Status() []OperatorStatus {
+	type snapshot struct {
+		rt      *opRuntime
+		running bool
+	}
 	m.mu.Lock()
-	rts := make([]*opRuntime, 0, len(m.ops))
+	snaps := make([]snapshot, 0, len(m.ops))
 	for _, rt := range m.ops {
-		rts = append(rts, rt)
+		snaps = append(snaps, snapshot{rt: rt, running: rt.running})
 	}
 	m.mu.Unlock()
-	out := make([]OperatorStatus, 0, len(rts))
-	for _, rt := range rts {
+	out := make([]OperatorStatus, 0, len(snaps))
+	for _, sn := range snaps {
+		rt := sn.rt
 		rt.mu.Lock()
 		st := OperatorStatus{
-			Name:     rt.op.Name(),
-			Plugin:   rt.op.Plugin(),
-			Mode:     rt.op.Mode().String(),
-			Interval: rt.op.Interval(),
-			Parallel: rt.op.Parallel(),
-			Units:    len(rt.op.Units()),
-			Ticks:    rt.ticks,
+			Name:         rt.op.Name(),
+			Plugin:       rt.op.Plugin(),
+			Mode:         rt.op.Mode().String(),
+			Interval:     rt.op.Interval(),
+			Parallel:     rt.op.Parallel(),
+			Units:        len(rt.op.Units()),
+			Running:      sn.running,
+			Ticks:        rt.ticks,
+			LastDuration: rt.lastDur,
 		}
 		if rt.lastErr != nil {
 			st.LastErr = rt.lastErr.Error()
 		}
 		rt.mu.Unlock()
-		m.mu.Lock()
-		st.Running = rt.running
-		m.mu.Unlock()
 		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

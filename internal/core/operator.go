@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -165,54 +166,91 @@ func (b *Base) FindUnit(name sensor.Topic) (*units.Unit, bool) {
 // Tick executes one computation round of an operator: it refreshes
 // dynamic units, then computes either the whole batch or every unit —
 // sequentially or in parallel according to the unit-management policy —
-// and pushes all produced outputs to the sink. It returns the first error
-// encountered; other units still run, matching the isolation expected
-// between independent per-unit models.
+// and pushes all produced outputs to the sink. Unit failures do not stop
+// other units, matching the isolation expected between independent
+// per-unit models; all errors are aggregated with errors.Join so no
+// failure is lost.
 func Tick(op Operator, qe *QueryEngine, sink Sink, now time.Time) error {
+	return TickScheduled(op, qe, sink, now, nil)
+}
+
+// TickScheduled is Tick with the computations executed on a Scheduler's
+// worker pool: the whole sequential unit loop (or batch computation) runs
+// as one pooled task preserving unit order, while parallel units fan out
+// as one pooled task each, bounded by the pool size. A nil scheduler runs
+// sequential units inline and parallel units on one goroutine per unit
+// (the unbounded pre-pool behaviour).
+//
+// TickScheduled must not be called from inside a task running on the same
+// scheduler: it waits for the tasks it submits, which would deadlock a
+// fully occupied pool.
+func TickScheduled(op Operator, qe *QueryEngine, sink Sink, now time.Time, sched *Scheduler) error {
+	run := func(f func()) {
+		if sched != nil {
+			sched.Do(f)
+		} else {
+			f()
+		}
+	}
 	if d, ok := op.(DynamicUnitOperator); ok {
-		if err := d.RefreshUnits(qe, now); err != nil {
+		var err error
+		run(func() { err = d.RefreshUnits(qe, now) })
+		if err != nil {
 			return fmt.Errorf("core: %s: refresh units: %w", op.Name(), err)
 		}
 	}
 	if b, ok := op.(BatchOperator); ok {
-		outs, err := b.ComputeBatch(qe, now)
+		var outs []Output
+		var err error
+		run(func() { outs, err = b.ComputeBatch(qe, now) })
 		for _, o := range outs {
 			sink.Push(o.Topic, o.Reading)
 		}
-		return err
+		if err != nil {
+			return fmt.Errorf("core: %s: %w", op.Name(), err)
+		}
+		return nil
 	}
 	us := op.Units()
 	if !op.Parallel() {
-		var firstErr error
-		for _, u := range us {
-			outs, err := op.Compute(qe, u, now)
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("core: %s: unit %s: %w", op.Name(), u.Name, err)
+		var err error
+		run(func() {
+			var errs []error
+			for _, u := range us {
+				outs, cerr := op.Compute(qe, u, now)
+				if cerr != nil {
+					errs = append(errs, fmt.Errorf("core: %s: unit %s: %w", op.Name(), u.Name, cerr))
+				}
+				for _, o := range outs {
+					sink.Push(o.Topic, o.Reading)
+				}
 			}
-			for _, o := range outs {
-				sink.Push(o.Topic, o.Reading)
-			}
-		}
-		return firstErr
+			err = errors.Join(errs...)
+		})
+		return err
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, len(us))
 	for i, u := range us {
 		wg.Add(1)
-		go func(i int, u *units.Unit) {
-			defer wg.Done()
-			outs, err := op.Compute(qe, u, now)
-			errs[i] = err
-			for _, o := range outs {
-				sink.Push(o.Topic, o.Reading)
+		task := func(i int, u *units.Unit) func() {
+			return func() {
+				defer wg.Done()
+				outs, err := op.Compute(qe, u, now)
+				if err != nil {
+					errs[i] = fmt.Errorf("core: %s: unit %s: %w", op.Name(), u.Name, err)
+				}
+				for _, o := range outs {
+					sink.Push(o.Topic, o.Reading)
+				}
 			}
 		}(i, u)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("core: %s: unit %s: %w", op.Name(), us[i].Name, err)
+		if sched != nil {
+			sched.Submit(task)
+		} else {
+			go task()
 		}
 	}
-	return nil
+	wg.Wait()
+	return errors.Join(errs...)
 }

@@ -33,6 +33,9 @@ type Config struct {
 	// MQTTAddr is the Collect Agent broker address; empty disables
 	// forwarding (standalone operation).
 	MQTTAddr string
+	// Threads sizes the Wintermute worker pool executing operator
+	// computations (0: runtime.GOMAXPROCS).
+	Threads int
 	// Env is handed to Wintermute plugin configurators.
 	Env core.Env
 }
@@ -92,6 +95,9 @@ func New(cfg Config) (*Pusher, error) {
 		sink.Forward = mqttSink{client}
 	}
 	p.Manager = core.NewManager(qe, sink, cfg.Env)
+	if cfg.Threads > 0 {
+		p.Manager.SetThreads(cfg.Threads)
+	}
 	return p, nil
 }
 
@@ -200,7 +206,9 @@ func (p *Pusher) Stop() {
 	p.stops = nil
 	p.mu.Unlock()
 	p.wg.Wait()
-	p.Manager.Stop()
+	// Stop is terminal for the pusher (the broker connection closes too),
+	// so shut the Wintermute worker pool down with the operators.
+	p.Manager.Close()
 	if p.mqtt != nil {
 		_ = p.mqtt.Close()
 	}

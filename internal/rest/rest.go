@@ -28,6 +28,7 @@ func NewHandler(m *core.Manager, qe *core.QueryEngine) http.Handler {
 	api := &API{m: m, qe: qe}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /plugins", api.plugins)
+	mux.HandleFunc("GET /status", api.status)
 	mux.HandleFunc("GET /operators", api.operators)
 	mux.HandleFunc("GET /units", api.units)
 	mux.HandleFunc("GET /sensors", api.sensors)
@@ -80,6 +81,16 @@ func (a *API) plugins(w http.ResponseWriter, r *http.Request) {
 
 func (a *API) operators(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, a.m.Status())
+}
+
+// status reports the component's Wintermute health in one response: the
+// tick scheduler's pool state plus every operator's snapshot, including
+// per-operator last tick durations.
+func (a *API) status(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"scheduler": a.m.SchedulerStats(),
+		"operators": a.m.Status(),
+	})
 }
 
 func (a *API) units(w http.ResponseWriter, r *http.Request) {

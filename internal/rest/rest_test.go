@@ -145,6 +145,24 @@ func TestOperatorsAndUnits(t *testing.T) {
 	}
 }
 
+func TestStatusEndpoint(t *testing.T) {
+	srv, m := newTestServer(t)
+	m.SetThreads(3)
+	var got struct {
+		Scheduler core.SchedulerStats   `json:"scheduler"`
+		Operators []core.OperatorStatus `json:"operators"`
+	}
+	if code := getJSON(t, srv.URL+"/status", &got); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if got.Scheduler.Threads != 3 {
+		t.Errorf("scheduler threads = %d, want 3", got.Scheduler.Threads)
+	}
+	if len(got.Operators) != 1 || got.Operators[0].Name != "dbl" {
+		t.Fatalf("operators = %+v", got.Operators)
+	}
+}
+
 func TestSensorsEndpoint(t *testing.T) {
 	srv, _ := newTestServer(t)
 	var got struct {
