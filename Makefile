@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench bench-json ci
 
 all: build vet test
 
@@ -13,14 +13,19 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-enabled runs for the concurrency-sensitive packages: the operator
-# manager/scheduler and the sharded sensor caches.
+# Race-enabled run over every internal package; the hottest suspects are
+# the operator manager/scheduler, the sharded sensor caches and the new
+# bound-handle/scratch-arena tick path.
 race:
-	$(GO) test -race -count=1 ./internal/core/... ./internal/cache/...
+	$(GO) test -race -count=1 ./internal/...
 
-# Short benchmark smoke: the tick-path contention pair plus the cache view
-# micro-benches. Full suite: go test -bench=. -benchmem .
+# Short benchmark smoke: the tick-path contention pairs plus the cache
+# view micro-benches. Full suite: go test -bench=. -benchmem .
 bench:
-	$(GO) test -run '^$$' -bench 'TickAllContention|CacheView' -benchtime 10x -benchmem .
+	$(GO) test -run '^$$' -bench 'TickAllContention|QueryContention|CacheView' -benchtime 10x -benchmem .
+
+# Machine-readable hot-path results for the per-PR perf trajectory.
+bench-json:
+	$(GO) run ./cmd/benchrunner -bench-json BENCH_PR2.json
 
 ci: build vet test race bench

@@ -19,6 +19,7 @@ import (
 	"github.com/dcdb/wintermute/internal/ml/forest"
 	"github.com/dcdb/wintermute/internal/ml/quantile"
 	"github.com/dcdb/wintermute/internal/navigator"
+	"github.com/dcdb/wintermute/internal/plugins/aggregator"
 	"github.com/dcdb/wintermute/internal/plugins/tester"
 	"github.com/dcdb/wintermute/internal/sensor"
 	"github.com/dcdb/wintermute/internal/sim/cluster"
@@ -162,6 +163,124 @@ func BenchmarkQueryStoreFallback(b *testing.B) {
 	_ = buf
 }
 
+// --- Tentpole: bound sensor handles vs per-call topic resolution ---------
+
+// boundQueryEnv builds one hot sensor served from a populated cache set.
+func boundQueryEnv(b *testing.B) *core.QueryEngine {
+	b.Helper()
+	nav := navigator.New()
+	caches := cache.NewSet()
+	_ = nav.AddSensor("/n/power")
+	c := caches.GetOrCreate("/n/power", 180, time.Second)
+	for k := 0; k < 180; k++ {
+		c.Store(sensor.Reading{Value: float64(k), Time: int64(k) * sec})
+	}
+	return core.NewQueryEngine(nav, caches, nil)
+}
+
+// BenchmarkQueryRelativeUnbound is the per-call resolution path: every
+// query pays the FNV topic hash, the shard map lookup and the shard RLock
+// before touching the ring buffer.
+func BenchmarkQueryRelativeUnbound(b *testing.B) {
+	qe := boundQueryEnv(b)
+	buf := make([]sensor.Reading, 0, 256)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = qe.QueryRelative("/n/power", 60*time.Second, buf[:0])
+	}
+	_ = buf
+}
+
+// BenchmarkQueryRelativeBound is the same query through a bound handle:
+// topic resolution was paid once at Bind time, the steady state goes
+// straight to the ring buffer — and performs zero allocations.
+func BenchmarkQueryRelativeBound(b *testing.B) {
+	qe := boundQueryEnv(b)
+	h := qe.Bind("/n/power")
+	buf := make([]sensor.Reading, 0, 256)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = h.QueryRelative(60*time.Second, buf[:0])
+	}
+	_ = buf
+}
+
+// --- Tentpole: per-tick allocations, legacy Compute vs scratch arenas ----
+
+// legacyOnly wraps an operator exposing nothing but the plain Operator
+// interface, forcing the tick path onto the allocating Compute shim —
+// the pre-scratch-arena behaviour, kept measurable for the before/after
+// comparison.
+type legacyOnly struct{ core.Operator }
+
+// tickAllocEnv builds an aggregator over 64 node units whose caches are
+// warm, the steady-state shape of a roll-up operator.
+func tickAllocEnv(b *testing.B, legacy bool) (*core.QueryEngine, core.Operator, core.Sink) {
+	b.Helper()
+	nav := navigator.New()
+	caches := cache.NewSet()
+	for n := 0; n < 64; n++ {
+		topic := sensor.Topic(fmt.Sprintf("/r1/n%02d/power", n))
+		_ = nav.AddSensor(topic)
+		c := caches.GetOrCreate(topic, 180, time.Second)
+		for k := 0; k < 180; k++ {
+			c.Store(sensor.Reading{Value: float64(k), Time: int64(k) * sec})
+		}
+	}
+	qe := core.NewQueryEngine(nav, caches, nil)
+	// Keep this workload in sync with tickEnv in cmd/benchrunner/benchjson.go:
+	// the JSON trajectory numbers must stay comparable to `make bench`.
+	op, err := aggregator.New(aggregator.Config{
+		OperatorConfig: core.OperatorConfig{
+			Name:    "agg",
+			Inputs:  []string{"power"},
+			Outputs: []string{"<bottomup>power-agg"},
+		},
+		Operation: aggregator.Mean,
+		WindowMs:  60000,
+	}, qe)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := core.SinkFunc(func(sensor.Topic, sensor.Reading) {})
+	if legacy {
+		return qe, legacyOnly{op}, sink
+	}
+	return qe, op, sink
+}
+
+// BenchmarkTickComputeLegacy drives 64 sequential unit computations per
+// tick through the allocating Compute path (fresh context, fresh buffers
+// per unit).
+func BenchmarkTickComputeLegacy(b *testing.B) {
+	qe, op, sink := tickAllocEnv(b, true)
+	now := time.Unix(179, 0)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := core.Tick(op, qe, sink, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTickComputeScratch drives the same 64 computations through
+// ComputeInto with pooled scratch arenas and bound sensor handles: the
+// steady-state tick performs ~zero allocations.
+func BenchmarkTickComputeScratch(b *testing.B) {
+	qe, op, sink := tickAllocEnv(b, false)
+	now := time.Unix(179, 0)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := core.Tick(op, qe, sink, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Unit System at scale ------------------------------------------------
 
 // BenchmarkUnitResolution instantiates one pattern-unit block over the
@@ -271,6 +390,39 @@ type probeOp struct {
 }
 
 func (o *probeOp) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) ([]core.Output, error) {
+	return o.ComputeInto(qe, u, now, core.NewTickContext())
+}
+
+// ComputeInto runs the probe workload on the zero-allocation path: bound
+// sensor handles and context scratch, like the production plugins.
+func (o *probeOp) ComputeInto(qe *core.QueryEngine, u *units.Unit, now time.Time, tc *core.TickContext) ([]core.Output, error) {
+	bu := qe.BindUnit(u)
+	buf := tc.Readings
+	for q := 0; q < o.queries; q++ {
+		buf = bu.Inputs[q%len(u.Inputs)].QueryRelative(100*time.Second, buf[:0])
+	}
+	tc.Readings = buf
+	if o.probe > 0 {
+		time.Sleep(o.probe)
+	}
+	outs := tc.Outputs[:0]
+	for _, topic := range u.Outputs {
+		outs = append(outs, core.Output{Topic: topic, Reading: sensor.At(float64(len(buf)), now)})
+	}
+	tc.Outputs = outs
+	return outs, nil
+}
+
+// legacyProbeOp is the pre-PR2 probe: per-call topic resolution through
+// the unbound Query Engine API and fresh buffers every computation. It is
+// kept as the before side of the hot-path before/after pair.
+type legacyProbeOp struct {
+	*core.Base
+	queries int
+	probe   time.Duration
+}
+
+func (o *legacyProbeOp) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) ([]core.Output, error) {
 	buf := make([]sensor.Reading, 0, 256)
 	for q := 0; q < o.queries; q++ {
 		in := u.Inputs[q%len(u.Inputs)]
@@ -290,6 +442,8 @@ type probeConfig struct {
 	Ops     int `json:"ops"`
 	Queries int `json:"queries"`
 	ProbeUs int `json:"probeUs"`
+	// Legacy selects the unbound, allocating computation path.
+	Legacy bool `json:"legacy"`
 }
 
 func init() {
@@ -310,11 +464,12 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			ops = append(ops, &probeOp{
-				Base:    base,
-				queries: c.Queries,
-				probe:   time.Duration(c.ProbeUs) * time.Microsecond,
-			})
+			probe := time.Duration(c.ProbeUs) * time.Microsecond
+			if c.Legacy {
+				ops = append(ops, &legacyProbeOp{Base: base, queries: c.Queries, probe: probe})
+			} else {
+				ops = append(ops, &probeOp{Base: base, queries: c.Queries, probe: probe})
+			}
 		}
 		return ops, nil
 	})
@@ -326,6 +481,14 @@ func init() {
 // baseline: every computation of every operator runs one after another,
 // like the pre-scheduler TickAll.
 func benchTickAllContention(b *testing.B, threads int) {
+	benchTickAllContentionCfg(b, threads, 100, false)
+}
+
+// benchTickAllContentionCfg drives the contention workload with a chosen
+// probe latency and computation path. probeUs=0 removes the fixed probe
+// sleep so the query and allocation costs dominate — the configuration
+// that isolates the hot-path gains of bound handles and scratch arenas.
+func benchTickAllContentionCfg(b *testing.B, threads, probeUs int, legacy bool) {
 	nav := navigator.New()
 	caches := cache.NewSet()
 	for n := 0; n < 16; n++ {
@@ -343,7 +506,7 @@ func benchTickAllContention(b *testing.B, threads int) {
 	m := core.NewManager(qe, sink, core.Env{})
 	m.SetThreads(threads)
 	b.Cleanup(m.Close)
-	raw, _ := json.Marshal(probeConfig{Ops: 8, Queries: 25, ProbeUs: 100})
+	raw, _ := json.Marshal(probeConfig{Ops: 8, Queries: 25, ProbeUs: probeUs, Legacy: legacy})
 	if err := m.LoadPlugin("benchprobe", raw); err != nil {
 		b.Fatal(err)
 	}
@@ -365,6 +528,19 @@ func BenchmarkTickAllContentionSequential(b *testing.B) { benchTickAllContention
 // (the paper's `threads` knob); 8 operators x 16 parallel units overlap
 // both their probe latencies and their cache queries.
 func BenchmarkTickAllContentionPooled(b *testing.B) { benchTickAllContention(b, 8) }
+
+// BenchmarkTickAllQueryContentionLegacy is the probe-free contention
+// workload on the pre-PR2 path: unbound queries and fresh buffers per
+// computation, 8 operators x 16 parallel units on an 8-thread pool.
+func BenchmarkTickAllQueryContentionLegacy(b *testing.B) {
+	benchTickAllContentionCfg(b, 8, 0, true)
+}
+
+// BenchmarkTickAllQueryContentionBound is the same workload on the bound
+// handle + scratch arena path — the paired after-measurement.
+func BenchmarkTickAllQueryContentionBound(b *testing.B) {
+	benchTickAllContentionCfg(b, 8, 0, false)
+}
 
 // --- Figure 6: random forest ---------------------------------------------
 

@@ -1,0 +1,274 @@
+// benchjson implements `benchrunner -bench-json <file>`: it re-runs the
+// repository's hot-path benchmark pairs through testing.Benchmark and
+// writes the results as machine-readable JSON, starting the per-PR
+// performance trajectory (BENCH_PR2.json and successors).
+//
+// The workloads deliberately mirror the pairs in the repository's
+// bench_test.go (which, as a test file, cannot be imported here); when
+// changing a workload shape, change both so the JSON trajectory stays
+// comparable to `make bench`.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/cache"
+	"github.com/dcdb/wintermute/internal/core"
+	"github.com/dcdb/wintermute/internal/core/units"
+	"github.com/dcdb/wintermute/internal/navigator"
+	"github.com/dcdb/wintermute/internal/plugins/aggregator"
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+type benchReport struct {
+	PR         int           `json:"pr"`
+	Note       string        `json:"note"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+const benchSec = int64(time.Second)
+
+// queryEnv builds one warm cached sensor.
+func queryEnv() *core.QueryEngine {
+	nav := navigator.New()
+	caches := cache.NewSet()
+	_ = nav.AddSensor("/n/power")
+	c := caches.GetOrCreate("/n/power", 180, time.Second)
+	for k := 0; k < 180; k++ {
+		c.Store(sensor.Reading{Value: float64(k), Time: int64(k) * benchSec})
+	}
+	return core.NewQueryEngine(nav, caches, nil)
+}
+
+// tickEnv builds an aggregator over 64 warm node units.
+func tickEnv(nodes int) (*core.QueryEngine, *aggregator.Operator, core.Sink, error) {
+	nav := navigator.New()
+	caches := cache.NewSet()
+	for n := 0; n < nodes; n++ {
+		topic := sensor.Topic(fmt.Sprintf("/r1/n%02d/power", n))
+		if err := nav.AddSensor(topic); err != nil {
+			return nil, nil, nil, err
+		}
+		c := caches.GetOrCreate(topic, 180, time.Second)
+		for k := 0; k < 180; k++ {
+			c.Store(sensor.Reading{Value: float64(k), Time: int64(k) * benchSec})
+		}
+	}
+	qe := core.NewQueryEngine(nav, caches, nil)
+	op, err := aggregator.New(aggregator.Config{
+		OperatorConfig: core.OperatorConfig{
+			Name:    "agg",
+			Inputs:  []string{"power"},
+			Outputs: []string{"<bottomup>power-agg"},
+		},
+		Operation: aggregator.Mean,
+		WindowMs:  60000,
+	}, qe)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return qe, op, core.SinkFunc(func(sensor.Topic, sensor.Reading) {}), nil
+}
+
+// legacyOnly strips every optional interface off an operator, forcing the
+// tick path onto the allocating Compute shim — the before side of the
+// scratch-arena pair.
+type legacyOnly struct{ core.Operator }
+
+// queryProbeOp mirrors the repository bench suite's contention probe
+// without the fixed probe latency: per-unit cache queries against the
+// shared sharded set. legacy selects the unbound, allocating path.
+type queryProbeOp struct {
+	*core.Base
+	queries int
+	legacy  bool
+}
+
+func (o *queryProbeOp) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) ([]core.Output, error) {
+	if !o.legacy {
+		return o.computeBound(qe, u, now, core.NewTickContext())
+	}
+	buf := make([]sensor.Reading, 0, 256)
+	for q := 0; q < o.queries; q++ {
+		buf = qe.QueryRelative(u.Inputs[q%len(u.Inputs)], 100*time.Second, buf[:0])
+	}
+	outs := make([]core.Output, 0, len(u.Outputs))
+	for _, topic := range u.Outputs {
+		outs = append(outs, core.Output{Topic: topic, Reading: sensor.At(float64(len(buf)), now)})
+	}
+	return outs, nil
+}
+
+// ComputeInto implements core.ContextOperator; the legacy variant opts
+// back out by delegating to the allocating path.
+func (o *queryProbeOp) ComputeInto(qe *core.QueryEngine, u *units.Unit, now time.Time, tc *core.TickContext) ([]core.Output, error) {
+	if o.legacy {
+		return o.Compute(qe, u, now)
+	}
+	return o.computeBound(qe, u, now, tc)
+}
+
+func (o *queryProbeOp) computeBound(qe *core.QueryEngine, u *units.Unit, now time.Time, tc *core.TickContext) ([]core.Output, error) {
+	bu := qe.BindUnit(u)
+	buf := tc.Readings
+	for q := 0; q < o.queries; q++ {
+		buf = bu.Inputs[q%len(u.Inputs)].QueryRelative(100*time.Second, buf[:0])
+	}
+	tc.Readings = buf
+	outs := tc.Outputs[:0]
+	for _, topic := range u.Outputs {
+		outs = append(outs, core.Output{Topic: topic, Reading: sensor.At(float64(len(buf)), now)})
+	}
+	tc.Outputs = outs
+	return outs, nil
+}
+
+// contentionEnv builds the TickAll contention workload of the repository
+// bench suite — 8 parallel-unit operators over 16 shared node sensors on
+// an 8-thread pool — with the chosen computation path.
+func contentionEnv(legacy bool) (*core.Manager, error) {
+	nav := navigator.New()
+	caches := cache.NewSet()
+	for n := 0; n < 16; n++ {
+		topic := sensor.Topic(fmt.Sprintf("/r1/n%02d/power", n))
+		if err := nav.AddSensor(topic); err != nil {
+			return nil, err
+		}
+		c := caches.GetOrCreate(topic, 180, time.Second)
+		for k := 0; k < 180; k++ {
+			c.Store(sensor.Reading{Value: float64(k), Time: int64(k) * benchSec})
+		}
+	}
+	qe := core.NewQueryEngine(nav, caches, nil)
+	sink := core.NewCacheSink(caches, nav, 180, time.Second)
+	m := core.NewManager(qe, sink, core.Env{})
+	m.SetThreads(8)
+	for i := 0; i < 8; i++ {
+		oc := core.OperatorConfig{
+			Name:     fmt.Sprintf("probe%d", i),
+			Inputs:   []string{"power"},
+			Outputs:  []string{fmt.Sprintf("<bottomup>probe%d", i)},
+			Parallel: true,
+		}
+		base, err := oc.Build("benchprobe", qe.Navigator())
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		op := &queryProbeOp{Base: base, queries: 25, legacy: legacy}
+		if err := m.AdoptOperator(op); err != nil {
+			m.Close()
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func runBenchJSON(path string) error {
+	report := benchReport{
+		PR: 2,
+		Note: "paired hot-path benchmarks: unbound vs bound QueryRelative, " +
+			"legacy Compute vs ComputeInto scratch arenas (64-unit aggregator tick), " +
+			"and TickAll query contention (8 ops x 16 parallel units, 8-thread pool) legacy vs bound",
+	}
+	add := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		report.Benchmarks = append(report.Benchmarks, benchResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+		fmt.Printf("  %-28s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	fmt.Println("==> bench-json: query hot path")
+	qe := queryEnv()
+	add("query_relative_unbound", func(b *testing.B) {
+		buf := make([]sensor.Reading, 0, 256)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = qe.QueryRelative("/n/power", 60*time.Second, buf[:0])
+		}
+		_ = buf
+	})
+	h := qe.Bind("/n/power")
+	add("query_relative_bound", func(b *testing.B) {
+		buf := make([]sensor.Reading, 0, 256)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = h.QueryRelative(60*time.Second, buf[:0])
+		}
+		_ = buf
+	})
+
+	tqe, op, sink, err := tickEnv(64)
+	if err != nil {
+		return err
+	}
+	now := time.Unix(179, 0)
+	add("tick_compute_legacy", func(b *testing.B) {
+		lop := legacyOnly{op}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := core.Tick(lop, tqe, sink, now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("tick_compute_scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := core.Tick(op, tqe, sink, now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	for _, variant := range []struct {
+		name   string
+		legacy bool
+	}{
+		{"tickall_query_contention_legacy", true},
+		{"tickall_query_contention_bound", false},
+	} {
+		m, err := contentionEnv(variant.legacy)
+		if err != nil {
+			return err
+		}
+		add(variant.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := m.TickAll(now); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		m.Close()
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("==> wrote %s\n", path)
+	return nil
+}

@@ -76,6 +76,26 @@ func (c *Cache) Len() int {
 // stored but degrade absolute-mode lookups to the enclosing range.
 func (c *Cache) Store(r sensor.Reading) {
 	c.mu.Lock()
+	c.store(r)
+	c.mu.Unlock()
+}
+
+// StoreBatch appends several readings under a single lock acquisition —
+// the batched-sink entry point, one lock per delivery instead of one per
+// reading.
+func (c *Cache) StoreBatch(rs []sensor.Reading) {
+	if len(rs) == 0 {
+		return
+	}
+	c.mu.Lock()
+	for _, r := range rs {
+		c.store(r)
+	}
+	c.mu.Unlock()
+}
+
+// store appends one reading. Callers must hold c.mu.
+func (c *Cache) store(r sensor.Reading) {
 	if c.size < len(c.buf) {
 		c.buf[(c.start+c.size)%len(c.buf)] = r
 		c.size++
@@ -83,7 +103,6 @@ func (c *Cache) Store(r sensor.Reading) {
 		c.buf[c.start] = r
 		c.start = (c.start + 1) % len(c.buf)
 	}
-	c.mu.Unlock()
 }
 
 // Latest returns the most recent reading, if any.
@@ -272,12 +291,20 @@ func (s *Set) Store(topic sensor.Topic, r sensor.Reading) bool {
 
 // Topics returns the topics of all caches in the set, in no particular
 // order. The snapshot is per-shard consistent, not global: topics created
-// concurrently may or may not appear.
+// concurrently may or may not appear. All 64 shards are traversed exactly
+// once; the slice grows as shards are visited rather than pre-sizing via
+// Len(), which would lock every shard a second time.
 func (s *Set) Topics() []sensor.Topic {
-	out := make([]sensor.Topic, 0, s.Len())
+	var out []sensor.Topic
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
+		if out == nil {
+			// Seed capacity from the first shard: with FNV spreading the
+			// topics evenly, shard size times shard count approximates the
+			// total without a second locking pass.
+			out = make([]sensor.Topic, 0, (len(sh.caches)+1)*setShards)
+		}
 		for t := range sh.caches {
 			out = append(out, t)
 		}

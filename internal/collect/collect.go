@@ -82,9 +82,10 @@ func New(cfg Config) (*Agent, error) {
 		}
 		a.Broker = b
 		b.SubscribeLocal("#", func(m transport.Message) {
-			for _, r := range m.Readings {
-				a.Ingest(m.Topic, r)
-			}
+			// One delivered message becomes one batched sink push: the
+			// topic's cache, store series and navigator registration are
+			// each touched once per message, not once per reading.
+			a.IngestBatch(m.Topic, m.Readings)
 		})
 	}
 	return a, nil
@@ -105,6 +106,12 @@ func (a *Agent) Sink() core.Sink { return a.sink }
 // it lands in the sensor tree, the cache and the Storage Backend.
 func (a *Agent) Ingest(topic sensor.Topic, r sensor.Reading) {
 	a.sink.Push(topic, r)
+}
+
+// IngestBatch feeds a series of readings for one topic into the agent,
+// taking the cache and store locks once for the whole batch.
+func (a *Agent) IngestBatch(topic sensor.Topic, rs []sensor.Reading) {
+	a.sink.PushSeries(topic, rs)
 }
 
 // TickOnce synchronously runs one Wintermute computation round.

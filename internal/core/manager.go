@@ -227,6 +227,20 @@ func (m *Manager) LoadPlugin(name string, cfg json.RawMessage) error {
 	return nil
 }
 
+// AdoptOperator registers an already-constructed operator with the
+// manager, as if a plugin factory had produced it. Embedding hosts and
+// benchmark harnesses use it to manage hand-built operators without going
+// through configuration. The operator is created stopped.
+func (m *Manager) AdoptOperator(op Operator) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.ops[op.Name()]; dup {
+		return fmt.Errorf("core: duplicate operator name %q", op.Name())
+	}
+	m.ops[op.Name()] = &opRuntime{op: op}
+	return nil
+}
+
 // UnloadPlugin stops and removes every operator created by the named
 // plugin, returning how many were removed.
 func (m *Manager) UnloadPlugin(name string) int {
@@ -423,17 +437,23 @@ func (m *Manager) OnDemand(opName string, unitName sensor.Topic, now time.Time) 
 	if b, ok := op.(BatchOperator); ok {
 		return b.ComputeBatch(m.qe, now)
 	}
+	// On-demand computations run through the same bound-handle/scratch
+	// path as ticks, against a fresh (unpooled) context: results go back
+	// to the caller, so they must not alias recycled buffers. Each unit's
+	// outputs are copied into the response slice before the context is
+	// reused for the next unit.
+	tc := NewTickContext()
 	var outs []Output
 	if unitName != "" {
 		for _, u := range op.Units() {
 			if u.Name == sensor.Clean(string(unitName)).AsNode() {
-				return op.Compute(m.qe, u, now)
+				return computeUnit(op, m.qe, u, now, tc)
 			}
 		}
 		return nil, fmt.Errorf("core: operator %q has no unit %q", opName, unitName)
 	}
 	for _, u := range op.Units() {
-		o, err := op.Compute(m.qe, u, now)
+		o, err := computeUnit(op, m.qe, u, now, tc)
 		if err != nil {
 			return nil, err
 		}

@@ -60,6 +60,42 @@ type SinkFunc func(topic sensor.Topic, r sensor.Reading)
 // Push calls f(topic, r).
 func (f SinkFunc) Push(topic sensor.Topic, r sensor.Reading) { f(topic, r) }
 
+// TickContext carries reusable scratch buffers for one worker's unit
+// computations, eliminating the per-unit-per-tick heap churn of building
+// fresh reading and output slices in every Compute. The tick path hands
+// each computation a pooled context; ComputeInto implementations slice
+// the buffers to zero length, use them, and store any growth back so the
+// capacity is retained for the next unit.
+//
+// A context is owned by exactly one computation at a time; buffers (and
+// any output slice aliasing them) are valid only until the computation's
+// outputs have been delivered to the sink.
+type TickContext struct {
+	// Readings is scratch space for Query Engine calls.
+	Readings []sensor.Reading
+	// Outputs is scratch space for the produced outputs; ComputeInto
+	// conventionally appends into Outputs[:0] and returns the result.
+	Outputs []Output
+	// Floats is scratch space for intermediate numeric vectors whose
+	// lifetime ends with the computation (per-unit feature or sample
+	// buffers that are NOT retained in model state).
+	Floats []float64
+}
+
+// NewTickContext returns a fresh, unpooled context for paths that hand
+// computation results to a caller (on-demand triggers, plugin Compute
+// shims): outputs alias the context, so it must not be reused while they
+// are live.
+func NewTickContext() *TickContext { return &TickContext{} }
+
+// tickCtxPool recycles contexts across ticks. sync.Pool gives effectively
+// per-P caching, so steady-state workers keep reusing their own grown
+// buffers without cross-worker contention.
+var tickCtxPool = sync.Pool{New: func() any { return new(TickContext) }}
+
+func getTickContext() *TickContext   { return tickCtxPool.Get().(*TickContext) }
+func putTickContext(tc *TickContext) { tickCtxPool.Put(tc) }
+
 // Operator is a computational entity performing an ODA task over a set of
 // units (paper §V-C1). Implementations usually embed *Base and provide
 // Compute.
@@ -81,6 +117,26 @@ type Operator interface {
 	// Compute performs the analysis for one unit at the given time,
 	// returning readings for (a subset of) the unit's output sensors.
 	Compute(qe *QueryEngine, u *units.Unit, now time.Time) ([]Output, error)
+}
+
+// ContextOperator is implemented by operators whose computation can run
+// against a reusable TickContext. When implemented, ComputeInto replaces
+// Compute on the tick path: the returned outputs may alias the context's
+// buffers and are consumed (pushed to the sink) before the context is
+// handed to the next computation. All built-in plugins implement it; their
+// plain Compute delegates to ComputeInto with a fresh context.
+type ContextOperator interface {
+	Operator
+	ComputeInto(qe *QueryEngine, u *units.Unit, now time.Time, tc *TickContext) ([]Output, error)
+}
+
+// computeUnit performs one unit computation, preferring the scratch-buffer
+// path when the operator supports it.
+func computeUnit(op Operator, qe *QueryEngine, u *units.Unit, now time.Time, tc *TickContext) ([]Output, error) {
+	if co, ok := op.(ContextOperator); ok {
+		return co.ComputeInto(qe, u, now, tc)
+	}
+	return op.Compute(qe, u, now)
 }
 
 // BatchOperator is implemented by operators whose analysis spans all units
@@ -203,9 +259,7 @@ func TickScheduled(op Operator, qe *QueryEngine, sink Sink, now time.Time, sched
 		var outs []Output
 		var err error
 		run(func() { outs, err = b.ComputeBatch(qe, now) })
-		for _, o := range outs {
-			sink.Push(o.Topic, o.Reading)
-		}
+		PushOutputs(sink, outs)
 		if err != nil {
 			return fmt.Errorf("core: %s: %w", op.Name(), err)
 		}
@@ -216,15 +270,17 @@ func TickScheduled(op Operator, qe *QueryEngine, sink Sink, now time.Time, sched
 		var err error
 		run(func() {
 			var errs []error
+			tc := getTickContext()
 			for _, u := range us {
-				outs, cerr := op.Compute(qe, u, now)
+				outs, cerr := computeUnit(op, qe, u, now, tc)
 				if cerr != nil {
 					errs = append(errs, fmt.Errorf("core: %s: unit %s: %w", op.Name(), u.Name, cerr))
 				}
-				for _, o := range outs {
-					sink.Push(o.Topic, o.Reading)
-				}
+				// Outputs may alias tc; deliver them before the next unit
+				// reuses the buffers.
+				PushOutputs(sink, outs)
 			}
+			putTickContext(tc)
 			err = errors.Join(errs...)
 		})
 		return err
@@ -236,13 +292,13 @@ func TickScheduled(op Operator, qe *QueryEngine, sink Sink, now time.Time, sched
 		task := func(i int, u *units.Unit) func() {
 			return func() {
 				defer wg.Done()
-				outs, err := op.Compute(qe, u, now)
+				tc := getTickContext()
+				outs, err := computeUnit(op, qe, u, now, tc)
 				if err != nil {
 					errs[i] = fmt.Errorf("core: %s: unit %s: %w", op.Name(), u.Name, err)
 				}
-				for _, o := range outs {
-					sink.Push(o.Topic, o.Reading)
-				}
+				PushOutputs(sink, outs)
+				putTickContext(tc)
 			}
 		}(i, u)
 		if sched != nil {

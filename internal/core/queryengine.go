@@ -54,9 +54,24 @@ func NewQueryEngine(nav *navigator.Navigator, caches CacheProvider, store StoreR
 // hierarchy.
 func (qe *QueryEngine) Navigator() *navigator.Navigator { return qe.nav }
 
+// lookup returns the cache for topic, or nil when absent.
+func (qe *QueryEngine) lookup(topic sensor.Topic) *cache.Cache {
+	if c, ok := qe.caches.Get(topic); ok {
+		return c
+	}
+	return nil
+}
+
 // Latest returns the most recent reading of topic, cache-first.
 func (qe *QueryEngine) Latest(topic sensor.Topic) (sensor.Reading, bool) {
-	if c, ok := qe.caches.Get(topic); ok {
+	return qe.latestIn(qe.lookup(topic), topic)
+}
+
+// latestIn answers a latest-reading query against a resolved cache (nil
+// when the sensor has none), falling back to the store. It is shared by
+// the unbound topic path and the BoundSensor path.
+func (qe *QueryEngine) latestIn(c *cache.Cache, topic sensor.Topic) (sensor.Reading, bool) {
+	if c != nil {
 		if r, ok := c.Latest(); ok {
 			return r, true
 		}
@@ -71,8 +86,18 @@ func (qe *QueryEngine) Latest(topic sensor.Topic) (sensor.Reading, bool) {
 // [latest-lookback, latest] — relative mode, O(1) view computation on the
 // cache. When the sensor has no cache the store answers instead.
 func (qe *QueryEngine) QueryRelative(topic sensor.Topic, lookback time.Duration, dst []sensor.Reading) []sensor.Reading {
-	if c, ok := qe.caches.Get(topic); ok && c.Len() > 0 {
-		return c.ViewRelative(lookback, dst)
+	return qe.relativeIn(qe.lookup(topic), topic, lookback, dst)
+}
+
+// relativeIn answers a relative query against a resolved cache, falling
+// back to the store when the cache is absent or empty.
+func (qe *QueryEngine) relativeIn(c *cache.Cache, topic sensor.Topic, lookback time.Duration, dst []sensor.Reading) []sensor.Reading {
+	if c != nil {
+		// A non-empty cache always yields at least one reading, so growth
+		// of dst doubles as the hit test and saves a second cache lock.
+		if out := c.ViewRelative(lookback, dst); len(out) > len(dst) {
+			return out
+		}
 	}
 	if qe.store != nil {
 		if latest, ok := qe.store.Latest(topic); ok {
@@ -87,7 +112,14 @@ func (qe *QueryEngine) QueryRelative(topic sensor.Topic, lookback time.Duration,
 // cache does not cover the start of the range (old readings evicted), the
 // Storage Backend serves the query instead, if available.
 func (qe *QueryEngine) QueryAbsolute(topic sensor.Topic, t0, t1 int64, dst []sensor.Reading) []sensor.Reading {
-	if c, ok := qe.caches.Get(topic); ok && c.Len() > 0 {
+	return qe.absoluteIn(qe.lookup(topic), topic, t0, t1, dst)
+}
+
+// absoluteIn answers an absolute query against a resolved cache, falling
+// back to the store when the cache is absent, empty, or does not cover
+// the start of the range.
+func (qe *QueryEngine) absoluteIn(c *cache.Cache, topic sensor.Topic, t0, t1 int64, dst []sensor.Reading) []sensor.Reading {
+	if c != nil && c.Len() > 0 {
 		oldest, _ := c.Oldest()
 		if oldest.Time <= t0 || qe.store == nil {
 			return c.ViewAbsolute(t0, t1, dst)
@@ -102,8 +134,16 @@ func (qe *QueryEngine) QueryAbsolute(topic sensor.Topic, t0, t1 int64, dst []sen
 // Average returns the mean of the readings of topic over the relative
 // window [latest-lookback, latest], serving the REST /average endpoint.
 func (qe *QueryEngine) Average(topic sensor.Topic, lookback time.Duration) (float64, bool) {
-	if c, ok := qe.caches.Get(topic); ok && c.Len() > 0 {
-		return c.Average(lookback)
+	return qe.averageIn(qe.lookup(topic), topic, lookback)
+}
+
+// averageIn answers a windowed-average query against a resolved cache,
+// falling back to the store.
+func (qe *QueryEngine) averageIn(c *cache.Cache, topic sensor.Topic, lookback time.Duration) (float64, bool) {
+	if c != nil {
+		if avg, ok := c.Average(lookback); ok {
+			return avg, true
+		}
 	}
 	if qe.store == nil {
 		return 0, false

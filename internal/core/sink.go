@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"github.com/dcdb/wintermute/internal/cache"
@@ -14,6 +15,58 @@ type StoreWriter interface {
 	Insert(topic sensor.Topic, r sensor.Reading)
 }
 
+// StoreBatchWriter is optionally implemented by store writers that can
+// insert a whole series of readings for one topic under a single lock;
+// *store.Store implements it.
+type StoreBatchWriter interface {
+	StoreWriter
+	InsertBatch(topic sensor.Topic, rs []sensor.Reading)
+}
+
+// BatchSink is optionally implemented by sinks that can accept a whole
+// unit's outputs in one call, taking their internal locks once per batch
+// instead of once per reading. Sinks that only implement Push keep
+// working unchanged: PushOutputs shims the batch onto single pushes.
+type BatchSink interface {
+	Sink
+	PushBatch(outs []Output)
+}
+
+// SeriesSink is optionally implemented by sinks that can accept several
+// readings of one topic at once (one MQTT message, one store insert, one
+// cache lock). The transport-ingest path of the Collect Agent and the
+// MQTT forwarder of the Pusher use it. The rs slice may come from a
+// recycled buffer: implementations must consume it before returning and
+// must not retain it.
+type SeriesSink interface {
+	Sink
+	PushSeries(topic sensor.Topic, rs []sensor.Reading)
+}
+
+// PushOutputs delivers outs through sink, using the batched entry point
+// when the sink provides one. It is the default shim that lets the tick
+// path push batches while old single-push Sink implementations keep
+// working.
+func PushOutputs(sink Sink, outs []Output) {
+	if len(outs) == 0 {
+		return
+	}
+	if bs, ok := sink.(BatchSink); ok {
+		bs.PushBatch(outs)
+		return
+	}
+	for _, o := range outs {
+		sink.Push(o.Topic, o.Reading)
+	}
+}
+
+// readingScratch recycles the contiguous reading slices PushBatch needs
+// when regrouping outputs into per-topic series.
+var readingScratch = sync.Pool{New: func() any {
+	s := make([]sensor.Reading, 0, 64)
+	return &s
+}}
+
 // CacheSink routes readings into a cache set — creating caches on demand —
 // and optionally registers new output sensors in the navigator and
 // persists readings to a store. It is the building block of the sinks
@@ -21,6 +74,10 @@ type StoreWriter interface {
 // because operator output lands in the same caches as monitoring data,
 // operators can consume the output of other operators, forming the
 // analysis pipelines of paper §IV-d.
+//
+// CacheSink implements BatchSink and SeriesSink: batches take the cache,
+// store and transport locks once per topic run instead of once per
+// reading.
 type CacheSink struct {
 	Caches   *cache.Set
 	Nav      *navigator.Navigator // optional: register output topics
@@ -44,6 +101,67 @@ func NewCacheSink(caches *cache.Set, nav *navigator.Navigator, capacity int, int
 
 // Push implements Sink.
 func (s *CacheSink) Push(topic sensor.Topic, r sensor.Reading) {
+	c := s.cacheFor(topic)
+	c.Store(r)
+	if s.Store != nil {
+		s.Store.Insert(topic, r)
+	}
+	if s.Forward != nil {
+		s.Forward.Push(topic, r)
+	}
+}
+
+// PushSeries implements SeriesSink: all readings of one topic land in the
+// cache under one lock, reach the store in one insert batch, and are
+// forwarded in one message when the forwarder supports series.
+func (s *CacheSink) PushSeries(topic sensor.Topic, rs []sensor.Reading) {
+	if len(rs) == 0 {
+		return
+	}
+	c := s.cacheFor(topic)
+	c.StoreBatch(rs)
+	if s.Store != nil {
+		if bw, ok := s.Store.(StoreBatchWriter); ok {
+			bw.InsertBatch(topic, rs)
+		} else {
+			for _, r := range rs {
+				s.Store.Insert(topic, r)
+			}
+		}
+	}
+	if s.Forward != nil {
+		forwardSeries(s.Forward, topic, rs)
+	}
+}
+
+// PushBatch implements BatchSink. Outputs are delivered in order; runs of
+// consecutive outputs sharing a topic collapse into one series push.
+func (s *CacheSink) PushBatch(outs []Output) {
+	for i := 0; i < len(outs); {
+		j := i + 1
+		for j < len(outs) && outs[j].Topic == outs[i].Topic {
+			j++
+		}
+		if j-i == 1 {
+			s.Push(outs[i].Topic, outs[i].Reading)
+			i = j
+			continue
+		}
+		bufp := readingScratch.Get().(*[]sensor.Reading)
+		rs := (*bufp)[:0]
+		for _, o := range outs[i:j] {
+			rs = append(rs, o.Reading)
+		}
+		s.PushSeries(outs[i].Topic, rs)
+		*bufp = rs[:0]
+		readingScratch.Put(bufp)
+		i = j
+	}
+}
+
+// cacheFor returns the topic's cache, creating it — and registering the
+// sensor in the navigator — on first sight.
+func (s *CacheSink) cacheFor(topic sensor.Topic) *cache.Cache {
 	if s.Nav != nil {
 		if _, known := s.Caches.Get(topic); !known {
 			// AddSensor is idempotent; registering once per new topic keeps
@@ -51,11 +169,17 @@ func (s *CacheSink) Push(topic sensor.Topic, r sensor.Reading) {
 			_ = s.Nav.AddSensor(topic)
 		}
 	}
-	s.Caches.GetOrCreate(topic, s.Capacity, s.Interval).Store(r)
-	if s.Store != nil {
-		s.Store.Insert(topic, r)
+	return s.Caches.GetOrCreate(topic, s.Capacity, s.Interval)
+}
+
+// forwardSeries hands a topic run to a forwarding sink, preferring its
+// series entry point.
+func forwardSeries(fw Sink, topic sensor.Topic, rs []sensor.Reading) {
+	if ss, ok := fw.(SeriesSink); ok {
+		ss.PushSeries(topic, rs)
+		return
 	}
-	if s.Forward != nil {
-		s.Forward.Push(topic, r)
+	for _, r := range rs {
+		fw.Push(topic, r)
 	}
 }

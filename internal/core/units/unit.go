@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"github.com/dcdb/wintermute/internal/navigator"
 	"github.com/dcdb/wintermute/internal/sensor"
@@ -21,6 +22,27 @@ type Unit struct {
 	Inputs []sensor.Topic
 	// Outputs are the sensors delivering the results of the analysis.
 	Outputs []sensor.Topic
+
+	// binding holds the Query Engine's resolved sensor handles for this
+	// unit (an opaque *core.BoundUnit; this package cannot name the type
+	// without an import cycle). It lives on the unit rather than in a
+	// side table so that dynamic-unit operators, which replace their unit
+	// set every tick, cannot leak bindings: each one is garbage-collected
+	// together with its unit.
+	binding atomic.Value
+}
+
+// Binding returns the opaque binding attached to the unit, or nil.
+func (u *Unit) Binding() any { return u.binding.Load() }
+
+// Bind attaches b as the unit's binding if none is attached yet and
+// returns the winning binding — b, or the one a concurrent binder
+// attached first.
+func (u *Unit) Bind(b any) any {
+	if u.binding.CompareAndSwap(nil, b) {
+		return b
+	}
+	return u.binding.Load()
 }
 
 // String renders the unit compactly for logs and the REST API.

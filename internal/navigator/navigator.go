@@ -182,14 +182,18 @@ func (nv *Navigator) Resolve(path sensor.Topic) (*Node, bool) {
 	return n, ok
 }
 
-// HasSensor reports whether the exact sensor topic is registered.
+// HasSensor reports whether the exact sensor topic is registered. Node
+// resolution and the sensor lookup happen under one critical section, so
+// the answer reflects a single consistent tree state — the previous
+// two-phase locking (resolve, release, re-lock) left a window in which a
+// concurrent AddSensor could be half-observed.
 func (nv *Navigator) HasSensor(topic sensor.Topic) bool {
-	node, ok := nv.Resolve(topic.Node())
+	nv.mu.RLock()
+	defer nv.mu.RUnlock()
+	node, ok := nv.byPath[sensor.Clean(string(topic.Node())).AsNode()]
 	if !ok {
 		return false
 	}
-	nv.mu.RLock()
-	defer nv.mu.RUnlock()
 	_, ok = node.sensors[topic.Name()]
 	return ok
 }

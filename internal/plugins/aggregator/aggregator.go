@@ -77,12 +77,20 @@ func New(cfg Config, qe *core.QueryEngine) (*Operator, error) {
 
 // Compute implements core.Operator.
 func (o *Operator) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) ([]core.Output, error) {
+	return o.ComputeInto(qe, u, now, core.NewTickContext())
+}
+
+// ComputeInto implements core.ContextOperator: queries go through the
+// unit's bound sensor handles and all working slices live in the tick
+// context, so the steady-state computation performs no allocations.
+func (o *Operator) ComputeInto(qe *core.QueryEngine, u *units.Unit, now time.Time, tc *core.TickContext) ([]core.Output, error) {
+	bu := qe.BindUnit(u)
 	var w stats.Welford
 	var sum, deltaSum float64
 	sensorsSeen := 0
-	var buf []sensor.Reading
-	for _, in := range u.Inputs {
-		buf = qe.QueryRelative(in, o.window, buf[:0])
+	buf := tc.Readings
+	for i := range u.Inputs {
+		buf = bu.Inputs[i].QueryRelative(o.window, buf[:0])
 		if len(buf) == 0 {
 			continue
 		}
@@ -102,6 +110,7 @@ func (o *Operator) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) (
 			}
 		}
 	}
+	tc.Readings = buf
 	if sensorsSeen == 0 {
 		return nil, fmt.Errorf("aggregator: unit %s has no data", u.Name)
 	}
@@ -123,10 +132,11 @@ func (o *Operator) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) (
 	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return nil, fmt.Errorf("aggregator: unit %s produced non-finite %v", u.Name, v)
 	}
-	outs := make([]core.Output, 0, len(u.Outputs))
+	outs := tc.Outputs[:0]
 	for _, out := range u.Outputs {
 		outs = append(outs, core.Output{Topic: out, Reading: sensor.At(v, now)})
 	}
+	tc.Outputs = outs
 	return outs, nil
 }
 

@@ -118,11 +118,13 @@ func (o *Operator) isCounter(name string) bool {
 
 // aggregate reduces one unit's inputs to its feature vector: windowed
 // mean for gauges, last-first for counters. ok is false when any input
-// lacks data.
+// lacks data. Queries go through the unit's bound handles, so the
+// once-per-interval sweep over all fleet units costs no topic lookups.
 func (o *Operator) aggregate(qe *core.QueryEngine, u *units.Unit, buf []sensor.Reading) (vec []float64, ok bool, out []sensor.Reading) {
+	bu := qe.BindUnit(u)
 	vec = make([]float64, 0, len(u.Inputs))
-	for _, in := range u.Inputs {
-		buf = qe.QueryRelative(in, o.window, buf[:0])
+	for i, in := range u.Inputs {
+		buf = bu.Inputs[i].QueryRelative(o.window, buf[:0])
 		if len(buf) == 0 {
 			return nil, false, buf
 		}

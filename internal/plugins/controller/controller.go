@@ -84,10 +84,16 @@ func New(cfg Config, qe *core.QueryEngine) (*Operator, error) {
 // Compute implements core.Operator: knob <- clamp(knob - gain*(avgPower -
 // budget)); over-budget power lowers the knob, headroom raises it back.
 func (o *Operator) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) ([]core.Output, error) {
+	return o.ComputeInto(qe, u, now, core.NewTickContext())
+}
+
+// ComputeInto implements core.ContextOperator.
+func (o *Operator) ComputeInto(qe *core.QueryEngine, u *units.Unit, now time.Time, tc *core.TickContext) ([]core.Output, error) {
 	if len(u.Inputs) == 0 || len(u.Outputs) == 0 {
 		return nil, nil
 	}
-	avg, ok := qe.Average(u.Inputs[0], o.window)
+	bu := qe.BindUnit(u)
+	avg, ok := bu.Inputs[0].Average(o.window)
 	if !ok {
 		return nil, nil
 	}
@@ -105,7 +111,9 @@ func (o *Operator) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) (
 	}
 	o.targets[u.Name] = knob
 	o.mu.Unlock()
-	return []core.Output{{Topic: u.Outputs[0], Reading: sensor.At(knob, now)}}, nil
+	outs := append(tc.Outputs[:0], core.Output{Topic: u.Outputs[0], Reading: sensor.At(knob, now)})
+	tc.Outputs = outs
+	return outs, nil
 }
 
 func init() {

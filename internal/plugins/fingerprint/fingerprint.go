@@ -141,14 +141,23 @@ func (o *Operator) labelFor(u *units.Unit, now time.Time) (string, bool) {
 // metrics labelled by the running job accumulate; after training, every
 // window yields a recognised application index and confidence.
 func (o *Operator) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) ([]core.Output, error) {
+	return o.ComputeInto(qe, u, now, core.NewTickContext())
+}
+
+// ComputeInto implements core.ContextOperator. The reading buffer is
+// context scratch; the feature vector is freshly allocated on purpose —
+// it may be retained as labelled training data.
+func (o *Operator) ComputeInto(qe *core.QueryEngine, u *units.Unit, now time.Time, tc *core.TickContext) ([]core.Output, error) {
+	bu := qe.BindUnit(u)
 	feat := make([]float64, 0, features.VectorSize(len(u.Inputs)))
-	var buf []sensor.Reading
+	buf := tc.Readings
 	samples := 0
-	for _, in := range u.Inputs {
-		buf = qe.QueryRelative(in, o.window, buf[:0])
+	for i := range u.Inputs {
+		buf = bu.Inputs[i].QueryRelative(o.window, buf[:0])
 		samples += len(buf)
 		feat = features.Extract(buf, feat)
 	}
+	tc.Readings = buf
 	if samples == 0 {
 		return nil, nil // sensors not warm yet
 	}
@@ -180,13 +189,14 @@ func (o *Operator) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) (
 			}
 		}
 	}
-	outs := make([]core.Output, 0, 2)
+	outs := tc.Outputs[:0]
 	if len(u.Outputs) >= 1 {
 		outs = append(outs, core.Output{Topic: u.Outputs[0], Reading: sensor.At(float64(class), now)})
 	}
 	if len(u.Outputs) >= 2 {
 		outs = append(outs, core.Output{Topic: u.Outputs[1], Reading: sensor.At(conf, now)})
 	}
+	tc.Outputs = outs
 	return outs, nil
 }
 

@@ -84,9 +84,16 @@ func (o *Operator) grade(v float64) float64 {
 // Compute implements core.Operator: the unit's status is the worst grade
 // across its input sensors.
 func (o *Operator) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) ([]core.Output, error) {
+	return o.ComputeInto(qe, u, now, core.NewTickContext())
+}
+
+// ComputeInto implements core.ContextOperator: latest-reading probes go
+// through bound handles and outputs land in the context's scratch buffer.
+func (o *Operator) ComputeInto(qe *core.QueryEngine, u *units.Unit, now time.Time, tc *core.TickContext) ([]core.Output, error) {
+	bu := qe.BindUnit(u)
 	worst := float64(StatusOK)
-	for _, in := range u.Inputs {
-		r, ok := qe.Latest(in)
+	for i := range u.Inputs {
+		r, ok := bu.Inputs[i].Latest()
 		var g float64
 		switch {
 		case !ok, now.UnixNano()-r.Time > int64(o.stale):
@@ -98,10 +105,11 @@ func (o *Operator) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) (
 			worst = g
 		}
 	}
-	outs := make([]core.Output, 0, len(u.Outputs))
+	outs := tc.Outputs[:0]
 	for _, out := range u.Outputs {
 		outs = append(outs, core.Output{Topic: out, Reading: sensor.At(worst, now)})
 	}
+	tc.Outputs = outs
 	return outs, nil
 }
 

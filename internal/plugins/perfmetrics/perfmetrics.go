@@ -89,26 +89,35 @@ func requiredCounters(metric string) ([2]string, error) {
 }
 
 // delta returns the (first, last) readings of the input sensor with the
-// given short name over the differentiation window.
-func (o *Operator) delta(qe *core.QueryEngine, u *units.Unit, name string, buf []sensor.Reading) (first, last sensor.Reading, ok bool, out []sensor.Reading) {
-	for _, in := range u.Inputs {
-		if in.Name() != name {
-			continue
-		}
-		buf = qe.QueryRelative(in, o.window, buf[:0])
-		if len(buf) < 2 {
-			return sensor.Reading{}, sensor.Reading{}, false, buf
-		}
-		return buf[0], buf[len(buf)-1], true, buf
+// given short name over the differentiation window, querying through the
+// unit's bound handles.
+func (o *Operator) delta(bu *core.BoundUnit, name string, buf []sensor.Reading) (first, last sensor.Reading, ok bool, out []sensor.Reading) {
+	in, found := bu.InputNamed(name)
+	if !found {
+		return sensor.Reading{}, sensor.Reading{}, false, buf
 	}
-	return sensor.Reading{}, sensor.Reading{}, false, buf
+	buf = in.QueryRelative(o.window, buf[:0])
+	if len(buf) < 2 {
+		return sensor.Reading{}, sensor.Reading{}, false, buf
+	}
+	return buf[0], buf[len(buf)-1], true, buf
 }
 
 // Compute implements core.Operator: each output sensor receives its
 // derived metric computed from counter deltas over the window.
 func (o *Operator) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) ([]core.Output, error) {
-	var outs []core.Output
-	var buf []sensor.Reading
+	return o.ComputeInto(qe, u, now, core.NewTickContext())
+}
+
+// ComputeInto implements core.ContextOperator.
+func (o *Operator) ComputeInto(qe *core.QueryEngine, u *units.Unit, now time.Time, tc *core.TickContext) ([]core.Output, error) {
+	bu := qe.BindUnit(u)
+	outs := tc.Outputs[:0]
+	buf := tc.Readings
+	defer func() {
+		tc.Outputs = outs
+		tc.Readings = buf
+	}()
 	for _, out := range u.Outputs {
 		metric := out.Name()
 		counters, err := requiredCounters(metric)
@@ -118,7 +127,7 @@ func (o *Operator) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) (
 		var num, den float64
 		var ok bool
 		var f, l sensor.Reading
-		f, l, ok, buf = o.delta(qe, u, counters[0], buf)
+		f, l, ok, buf = o.delta(bu, counters[0], buf)
 		if !ok {
 			continue // not enough data yet; normal during warm-up
 		}
@@ -127,7 +136,7 @@ func (o *Operator) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) (
 		case MetricFlopsRate:
 			den = float64(l.Time-f.Time) / 1e9 // per second
 		default:
-			f2, l2, ok2, b := o.delta(qe, u, counters[1], buf)
+			f2, l2, ok2, b := o.delta(bu, counters[1], buf)
 			buf = b
 			if !ok2 {
 				continue

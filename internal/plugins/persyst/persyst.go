@@ -123,23 +123,34 @@ func (o *Operator) RefreshUnits(qe *core.QueryEngine, now time.Time) error {
 // Compute implements core.Operator: the latest reading of every input is
 // collected and reduced to the configured quantiles.
 func (o *Operator) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) ([]core.Output, error) {
-	values := make([]float64, 0, len(u.Inputs))
-	for _, in := range u.Inputs {
-		if r, ok := qe.Latest(in); ok {
+	return o.ComputeInto(qe, u, now, core.NewTickContext())
+}
+
+// ComputeInto implements core.ContextOperator: the per-job sample vector
+// lives in the context's float scratch. Units are rebuilt every tick by
+// RefreshUnits, so bound handles are attached to each fresh unit on its
+// first computation and collected with it.
+func (o *Operator) ComputeInto(qe *core.QueryEngine, u *units.Unit, now time.Time, tc *core.TickContext) ([]core.Output, error) {
+	bu := qe.BindUnit(u)
+	values := tc.Floats[:0]
+	for i := range u.Inputs {
+		if r, ok := bu.Inputs[i].Latest(); ok {
 			values = append(values, r.Value)
 		}
 	}
+	tc.Floats = values
 	if len(values) == 0 {
 		return nil, nil
 	}
 	qs := quantile.ExactMany(values, o.cfg.Quantiles)
-	outs := make([]core.Output, 0, len(qs))
+	outs := tc.Outputs[:0]
 	for i, v := range qs {
 		if math.IsNaN(v) {
 			continue
 		}
 		outs = append(outs, core.Output{Topic: u.Outputs[i], Reading: sensor.At(v, now)})
 	}
+	tc.Outputs = outs
 	return outs, nil
 }
 

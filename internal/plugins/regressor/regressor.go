@@ -148,21 +148,31 @@ func (o *Operator) AvgRelError() float64 {
 // configured, receives the relative error of the previous prediction as it
 // is realised.
 func (o *Operator) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) ([]core.Output, error) {
-	target, err := targetOf(u, o.cfg.Target)
-	if err != nil {
-		return nil, err
+	return o.ComputeInto(qe, u, now, core.NewTickContext())
+}
+
+// ComputeInto implements core.ContextOperator. The reading buffer comes
+// from the tick context; the feature vector is freshly allocated on
+// purpose — it outlives the computation as training data or as the unit's
+// lastFeatures state.
+func (o *Operator) ComputeInto(qe *core.QueryEngine, u *units.Unit, now time.Time, tc *core.TickContext) ([]core.Output, error) {
+	bu := qe.BindUnit(u)
+	target, found := bu.InputNamed(o.cfg.Target)
+	if !found {
+		return nil, fmt.Errorf("regressor: unit %s has no input named %q", u.Name, o.cfg.Target)
 	}
-	cur, ok := qe.Latest(target)
+	cur, ok := target.Latest()
 	if !ok {
 		return nil, nil // no data yet
 	}
 	// Feature vector: window statistics of every input sensor.
 	feat := make([]float64, 0, features.VectorSize(len(u.Inputs)))
-	var buf []sensor.Reading
-	for _, in := range u.Inputs {
-		buf = qe.QueryRelative(in, o.window, buf[:0])
+	buf := tc.Readings
+	for i := range u.Inputs {
+		buf = bu.Inputs[i].QueryRelative(o.window, buf[:0])
 		feat = features.Extract(buf, feat)
 	}
+	tc.Readings = buf
 
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -171,7 +181,8 @@ func (o *Operator) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) (
 		st = &unitState{}
 		o.state[u.Name] = st
 	}
-	var outs []core.Output
+	outs := tc.Outputs[:0]
+	defer func() { tc.Outputs = outs }()
 	// The previous tick's features predicted the current value: realise
 	// the training pair and the prediction error.
 	if st.lastFeatures != nil {

@@ -89,10 +89,17 @@ func New(cfg Config, qe *core.QueryEngine) (*Operator, error) {
 // Compute implements core.Operator: output (i, j) receives the average of
 // input i over window j.
 func (o *Operator) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) ([]core.Output, error) {
-	outs := make([]core.Output, 0, len(u.Outputs))
-	for i, in := range u.Inputs {
+	return o.ComputeInto(qe, u, now, core.NewTickContext())
+}
+
+// ComputeInto implements core.ContextOperator: averages are computed
+// through bound handles, outputs accumulate in the context's buffer.
+func (o *Operator) ComputeInto(qe *core.QueryEngine, u *units.Unit, now time.Time, tc *core.TickContext) ([]core.Output, error) {
+	bu := qe.BindUnit(u)
+	outs := tc.Outputs[:0]
+	for i := range u.Inputs {
 		for j, w := range o.windows {
-			avg, ok := qe.Average(in, w)
+			avg, ok := bu.Inputs[i].Average(w)
 			if !ok {
 				continue // sensor not warm yet
 			}
@@ -102,6 +109,7 @@ func (o *Operator) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) (
 			})
 		}
 	}
+	tc.Outputs = outs
 	return outs, nil
 }
 

@@ -35,7 +35,6 @@ type Operator struct {
 	*core.Base
 	cfg Config
 
-	bufPool sync.Pool
 	// readings counts the total readings retrieved, exposed for tests.
 	mu       sync.Mutex
 	readings uint64
@@ -50,12 +49,7 @@ func New(cfg Config, qe *core.QueryEngine) (*Operator, error) {
 	if cfg.Queries <= 0 {
 		cfg.Queries = 1
 	}
-	op := &Operator{Base: base, cfg: cfg}
-	op.bufPool.New = func() any {
-		s := make([]sensor.Reading, 0, 1024)
-		return &s
-	}
-	return op, nil
+	return &Operator{Base: base, cfg: cfg}, nil
 }
 
 // ReadingsRetrieved returns the cumulative number of readings fetched.
@@ -69,33 +63,41 @@ func (o *Operator) ReadingsRetrieved() uint64 {
 // unit's input sensors and reports the number of readings retrieved on the
 // unit's outputs.
 func (o *Operator) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) ([]core.Output, error) {
+	return o.ComputeInto(qe, u, now, core.NewTickContext())
+}
+
+// ComputeInto implements core.ContextOperator: the query workload runs
+// through bound sensor handles against the context's reading scratch, so
+// a steady-state tick performs no per-query topic resolution and no
+// allocations — the configuration the paper's Figure 5 sweeps.
+func (o *Operator) ComputeInto(qe *core.QueryEngine, u *units.Unit, now time.Time, tc *core.TickContext) ([]core.Output, error) {
 	if len(u.Inputs) == 0 {
 		return nil, nil
 	}
+	bu := qe.BindUnit(u)
 	window := time.Duration(o.cfg.WindowMs) * time.Millisecond
 	nowNs := now.UnixNano()
-	bufp := o.bufPool.Get().(*[]sensor.Reading)
-	buf := *bufp
+	buf := tc.Readings
 	var total int
 	for q := 0; q < o.cfg.Queries; q++ {
-		topic := u.Inputs[q%len(u.Inputs)]
+		in := bu.Inputs[q%len(u.Inputs)]
 		buf = buf[:0]
 		if o.cfg.Absolute {
-			buf = qe.QueryAbsolute(topic, nowNs-int64(window), nowNs, buf)
+			buf = in.QueryAbsolute(nowNs-int64(window), nowNs, buf)
 		} else {
-			buf = qe.QueryRelative(topic, window, buf)
+			buf = in.QueryRelative(window, buf)
 		}
 		total += len(buf)
 	}
-	*bufp = buf
-	o.bufPool.Put(bufp)
+	tc.Readings = buf
 	o.mu.Lock()
 	o.readings += uint64(total)
 	o.mu.Unlock()
-	outs := make([]core.Output, 0, len(u.Outputs))
+	outs := tc.Outputs[:0]
 	for _, out := range u.Outputs {
 		outs = append(outs, core.Output{Topic: out, Reading: sensor.At(float64(total), now)})
 	}
+	tc.Outputs = outs
 	return outs, nil
 }
 

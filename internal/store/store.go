@@ -54,33 +54,54 @@ func (s *Store) get(topic sensor.Topic, create bool) *series {
 	return se
 }
 
+// insert places one reading at its sorted position. Callers must hold
+// se.mu.
+func (se *series) insert(r sensor.Reading) {
+	n := len(se.data)
+	if n == 0 || se.data[n-1].Time <= r.Time {
+		se.data = append(se.data, r)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return se.data[i].Time > r.Time })
+	se.data = append(se.data, sensor.Reading{})
+	copy(se.data[i+1:], se.data[i:])
+	se.data[i] = r
+}
+
+// trim enforces the per-series retention bound. Callers must hold se.mu.
+func (se *series) trim(max int) {
+	if max > 0 && len(se.data) > max {
+		drop := len(se.data) - max
+		se.data = append(se.data[:0], se.data[drop:]...)
+	}
+}
+
 // Insert appends a reading to the series of topic. Readings arriving out
 // of timestamp order are placed at their sorted position, so range queries
 // always observe a time-ordered series.
 func (s *Store) Insert(topic sensor.Topic, r sensor.Reading) {
 	se := s.get(topic, true)
 	se.mu.Lock()
-	n := len(se.data)
-	if n == 0 || se.data[n-1].Time <= r.Time {
-		se.data = append(se.data, r)
-	} else {
-		i := sort.Search(n, func(i int) bool { return se.data[i].Time > r.Time })
-		se.data = append(se.data, sensor.Reading{})
-		copy(se.data[i+1:], se.data[i:])
-		se.data[i] = r
-	}
-	if s.maxPerSeries > 0 && len(se.data) > s.maxPerSeries {
-		drop := len(se.data) - s.maxPerSeries
-		se.data = append(se.data[:0], se.data[drop:]...)
-	}
+	se.insert(r)
+	se.trim(s.maxPerSeries)
 	se.mu.Unlock()
 }
 
-// InsertBatch appends several readings to one topic.
+// InsertBatch appends several readings to one topic under a single lock
+// acquisition, trimming retention once at the end — the batched-sink
+// ingest path of the Collect Agent (one lock per delivered MQTT message
+// or operator-unit batch instead of one per reading).
 func (s *Store) InsertBatch(topic sensor.Topic, rs []sensor.Reading) {
-	for _, r := range rs {
-		s.Insert(topic, r)
+	if len(rs) == 0 {
+		return
 	}
+	se := s.get(topic, true)
+	se.mu.Lock()
+	for _, r := range rs {
+		se.insert(r)
+	}
+	se.trim(s.maxPerSeries)
+	se.mu.Unlock()
 }
 
 // Range appends to dst the readings of topic with timestamps in [t0, t1]

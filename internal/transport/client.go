@@ -100,7 +100,10 @@ func (c *Client) waitAck(want byte) error {
 }
 
 // Publish sends one batch of readings for a topic. It is safe for
-// concurrent use.
+// concurrent use. The readings slice is fully encoded before Publish
+// returns and is never retained — callers (e.g. the Pusher's pooled
+// forwarding buffers) may reuse it immediately; any future asynchronous
+// implementation must copy it first.
 func (c *Client) Publish(topic sensor.Topic, readings []sensor.Reading) error {
 	c.mu.Lock()
 	closed := c.closed
