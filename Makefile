@@ -14,18 +14,21 @@ test:
 	$(GO) test ./...
 
 # Race-enabled run over every internal package; the hottest suspects are
-# the operator manager/scheduler, the sharded sensor caches and the new
-# bound-handle/scratch-arena tick path.
+# the operator manager/scheduler, the sharded sensor caches, the
+# bound-handle/scratch-arena tick path and the tsdb ingest/flush paths.
 race:
 	$(GO) test -race -count=1 ./internal/...
 
-# Short benchmark smoke: the tick-path contention pairs plus the cache
-# view micro-benches. Full suite: go test -bench=. -benchmem .
+# Short benchmark smoke: the tick-path contention pairs, the cache view
+# micro-benches and the storage backend pairs (in-memory store vs tsdb
+# insert/range plus crash recovery). Full suite: go test -bench=. -benchmem .
 bench:
-	$(GO) test -run '^$$' -bench 'TickAllContention|QueryContention|CacheView' -benchtime 10x -benchmem .
+	$(GO) test -run '^$$' -bench 'TickAllContention|QueryContention|CacheView|BackendInsertBatch|BackendRange|TSDBRecovery' -benchtime 10x -benchmem .
 
-# Machine-readable hot-path results for the per-PR perf trajectory.
+# Machine-readable hot-path results for the per-PR perf trajectory,
+# including the tsdb insert/range/recovery benches and the PR3 storage
+# acceptance scenario (on-disk bytes per reading, crash-recovery parity).
 bench-json:
-	$(GO) run ./cmd/benchrunner -bench-json BENCH_PR2.json
+	$(GO) run ./cmd/benchrunner -bench-json BENCH_PR3.json
 
 ci: build vet test race bench

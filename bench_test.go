@@ -9,6 +9,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -25,6 +27,7 @@ import (
 	"github.com/dcdb/wintermute/internal/sim/cluster"
 	"github.com/dcdb/wintermute/internal/store"
 	"github.com/dcdb/wintermute/internal/transport"
+	"github.com/dcdb/wintermute/internal/tsdb"
 
 	_ "github.com/dcdb/wintermute/internal/plugins/all"
 )
@@ -709,5 +712,151 @@ func BenchmarkTransportPublish(b *testing.B) {
 			b.Fatal(err)
 		}
 		<-recv
+	}
+}
+
+// --- PR3: persistent storage backend (tsdb) vs in-memory store ----------
+
+// tsdbBenchSeries generates the paired-bench workload: regularly sampled
+// integer-ish sensor values, the shape the Gorilla compressor is built
+// for.
+func tsdbBenchSeries(n int) []sensor.Reading {
+	rng := rand.New(rand.NewSource(7))
+	rs := make([]sensor.Reading, n)
+	for i := range rs {
+		rs[i] = sensor.Reading{
+			Value: 100 + float64(i%23) + float64(rng.Intn(5)),
+			Time:  int64(i) * sec,
+		}
+	}
+	return rs
+}
+
+// BenchmarkBackendInsertBatchMemory / ...TSDB pair the batched ingest
+// path of both store.Backend implementations: 64-reading batches, the
+// shape one delivered MQTT message produces.
+func BenchmarkBackendInsertBatchMemory(b *testing.B) {
+	st := store.New(0)
+	benchBackendInsertBatch(b, st)
+}
+
+func BenchmarkBackendInsertBatchTSDB(b *testing.B) {
+	db, err := tsdb.Open(b.TempDir(), tsdb.Options{FlushEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBackendInsertBatch(b, db)
+	// Close flushes everything inserted (cost scales with b.N): keep it
+	// out of the timed window or it pollutes the insert ns/op.
+	b.StopTimer()
+	db.Close()
+	b.StartTimer()
+}
+
+func benchBackendInsertBatch(b *testing.B, backend store.Backend) {
+	batch := tsdbBenchSeries(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			batch[j].Time = int64(i*64+j) * sec
+		}
+		backend.InsertBatch("/n/power", batch)
+	}
+}
+
+// BenchmarkBackendRangeMemory / ...TSDB pair a 300-reading range query
+// against 100k stored readings; the tsdb variant answers from a
+// compressed segment (decode included).
+func BenchmarkBackendRangeMemory(b *testing.B) {
+	st := store.New(0)
+	st.InsertBatch("/n/power", tsdbBenchSeries(100000))
+	benchBackendRange(b, st)
+}
+
+func BenchmarkBackendRangeTSDB(b *testing.B) {
+	db, err := tsdb.Open(b.TempDir(), tsdb.Options{FlushEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db.InsertBatch("/n/power", tsdbBenchSeries(100000))
+	if err := db.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	benchBackendRange(b, db)
+	b.StopTimer()
+	db.Close()
+	b.StartTimer()
+}
+
+func benchBackendRange(b *testing.B, backend store.Backend) {
+	buf := make([]sensor.Reading, 0, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = backend.Range("/n/power", 50000*sec, 50300*sec, buf[:0])
+	}
+	if len(buf) != 301 {
+		b.Fatalf("range = %d readings", len(buf))
+	}
+}
+
+// BenchmarkTSDBRecoveryOpen measures crash recovery: opening a database
+// whose WAL holds 64 topics x 256 readings with no prior flush. Each
+// iteration recovers a fresh copy of the crash directory (copied outside
+// the timer) so the measured state never accumulates WAL files or open
+// descriptors across iterations.
+func BenchmarkTSDBRecoveryOpen(b *testing.B) {
+	crashDir := b.TempDir()
+	db, err := tsdb.Open(crashDir, tsdb.Options{FlushEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs := tsdbBenchSeries(256)
+	for n := 0; n < 64; n++ {
+		db.InsertBatch(sensor.Topic(fmt.Sprintf("/r1/n%02d/power", n)), rs)
+	}
+	// db is never Closed: crashDir is the post-kill on-disk state.
+	copies := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := fmt.Sprintf("%s/i%d", copies, i)
+		copyCrashState(b, crashDir, dir)
+		b.StartTimer()
+		db2, err := tsdb.Open(dir, tsdb.Options{FlushEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if db2.TotalReadings() != 64*256 {
+			b.Fatalf("recovered %d readings", db2.TotalReadings())
+		}
+		b.StopTimer()
+		db2.Close()
+		os.RemoveAll(dir)
+		b.StartTimer()
+	}
+}
+
+// copyCrashState clones a tsdb directory tree (wal/ and seg/ files).
+func copyCrashState(b *testing.B, src, dst string) {
+	b.Helper()
+	for _, sub := range []string{"wal", "seg"} {
+		if err := os.MkdirAll(filepath.Join(dst, sub), 0o755); err != nil {
+			b.Fatal(err)
+		}
+		entries, err := os.ReadDir(filepath.Join(src, sub))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(src, sub, e.Name()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dst, sub, e.Name()), data, 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }

@@ -12,16 +12,23 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
 	"os"
 	"testing"
 	"time"
 
 	"github.com/dcdb/wintermute/internal/cache"
+	"github.com/dcdb/wintermute/internal/collect"
 	"github.com/dcdb/wintermute/internal/core"
 	"github.com/dcdb/wintermute/internal/core/units"
 	"github.com/dcdb/wintermute/internal/navigator"
 	"github.com/dcdb/wintermute/internal/plugins/aggregator"
+	"github.com/dcdb/wintermute/internal/rest"
 	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/store"
+	"github.com/dcdb/wintermute/internal/tsdb"
 )
 
 type benchResult struct {
@@ -32,10 +39,24 @@ type benchResult struct {
 	Iterations  int     `json:"iterations"`
 }
 
+// storageAcceptance is the PR3 acceptance scenario measured end to end:
+// a persistent backend fed >=100k readings across >=64 topics, flushed,
+// killed without Close, reopened, verified identical — with the
+// amortised on-disk footprint per reading.
+type storageAcceptance struct {
+	Topics          int     `json:"topics"`
+	Readings        int     `json:"readings"`
+	DiskBytes       int64   `json:"disk_bytes"`
+	BytesPerReading float64 `json:"bytes_per_reading"`
+	RecoveryMs      float64 `json:"recovery_ms"`
+	RecoveredSame   bool    `json:"recovered_identical"`
+}
+
 type benchReport struct {
-	PR         int           `json:"pr"`
-	Note       string        `json:"note"`
-	Benchmarks []benchResult `json:"benchmarks"`
+	PR         int                `json:"pr"`
+	Note       string             `json:"note"`
+	Benchmarks []benchResult      `json:"benchmarks"`
+	Storage    *storageAcceptance `json:"storage,omitempty"`
 }
 
 const benchSec = int64(time.Second)
@@ -178,10 +199,12 @@ func contentionEnv(legacy bool) (*core.Manager, error) {
 
 func runBenchJSON(path string) error {
 	report := benchReport{
-		PR: 2,
+		PR: 3,
 		Note: "paired hot-path benchmarks: unbound vs bound QueryRelative, " +
 			"legacy Compute vs ComputeInto scratch arenas (64-unit aggregator tick), " +
-			"and TickAll query contention (8 ops x 16 parallel units, 8-thread pool) legacy vs bound",
+			"TickAll query contention (8 ops x 16 parallel units, 8-thread pool) legacy vs bound, " +
+			"and the PR3 storage pairs: in-memory store vs tsdb insert/range plus crash recovery " +
+			"and the 100k-reading/64-topic on-disk footprint acceptance scenario",
 	}
 	add := func(name string, fn func(b *testing.B)) {
 		r := testing.Benchmark(fn)
@@ -261,6 +284,103 @@ func runBenchJSON(path string) error {
 		m.Close()
 	}
 
+	fmt.Println("==> bench-json: storage backend (memory vs tsdb)")
+	benchSeries := func(n, offset int) []sensor.Reading {
+		rng := rand.New(rand.NewSource(7))
+		rs := make([]sensor.Reading, n)
+		for i := range rs {
+			rs[i] = sensor.Reading{
+				Value: 100 + float64(i%23) + float64(rng.Intn(5)),
+				Time:  int64(offset+i) * benchSec,
+			}
+		}
+		return rs
+	}
+	tmp, err := os.MkdirTemp("", "wintermute-bench-tsdb-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	add("backend_insert_batch_memory", func(b *testing.B) {
+		st := store.New(0)
+		batch := benchSeries(64, 0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range batch {
+				batch[j].Time = int64(i*64+j) * benchSec
+			}
+			st.InsertBatch("/n/power", batch)
+		}
+	})
+	insertRun := 0
+	add("backend_insert_batch_tsdb", func(b *testing.B) {
+		// A fresh directory per escalation run, and Close (which flushes
+		// everything inserted, cost scaling with b.N) outside the timed
+		// window — otherwise each run would pay for the previous run's
+		// segments and the flush would pollute the insert ns/op.
+		insertRun++
+		db, err := tsdb.Open(fmt.Sprintf("%s/insert%d", tmp, insertRun),
+			tsdb.Options{FlushEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := benchSeries(64, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range batch {
+				batch[j].Time = int64(i*64+j) * benchSec
+			}
+			db.InsertBatch("/n/power", batch)
+		}
+		b.StopTimer()
+		db.Close()
+		b.StartTimer()
+	})
+	add("backend_range_memory", func(b *testing.B) {
+		st := store.New(0)
+		st.InsertBatch("/n/power", benchSeries(100000, 0))
+		buf := make([]sensor.Reading, 0, 512)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = st.Range("/n/power", 50000*benchSec, 50300*benchSec, buf[:0])
+		}
+		_ = buf
+	})
+	rangeDB, err := tsdb.Open(tmp+"/range", tsdb.Options{FlushEvery: -1})
+	if err != nil {
+		return err
+	}
+	rangeDB.InsertBatch("/n/power", benchSeries(100000, 0))
+	if err := rangeDB.Flush(); err != nil {
+		return err
+	}
+	add("backend_range_tsdb_segment", func(b *testing.B) {
+		buf := make([]sensor.Reading, 0, 512)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = rangeDB.Range("/n/power", 50000*benchSec, 50300*benchSec, buf[:0])
+		}
+		_ = buf
+	})
+	rangeDB.Close()
+
+	accept, err := runStorageAcceptance(tmp + "/accept")
+	if err != nil {
+		return err
+	}
+	report.Storage = accept
+	fmt.Printf("  acceptance: %d readings / %d topics, %d bytes on disk = %.2f B/reading, "+
+		"recovery %.1f ms, identical=%v\n",
+		accept.Readings, accept.Topics, accept.DiskBytes, accept.BytesPerReading,
+		accept.RecoveryMs, accept.RecoveredSame)
+	if accept.BytesPerReading >= 4 {
+		fmt.Printf("  WARNING: bytes/reading %.2f exceeds the 4-byte acceptance bound\n",
+			accept.BytesPerReading)
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -271,4 +391,134 @@ func runBenchJSON(path string) error {
 	}
 	fmt.Printf("==> wrote %s\n", path)
 	return nil
+}
+
+// runStorageAcceptance executes the PR3 acceptance scenario against a
+// real Collect Agent: >=100k readings over >=64 topics into a persistent
+// backend, flushed to segments, the agent killed without Close, a second
+// agent recovering the directory, and every Range/Latest/REST-query
+// answer compared bit for bit.
+func runStorageAcceptance(dir string) (*storageAcceptance, error) {
+	const (
+		topics     = 64
+		perTopic   = 1600 // 102,400 readings total
+		windowLo   = 0
+		windowHi   = int64(perTopic) * benchSec
+		probeTopic = "/r00/n00/power"
+	)
+	topic := func(i int) sensor.Topic {
+		return sensor.Topic(fmt.Sprintf("/r%02d/n%02d/power", i/8, i%8))
+	}
+
+	agent, err := collect.New(collect.Config{StoreDir: dir})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < topics; i++ {
+		tp := topic(i)
+		for k := 0; k < perTopic; k += 64 {
+			batch := make([]sensor.Reading, 64)
+			for j := range batch {
+				batch[j] = sensor.Reading{
+					Value: 100 + float64((k+j)%23) + float64(rng.Intn(5)),
+					Time:  int64(k+j) * benchSec,
+				}
+			}
+			agent.IngestBatch(tp, batch)
+		}
+	}
+	// The janitor would flush on its own cadence; force the steady state
+	// the 4-byte amortised bound is defined over (heads compacted into
+	// segments, WAL retired).
+	if err := agent.DB.Flush(); err != nil {
+		return nil, err
+	}
+
+	type answers struct {
+		ranges  map[sensor.Topic][]sensor.Reading
+		latest  map[sensor.Topic]sensor.Reading
+		restRaw string
+	}
+	collectAnswers := func(a *collect.Agent) (answers, error) {
+		ans := answers{
+			ranges: map[sensor.Topic][]sensor.Reading{},
+			latest: map[sensor.Topic]sensor.Reading{},
+		}
+		for i := 0; i < topics; i++ {
+			tp := topic(i)
+			ans.ranges[tp] = a.Store.Range(tp, windowLo, windowHi, nil)
+			if r, ok := a.Store.Latest(tp); ok {
+				ans.latest[tp] = r
+			}
+		}
+		srv, err := rest.Serve("127.0.0.1:0", a.Manager, a.QE)
+		if err != nil {
+			return ans, err
+		}
+		defer srv.Close()
+		resp, err := http.Get(fmt.Sprintf("http://%s/query?sensor=%s&from=%d&to=%d",
+			srv.Addr(), probeTopic, windowLo, windowHi))
+		if err != nil {
+			return ans, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return ans, err
+		}
+		ans.restRaw = string(raw)
+		return ans, nil
+	}
+
+	before, err := collectAnswers(agent)
+	if err != nil {
+		return nil, err
+	}
+	// Kill: the agent is abandoned with no Close — no flush, no WAL sync
+	// beyond what IngestBatch already wrote. Abandon releases the file
+	// handles and directory lock the way process death would, and the
+	// operator manager is stopped so stray goroutines don't skew later
+	// measurements.
+	agent.Manager.Close()
+	agent.DB.Abandon()
+
+	start := time.Now()
+	agent2, err := collect.New(collect.Config{StoreDir: dir})
+	if err != nil {
+		return nil, err
+	}
+	recovery := time.Since(start)
+	defer agent2.Close()
+	after, err := collectAnswers(agent2)
+	if err != nil {
+		return nil, err
+	}
+
+	same := after.restRaw == before.restRaw
+	for i := 0; same && i < topics; i++ {
+		tp := topic(i)
+		a, b := before.ranges[tp], after.ranges[tp]
+		if len(a) != len(b) || before.latest[tp] != after.latest[tp] {
+			same = false
+			break
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				same = false
+				break
+			}
+		}
+	}
+
+	st := agent2.DB.Stats()
+	total := topics * perTopic
+	return &storageAcceptance{
+		Topics:          topics,
+		Readings:        total,
+		DiskBytes:       st.DiskBytes,
+		BytesPerReading: float64(st.DiskBytes) / float64(total),
+		RecoveryMs:      float64(recovery.Microseconds()) / 1000,
+		RecoveredSame:   same,
+	}, nil
 }

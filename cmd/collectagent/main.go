@@ -7,6 +7,12 @@
 //
 //	collectagent -mqtt 127.0.0.1:1883 -http 127.0.0.1:8081 \
 //	             -config wintermute.json
+//
+// With -store-dir the agent runs the embedded persistent time-series
+// backend (WAL + Gorilla-compressed segments) instead of the in-memory
+// store; a killed agent recovers every acknowledged reading on restart:
+//
+//	collectagent -store-dir /var/lib/dcdb -store-retention 720h
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"github.com/dcdb/wintermute/internal/core"
 	_ "github.com/dcdb/wintermute/internal/plugins/all"
 	"github.com/dcdb/wintermute/internal/rest"
+	"github.com/dcdb/wintermute/internal/store"
 )
 
 func main() {
@@ -32,33 +39,48 @@ func main() {
 		mqttAddr   = flag.String("mqtt", "127.0.0.1:1883", "broker listen address")
 		httpAddr   = flag.String("http", "127.0.0.1:0", "REST API listen address")
 		retention  = flag.Duration("retention", 180*time.Second, "sensor cache retention")
-		storeMax   = flag.Int("store-max", 100000, "max readings per sensor in the storage backend (0: unlimited)")
+		storeDir   = flag.String("store-dir", "", "persistent storage backend directory (empty: in-memory store)")
+		storeRet   = flag.Duration("store-retention", 0, "persistent backend retention window (0: keep forever)")
+		storeSync  = flag.Bool("store-wal-sync", false, "fsync the storage WAL on every append")
+		storeMax   = flag.Int("store-max", 100000, "in-memory store: max readings per sensor (0: unlimited)")
 		configPath = flag.String("config", "", "Wintermute plugin configuration (JSON)")
 		threads    = flag.Int("threads", 0, "Wintermute worker pool size (0: GOMAXPROCS)")
-		snapshot   = flag.String("snapshot", "", "storage snapshot file: loaded at start, written at shutdown")
+		snapshot   = flag.String("snapshot", "", "in-memory store snapshot file: loaded at start, written at shutdown")
 	)
 	flag.Parse()
 
 	agent, err := collect.New(collect.Config{
 		ListenMQTT:     *mqttAddr,
 		CacheRetention: *retention,
-		StoreRetention: *storeMax,
+		StoreDir:       *storeDir,
+		StoreRetention: *storeRet,
+		StoreWALSync:   *storeSync,
+		StoreMax:       *storeMax,
 		Threads:        *threads,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	if agent.DB != nil {
+		st := agent.DB.Stats()
+		log.Printf("storage backend: tsdb at %s (%d readings, %d topics, %d segments recovered)",
+			*storeDir, st.TotalReadings, st.Topics, st.Segments)
+		if *snapshot != "" {
+			log.Fatal("-snapshot applies to the in-memory store only; the tsdb backend is durable by itself")
+		}
+	}
 
 	if *snapshot != "" {
-		switch err := agent.Store.LoadFile(*snapshot); {
+		ms := agent.Store.(*store.Store)
+		switch err := ms.LoadFile(*snapshot); {
 		case err == nil:
 			// Restore the sensor tree so pattern units bind immediately.
-			for _, topic := range agent.Store.Topics() {
+			for _, topic := range ms.Topics() {
 				if err := agent.Nav.AddSensor(topic); err != nil {
 					log.Printf("restoring sensor %s: %v", topic, err)
 				}
 			}
-			log.Printf("restored %d readings from %s", agent.Store.TotalReadings(), *snapshot)
+			log.Printf("restored %d readings from %s", ms.TotalReadings(), *snapshot)
 		case os.IsNotExist(err):
 			log.Printf("no snapshot at %s, starting fresh", *snapshot)
 		default:
@@ -100,12 +122,13 @@ func main() {
 	<-sig
 	log.Printf("shutting down")
 	_ = srv.Close()
-	_ = agent.Close()
+	_ = agent.Close() // flushes and closes the tsdb backend, if any
 	if *snapshot != "" {
-		if err := agent.Store.SaveFile(*snapshot); err != nil {
+		ms := agent.Store.(*store.Store)
+		if err := ms.SaveFile(*snapshot); err != nil {
 			log.Printf("saving snapshot: %v", err)
 		} else {
-			log.Printf("saved %d readings to %s", agent.Store.TotalReadings(), *snapshot)
+			log.Printf("saved %d readings to %s", ms.TotalReadings(), *snapshot)
 		}
 	}
 }

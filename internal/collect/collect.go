@@ -20,6 +20,7 @@ import (
 	"github.com/dcdb/wintermute/internal/sensor"
 	"github.com/dcdb/wintermute/internal/store"
 	"github.com/dcdb/wintermute/internal/transport"
+	"github.com/dcdb/wintermute/internal/tsdb"
 )
 
 // Config parameterises a Collect Agent.
@@ -30,9 +31,20 @@ type Config struct {
 	ListenMQTT string
 	// CacheRetention sizes the system-wide sensor caches (default 180 s).
 	CacheRetention time.Duration
-	// StoreRetention caps readings kept per sensor in the Storage
-	// Backend (0 = unlimited).
-	StoreRetention int
+	// StoreDir selects the persistent Storage Backend: when set, the
+	// agent opens an embedded tsdb database in this directory (WAL +
+	// compressed segments, crash-recovered on start) instead of the
+	// bounded in-memory store.
+	StoreDir string
+	// StoreRetention is the time window the persistent backend keeps
+	// (0 = forever). Only meaningful with StoreDir.
+	StoreRetention time.Duration
+	// StoreMax caps readings kept per sensor in the in-memory Storage
+	// Backend (0 = unlimited). Only meaningful without StoreDir.
+	StoreMax int
+	// StoreWALSync fsyncs the tsdb write-ahead log on every append
+	// (durability against OS crashes, at a large insert cost).
+	StoreWALSync bool
 	// Threads sizes the Wintermute worker pool executing operator
 	// computations (0: runtime.GOMAXPROCS).
 	Threads int
@@ -45,10 +57,13 @@ type Config struct {
 type Agent struct {
 	Nav     *navigator.Navigator
 	Caches  *cache.Set
-	Store   *store.Store
+	Store   store.Backend
 	QE      *core.QueryEngine
 	Manager *core.Manager
 	Broker  *transport.Broker
+
+	// DB is the persistent backend, nil when the agent runs in-memory.
+	DB *tsdb.DB
 
 	sink *core.CacheSink
 }
@@ -60,7 +75,23 @@ func New(cfg Config) (*Agent, error) {
 	}
 	nav := navigator.New()
 	caches := cache.NewSet()
-	st := store.New(cfg.StoreRetention)
+	var (
+		st store.Backend
+		db *tsdb.DB
+	)
+	if cfg.StoreDir != "" {
+		var err error
+		db, err = tsdb.Open(cfg.StoreDir, tsdb.Options{
+			Retention: cfg.StoreRetention,
+			WALSync:   cfg.StoreWALSync,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("collect: opening storage backend: %w", err)
+		}
+		st = db
+	} else {
+		st = store.New(cfg.StoreMax)
+	}
 	qe := core.NewQueryEngine(nav, caches, st)
 	sink := core.NewCacheSink(caches, nav, int(cfg.CacheRetention/time.Second), time.Second)
 	sink.Store = st
@@ -68,8 +99,16 @@ func New(cfg Config) (*Agent, error) {
 		Nav:    nav,
 		Caches: caches,
 		Store:  st,
+		DB:     db,
 		QE:     qe,
 		sink:   sink,
+	}
+	// A recovered backend already knows its sensors: rebuild the tree so
+	// pattern-based operator units bind immediately after a restart.
+	if db != nil {
+		for _, topic := range db.Topics() {
+			_ = nav.AddSensor(topic)
+		}
 	}
 	a.Manager = core.NewManager(qe, sink, cfg.Env)
 	if cfg.Threads > 0 {
@@ -78,6 +117,9 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.ListenMQTT != "" {
 		b, err := transport.NewBroker(cfg.ListenMQTT)
 		if err != nil {
+			if db != nil {
+				db.Close() // release the janitor and directory lock
+			}
 			return nil, fmt.Errorf("collect: starting broker: %w", err)
 		}
 		a.Broker = b
@@ -122,12 +164,19 @@ func (a *Agent) TickOnce(now time.Time) error {
 // Start launches the Wintermute operator loops.
 func (a *Agent) Start() { a.Manager.Start() }
 
-// Close stops operators, shuts the Wintermute worker pool down, and
-// closes the broker.
+// Close stops operators, shuts the Wintermute worker pool down, closes
+// the broker and, for a persistent agent, flushes and closes the storage
+// backend.
 func (a *Agent) Close() error {
 	a.Manager.Close()
+	var err error
 	if a.Broker != nil {
-		return a.Broker.Close()
+		err = a.Broker.Close()
 	}
-	return nil
+	if a.DB != nil {
+		if derr := a.DB.Close(); err == nil {
+			err = derr
+		}
+	}
+	return err
 }

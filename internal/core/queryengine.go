@@ -17,18 +17,12 @@ import (
 	"github.com/dcdb/wintermute/internal/cache"
 	"github.com/dcdb/wintermute/internal/navigator"
 	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/store"
 )
 
 // CacheProvider supplies per-sensor caches; *cache.Set implements it.
 type CacheProvider interface {
 	Get(topic sensor.Topic) (*cache.Cache, bool)
-}
-
-// StoreReader is the Query Engine's fallback data source, implemented by
-// the Storage Backend. Pushers run without one (nil).
-type StoreReader interface {
-	Range(topic sensor.Topic, t0, t1 int64, dst []sensor.Reading) []sensor.Reading
-	Latest(topic sensor.Topic) (sensor.Reading, bool)
 }
 
 // QueryEngine exposes the space of available sensors to operator plugins
@@ -37,17 +31,25 @@ type StoreReader interface {
 // the cache is absent or does not cover the requested range. Relative
 // queries compute their cache view in O(1); absolute queries use binary
 // search in O(log N).
+//
+// The fallback is any store.Backend: the in-memory store, the embedded
+// tsdb engine, or nothing at all (Pushers run cache-only with a nil
+// store). Only the read half of the interface is exercised here.
 type QueryEngine struct {
 	nav    *navigator.Navigator
 	caches CacheProvider
-	store  StoreReader
+	store  store.Backend
 }
 
 // NewQueryEngine builds a query engine over the given sensor tree and
 // caches; store may be nil for cache-only hosts (Pushers).
-func NewQueryEngine(nav *navigator.Navigator, caches CacheProvider, store StoreReader) *QueryEngine {
+func NewQueryEngine(nav *navigator.Navigator, caches CacheProvider, store store.Backend) *QueryEngine {
 	return &QueryEngine{nav: nav, caches: caches, store: store}
 }
+
+// Store returns the engine's fallback Storage Backend, nil when the host
+// runs cache-only.
+func (qe *QueryEngine) Store() store.Backend { return qe.store }
 
 // Navigator returns the sensor-tree navigator, through which plugins
 // discover which sensors are available and where they stand in the

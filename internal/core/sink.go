@@ -7,21 +7,8 @@ import (
 	"github.com/dcdb/wintermute/internal/cache"
 	"github.com/dcdb/wintermute/internal/navigator"
 	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/store"
 )
-
-// StoreWriter receives readings for durable storage; the Storage Backend
-// implements it.
-type StoreWriter interface {
-	Insert(topic sensor.Topic, r sensor.Reading)
-}
-
-// StoreBatchWriter is optionally implemented by store writers that can
-// insert a whole series of readings for one topic under a single lock;
-// *store.Store implements it.
-type StoreBatchWriter interface {
-	StoreWriter
-	InsertBatch(topic sensor.Topic, rs []sensor.Reading)
-}
 
 // BatchSink is optionally implemented by sinks that can accept a whole
 // unit's outputs in one call, taking their internal locks once per batch
@@ -81,7 +68,7 @@ var readingScratch = sync.Pool{New: func() any {
 type CacheSink struct {
 	Caches   *cache.Set
 	Nav      *navigator.Navigator // optional: register output topics
-	Store    StoreWriter          // optional: persist readings
+	Store    store.Backend        // optional: persist readings
 	Capacity int                  // cache capacity for new sensors
 	Interval time.Duration        // nominal interval for new sensors
 	Forward  Sink                 // optional: e.g. an MQTT publisher
@@ -121,13 +108,7 @@ func (s *CacheSink) PushSeries(topic sensor.Topic, rs []sensor.Reading) {
 	c := s.cacheFor(topic)
 	c.StoreBatch(rs)
 	if s.Store != nil {
-		if bw, ok := s.Store.(StoreBatchWriter); ok {
-			bw.InsertBatch(topic, rs)
-		} else {
-			for _, r := range rs {
-				s.Store.Insert(topic, r)
-			}
-		}
+		s.Store.InsertBatch(topic, rs)
 	}
 	if s.Forward != nil {
 		forwardSeries(s.Forward, topic, rs)

@@ -15,6 +15,7 @@ import (
 
 	"github.com/dcdb/wintermute/internal/core"
 	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/store"
 )
 
 // API wraps a Wintermute manager and query engine with HTTP handlers.
@@ -29,6 +30,7 @@ func NewHandler(m *core.Manager, qe *core.QueryEngine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /plugins", api.plugins)
 	mux.HandleFunc("GET /status", api.status)
+	mux.HandleFunc("GET /storage", api.storage)
 	mux.HandleFunc("GET /operators", api.operators)
 	mux.HandleFunc("GET /units", api.units)
 	mux.HandleFunc("GET /sensors", api.sensors)
@@ -91,6 +93,30 @@ func (a *API) status(w http.ResponseWriter, r *http.Request) {
 		"scheduler": a.m.SchedulerStats(),
 		"operators": a.m.Status(),
 	})
+}
+
+// storage reports the component's Storage Backend: its kind, series and
+// reading counts and — for the persistent tsdb engine — the on-disk
+// footprint and WAL/segment state. Cache-only components (Pushers)
+// answer with kind "none".
+func (a *API) storage(w http.ResponseWriter, r *http.Request) {
+	backend := a.qe.Store()
+	if backend == nil {
+		writeJSON(w, http.StatusOK, store.BackendStats{Kind: "none"})
+		return
+	}
+	if sp, ok := backend.(store.StatsProvider); ok {
+		writeJSON(w, http.StatusOK, sp.Stats())
+		return
+	}
+	// A backend without native statistics still has the Backend surface:
+	// derive the counts.
+	st := store.BackendStats{Kind: "unknown"}
+	for _, topic := range backend.Topics() {
+		st.Topics++
+		st.TotalReadings += backend.Count(topic)
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (a *API) units(w http.ResponseWriter, r *http.Request) {

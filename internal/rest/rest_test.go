@@ -14,6 +14,8 @@ import (
 	"github.com/dcdb/wintermute/internal/core/units"
 	"github.com/dcdb/wintermute/internal/navigator"
 	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/store"
+	"github.com/dcdb/wintermute/internal/tsdb"
 )
 
 // doubler is a trivial operator: output = 2 * latest input.
@@ -306,5 +308,64 @@ func TestServeAndClose(t *testing.T) {
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestStorageEndpoint(t *testing.T) {
+	// Cache-only host (no backend): kind "none".
+	srv, _ := newTestServer(t)
+	var none store.BackendStats
+	if code := getJSON(t, srv.URL+"/storage", &none); code != http.StatusOK {
+		t.Fatalf("GET /storage = %d", code)
+	}
+	if none.Kind != "none" {
+		t.Fatalf("cache-only kind = %q", none.Kind)
+	}
+
+	// In-memory backend.
+	nav := navigator.New()
+	caches := cache.NewSet()
+	st := store.New(0)
+	st.Insert("/a", sensor.Reading{Value: 1, Time: 1})
+	st.Insert("/a", sensor.Reading{Value: 2, Time: 2})
+	st.Insert("/b", sensor.Reading{Value: 3, Time: 3})
+	qe := core.NewQueryEngine(nav, caches, st)
+	m := core.NewManager(qe, core.NewCacheSink(caches, nav, 16, time.Second), core.Env{})
+	memSrv := httptest.NewServer(NewHandler(m, qe))
+	t.Cleanup(memSrv.Close)
+	var mem store.BackendStats
+	if code := getJSON(t, memSrv.URL+"/storage", &mem); code != http.StatusOK {
+		t.Fatalf("GET /storage = %d", code)
+	}
+	if mem.Kind != "memory" || mem.Topics != 2 || mem.TotalReadings != 3 {
+		t.Fatalf("memory stats = %+v", mem)
+	}
+
+	// Persistent backend: disk and WAL/segment accounting present.
+	db, err := tsdb.Open(t.TempDir(), tsdb.Options{FlushEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	for i := 0; i < 50; i++ {
+		db.Insert("/a", sensor.Reading{Value: float64(i), Time: int64(i)})
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	db.Insert("/b", sensor.Reading{Value: 1, Time: 100})
+	qe2 := core.NewQueryEngine(nav, caches, db)
+	m2 := core.NewManager(qe2, core.NewCacheSink(caches, nav, 16, time.Second), core.Env{})
+	dbSrv := httptest.NewServer(NewHandler(m2, qe2))
+	t.Cleanup(dbSrv.Close)
+	var ts store.BackendStats
+	if code := getJSON(t, dbSrv.URL+"/storage", &ts); code != http.StatusOK {
+		t.Fatalf("GET /storage = %d", code)
+	}
+	if ts.Kind != "tsdb" || ts.Topics != 2 || ts.TotalReadings != 51 {
+		t.Fatalf("tsdb stats = %+v", ts)
+	}
+	if ts.Segments != 1 || ts.DiskBytes <= 0 || ts.WALFiles == 0 || ts.HeadReadings != 1 {
+		t.Fatalf("tsdb accounting = %+v", ts)
 	}
 }

@@ -1,0 +1,86 @@
+package store
+
+import "github.com/dcdb/wintermute/internal/sensor"
+
+// Backend is the Storage Backend contract every persistent or in-memory
+// reading store satisfies: ordered per-topic inserts, inclusive
+// time-range and latest-reading queries, topic enumeration and
+// time-based retention. The Query Engine's store fallback, the cache
+// sinks and the Collect Agent all program against this interface, so a
+// component can swap the in-memory Store for the embedded tsdb engine
+// (or, in the production deployment, Cassandra) without touching its
+// consumers.
+type Backend interface {
+	// Insert appends one reading to the topic's series, placing
+	// out-of-order arrivals at their sorted position.
+	Insert(topic sensor.Topic, r sensor.Reading)
+	// InsertBatch appends several readings of one topic in one call,
+	// amortising locking (and, for persistent backends, write-ahead
+	// logging) over the batch.
+	InsertBatch(topic sensor.Topic, rs []sensor.Reading)
+	// Range appends the topic's readings with timestamps in [t0, t1]
+	// (inclusive) to dst, in timestamp order, and returns the extended
+	// slice.
+	Range(topic sensor.Topic, t0, t1 int64, dst []sensor.Reading) []sensor.Reading
+	// Latest returns the most recent reading of topic, if any.
+	Latest(topic sensor.Topic) (sensor.Reading, bool)
+	// Count returns the number of readings stored for topic.
+	Count(topic sensor.Topic) int
+	// Topics returns all topics with at least one stored reading, sorted.
+	Topics() []sensor.Topic
+	// Prune drops all readings strictly older than cutoff (nanoseconds)
+	// and returns the number of readings removed.
+	Prune(cutoff int64) int
+}
+
+// BackendStats is a point-in-time summary of a Storage Backend, served
+// by the REST layer's /storage endpoint. Disk and WAL/segment fields are
+// zero for in-memory backends.
+type BackendStats struct {
+	// Kind identifies the backend implementation ("memory" or "tsdb").
+	Kind string `json:"kind"`
+	// Topics is the number of series holding at least one reading.
+	Topics int `json:"topics"`
+	// TotalReadings is the reading count across all series.
+	TotalReadings int `json:"total_readings"`
+	// DiskBytes is the backend's on-disk footprint (segments + WAL).
+	DiskBytes int64 `json:"disk_bytes"`
+	// WALFiles and WALBytes describe the write-ahead log.
+	WALFiles int   `json:"wal_files"`
+	WALBytes int64 `json:"wal_bytes"`
+	// Segments is the number of immutable segment files.
+	Segments int `json:"segments"`
+	// HeadReadings counts readings buffered in mutable head blocks,
+	// not yet flushed to segments.
+	HeadReadings int `json:"head_readings"`
+	// Error reports a degraded backend (e.g. a failing write-ahead log:
+	// data is served from memory but no longer durable). Empty when
+	// healthy.
+	Error string `json:"error,omitempty"`
+}
+
+// StatsProvider is implemented by backends that can report storage
+// statistics.
+type StatsProvider interface {
+	Stats() BackendStats
+}
+
+var _ Backend = (*Store)(nil)
+var _ StatsProvider = (*Store)(nil)
+
+// Stats implements StatsProvider for the in-memory store.
+func (s *Store) Stats() BackendStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := BackendStats{Kind: "memory"}
+	for _, se := range s.series {
+		se.mu.RLock()
+		n := len(se.data)
+		se.mu.RUnlock()
+		if n > 0 {
+			st.Topics++
+			st.TotalReadings += n
+		}
+	}
+	return st
+}

@@ -27,6 +27,10 @@ type Store struct {
 type series struct {
 	mu   sync.RWMutex
 	data []sensor.Reading
+	// dead marks a series Prune has removed from the map. An insert that
+	// resolved the pointer before the removal detects the tombstone and
+	// re-resolves instead of appending to an orphan.
+	dead bool
 }
 
 // New creates a store retaining up to maxPerSeries readings per sensor
@@ -80,11 +84,18 @@ func (se *series) trim(max int) {
 // of timestamp order are placed at their sorted position, so range queries
 // always observe a time-ordered series.
 func (s *Store) Insert(topic sensor.Topic, r sensor.Reading) {
-	se := s.get(topic, true)
-	se.mu.Lock()
-	se.insert(r)
-	se.trim(s.maxPerSeries)
-	se.mu.Unlock()
+	for {
+		se := s.get(topic, true)
+		se.mu.Lock()
+		if se.dead {
+			se.mu.Unlock()
+			continue // pruned away between resolution and lock; re-resolve
+		}
+		se.insert(r)
+		se.trim(s.maxPerSeries)
+		se.mu.Unlock()
+		return
+	}
 }
 
 // InsertBatch appends several readings to one topic under a single lock
@@ -95,13 +106,20 @@ func (s *Store) InsertBatch(topic sensor.Topic, rs []sensor.Reading) {
 	if len(rs) == 0 {
 		return
 	}
-	se := s.get(topic, true)
-	se.mu.Lock()
-	for _, r := range rs {
-		se.insert(r)
+	for {
+		se := s.get(topic, true)
+		se.mu.Lock()
+		if se.dead {
+			se.mu.Unlock()
+			continue
+		}
+		for _, r := range rs {
+			se.insert(r)
+		}
+		se.trim(s.maxPerSeries)
+		se.mu.Unlock()
+		return
 	}
-	se.trim(s.maxPerSeries)
-	se.mu.Unlock()
 }
 
 // Range appends to dst the readings of topic with timestamps in [t0, t1]
@@ -162,17 +180,23 @@ func (s *Store) Topics() []sensor.Topic {
 
 // Prune drops all readings strictly older than cutoff (nanoseconds) from
 // every series, implementing retention (the TTL of the Cassandra schema).
-// It returns the number of readings removed.
+// Series left empty are deleted outright — long-gone sensors must not
+// leak map entries (and their topic strings) forever. It returns the
+// number of readings removed.
 func (s *Store) Prune(cutoff int64) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	removed := 0
-	for _, se := range s.series {
+	for topic, se := range s.series {
 		se.mu.Lock()
 		lo := sort.Search(len(se.data), func(i int) bool { return se.data[i].Time >= cutoff })
 		if lo > 0 {
 			removed += lo
 			se.data = append(se.data[:0], se.data[lo:]...)
+		}
+		if len(se.data) == 0 {
+			se.dead = true // a racing Insert re-resolves via the tombstone
+			delete(s.series, topic)
 		}
 		se.mu.Unlock()
 	}

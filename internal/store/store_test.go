@@ -128,6 +128,65 @@ func TestPrune(t *testing.T) {
 	}
 }
 
+func TestPruneDeletesEmptySeries(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 5; i++ {
+		s.Insert("/old", sensor.Reading{Time: int64(i)})
+		s.Insert("/live", sensor.Reading{Time: int64(100 + i)})
+	}
+	if removed := s.Prune(50); removed != 5 {
+		t.Fatalf("removed = %d, want 5", removed)
+	}
+	s.mu.RLock()
+	_, leaked := s.series["/old"]
+	entries := len(s.series)
+	s.mu.RUnlock()
+	if leaked || entries != 1 {
+		t.Fatalf("fully-pruned series leaked: %d entries, /old present=%v", entries, leaked)
+	}
+	if got := s.Topics(); len(got) != 1 || got[0] != "/live" {
+		t.Fatalf("Topics = %v", got)
+	}
+	// The topic stays usable: a new insert recreates the series.
+	s.Insert("/old", sensor.Reading{Value: 1, Time: 200})
+	if s.Count("/old") != 1 {
+		t.Fatalf("reinsert after prune-delete: Count = %d", s.Count("/old"))
+	}
+}
+
+func TestPruneInsertRace(t *testing.T) {
+	s := New(0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Prune(1 << 60) // everything is older than this cutoff
+			}
+		}
+	}()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		s.Insert("/hot", sensor.Reading{Value: float64(i), Time: int64(i)})
+	}
+	close(stop)
+	wg.Wait()
+	// Every reading either survived or was counted out by Prune; none may
+	// vanish into an orphaned series.
+	if got := s.Count("/hot"); got > n {
+		t.Fatalf("Count = %d > %d inserted", got, n)
+	}
+	s.Insert("/hot", sensor.Reading{Value: -1, Time: 1 << 61})
+	if r, ok := s.Latest("/hot"); !ok || r.Value != -1 {
+		t.Fatalf("insert after racing prune lost: %+v %v", r, ok)
+	}
+}
+
 func TestInsertBatch(t *testing.T) {
 	s := New(0)
 	rs := []sensor.Reading{{Value: 1, Time: 1}, {Value: 2, Time: 2}}

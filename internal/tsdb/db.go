@@ -1,0 +1,843 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/store"
+)
+
+// Options configures a DB. The zero value enables the janitor with
+// defaults suitable for a Collect Agent.
+type Options struct {
+	// Retention drops readings older than now-Retention (0: keep
+	// forever). Whole expired segments are deleted from disk; a
+	// retention watermark hides expired readings of segments still
+	// partially live.
+	Retention time.Duration
+	// FlushEvery is the janitor pass interval (default 10s; negative
+	// disables the janitor entirely — tests drive Flush/Prune manually).
+	FlushEvery time.Duration
+	// MaxHeadReadings flushes heads to a segment once this many readings
+	// are buffered across all series (default 65536).
+	MaxHeadReadings int
+	// MaxHeadAge flushes heads once the oldest buffered reading's
+	// arrival is this old (default 60s), bounding WAL replay time.
+	MaxHeadAge time.Duration
+	// WALSync fsyncs the write-ahead log on every append. Off by
+	// default: an OS crash may then lose the last moments of data, but a
+	// process kill loses nothing, matching the paper's "near-line"
+	// durability needs at a fraction of the insert cost.
+	WALSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.FlushEvery == 0 {
+		o.FlushEvery = 10 * time.Second
+	}
+	if o.MaxHeadReadings <= 0 {
+		o.MaxHeadReadings = 65536
+	}
+	if o.MaxHeadAge <= 0 {
+		o.MaxHeadAge = 60 * time.Second
+	}
+	return o
+}
+
+// DB is an embedded persistent time-series database implementing
+// store.Backend. All methods are safe for concurrent use.
+type DB struct {
+	dir  string
+	opts Options
+
+	// ingest serialises flushes against the append path: inserts hold it
+	// shared while writing WAL record + head so a flush (exclusive) can
+	// atomically pair "heads drained" with "WAL rotated" — no reading is
+	// ever in a deleted WAL file but missing from both heads and
+	// segments.
+	ingest sync.RWMutex
+
+	// flushMu serialises whole flush and prune cycles against each
+	// other; queries and inserts never take it.
+	flushMu sync.Mutex
+
+	mu        sync.RWMutex // guards heads, flushing, segs, segSeq, floor, headN, epoch
+	heads     map[sensor.Topic]*head
+	segs      []*segment
+	segSeq    uint64
+	headN     int // total readings across heads
+	headSince time.Time
+	floor     int64 // retention watermark: readings < floor are pruned
+
+	// epoch counts data-relocation events: flush detach/registration,
+	// restore, prune. A query snapshots the epoch with its tier
+	// pointers, reads lock-free, and retries on a mismatch — so a flush
+	// moving readings between heads, the flushing stage and segments can
+	// never make them transiently invisible (or visible twice) to a
+	// concurrent reader. Plain data arrival does not bump the epoch.
+	epoch uint64
+
+	// flushing stages head data detached by an in-progress Flush: the
+	// readings stay query-visible here for the whole segment
+	// compress+write+fsync window, until the segment is registered in
+	// segs (or, on failure, the data is restored into heads). Slices in
+	// the map are sorted and immutable.
+	flushing map[sensor.Topic][]sensor.Reading
+
+	wal *wal
+	// walErr is the first WAL append failure (sticky): once set, the DB
+	// keeps serving from memory but reports itself degraded through
+	// Stats and Close.
+	walErrMu sync.Mutex
+	walErr   error
+
+	lock *os.File // exclusive directory lock (LOCK file)
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+	closeOnce   sync.Once
+	closeErr    error
+}
+
+var _ store.Backend = (*DB)(nil)
+var _ store.StatsProvider = (*DB)(nil)
+
+// Open creates or recovers a database in dir. Recovery loads every
+// segment index, discards WAL files already covered by segments (a crash
+// window between flush and WAL deletion), and replays the remainder into
+// fresh heads — after which queries answer exactly as before the crash.
+func Open(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	walDir := filepath.Join(dir, "wal")
+	segDir := filepath.Join(dir, "seg")
+	for _, d := range []string{dir, walDir, segDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("tsdb: %w", err)
+		}
+	}
+	lock, err := lockDir(filepath.Join(dir, "LOCK"))
+	if err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(segDir)
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
+	db := &DB{
+		dir:   dir,
+		opts:  opts,
+		heads: make(map[sensor.Topic]*head),
+		segs:  segs,
+		floor: loadFloor(dir),
+		lock:  lock,
+	}
+	// Re-derive the per-segment prune bookkeeping the persisted
+	// watermark implies, so post-restart Prune calls report accurate
+	// removal counts.
+	if db.floor > math.MinInt64 {
+		for _, s := range segs {
+			if s.minT < db.floor {
+				if n, err := s.countBelow(db.floor); err == nil {
+					s.prunedCount = n
+				}
+			}
+		}
+	}
+	coveredWAL := uint64(0)
+	for _, s := range segs {
+		if s.seq >= db.segSeq {
+			db.segSeq = s.seq + 1
+		}
+		if s.coveredWAL > coveredWAL {
+			coveredWAL = s.coveredWAL
+		}
+	}
+	walFiles, err := listWAL(walDir)
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
+	maxWALSeq := coveredWAL
+	for _, wf := range walFiles {
+		if wf.seq <= coveredWAL {
+			os.Remove(wf.path) // flushed before the crash; leftover
+			continue
+		}
+		if err := replayWAL(wf.path, func(topic sensor.Topic, rs []sensor.Reading) {
+			// Drop readings below the persisted retention watermark: a
+			// pre-crash Prune already removed them, and replaying them
+			// into heads would skew head counts and later Prune totals.
+			if db.floor > math.MinInt64 {
+				live := rs[:0]
+				for _, r := range rs {
+					if r.Time >= db.floor {
+						live = append(live, r)
+					}
+				}
+				rs = live
+			}
+			if len(rs) == 0 {
+				return
+			}
+			db.headFor(topic).insert(rs)
+			db.headN += len(rs)
+		}); err != nil {
+			lock.Close()
+			return nil, fmt.Errorf("tsdb: replaying %s: %w", wf.path, err)
+		}
+		if wf.seq > maxWALSeq {
+			maxWALSeq = wf.seq
+		}
+	}
+	if db.headN > 0 {
+		db.headSince = time.Now()
+	}
+	db.wal, err = newWAL(walDir, maxWALSeq+1, opts.WALSync)
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
+	if opts.FlushEvery > 0 {
+		db.janitorStop = make(chan struct{})
+		db.janitorDone = make(chan struct{})
+		go db.janitor()
+	}
+	return db, nil
+}
+
+// Dir returns the database directory.
+func (db *DB) Dir() string { return db.dir }
+
+// headFor returns the topic's head block, creating it on first sight.
+// Callers must hold db.mu (any mode) or be in single-threaded recovery;
+// creation upgrades internally.
+func (db *DB) headFor(topic sensor.Topic) *head {
+	if h := db.heads[topic]; h != nil {
+		return h
+	}
+	h := &head{}
+	db.heads[topic] = h
+	return h
+}
+
+// Insert appends one reading.
+func (db *DB) Insert(topic sensor.Topic, r sensor.Reading) {
+	db.InsertBatch(topic, []sensor.Reading{r})
+}
+
+// InsertBatch logs and buffers one topic's reading batch: one WAL write,
+// one head lock.
+func (db *DB) InsertBatch(topic sensor.Topic, rs []sensor.Reading) {
+	if len(rs) == 0 {
+		return
+	}
+	db.ingest.RLock()
+	defer db.ingest.RUnlock()
+	if db.walError() == nil {
+		// A failing WAL (disk full, dead device) must not lose data
+		// silently while the process lives: keep serving from memory and
+		// surface the error through Stats/Close. Appending is suspended
+		// entirely once degraded — a partial write leaves a torn record
+		// mid-file, and replay would stop there, silently dropping any
+		// record written after it. A later successful Flush covers the
+		// un-logged heads with a segment and re-arms the fresh WAL.
+		if err := db.wal.Append(topic, rs); err != nil {
+			db.noteWALError(err)
+		}
+	}
+	db.mu.Lock()
+	h := db.headFor(topic)
+	db.headN += len(rs)
+	if db.headSince.IsZero() {
+		db.headSince = time.Now()
+	}
+	db.mu.Unlock()
+	h.insert(rs)
+}
+
+func (db *DB) noteWALError(err error) {
+	db.walErrMu.Lock()
+	first := db.walErr == nil
+	if first {
+		db.walErr = err
+	}
+	db.walErrMu.Unlock()
+	if first {
+		fmt.Fprintf(os.Stderr, "tsdb: WAL write failed (serving from memory only): %v\n", err)
+	}
+}
+
+// walError returns the sticky WAL failure, if any.
+func (db *DB) walError() error {
+	db.walErrMu.Lock()
+	defer db.walErrMu.Unlock()
+	return db.walErr
+}
+
+// metaPath holds the persisted retention watermark.
+func metaPath(dir string) string { return filepath.Join(dir, "meta.json") }
+
+type metaFile struct {
+	Floor int64 `json:"floor"`
+}
+
+// loadFloor reads the persisted retention watermark; a missing or
+// unreadable meta file means no watermark (the janitor re-derives it on
+// its first retention pass).
+func loadFloor(dir string) int64 {
+	raw, err := os.ReadFile(metaPath(dir))
+	if err != nil {
+		return math.MinInt64
+	}
+	var m metaFile
+	if json.Unmarshal(raw, &m) != nil || m.Floor == 0 {
+		return math.MinInt64
+	}
+	return m.Floor
+}
+
+// saveFloor persists the watermark atomically. Best-effort: a crash
+// before the write merely resurrects already-expired readings until the
+// next retention pass.
+func saveFloor(dir string, floor int64) {
+	raw, err := json.Marshal(metaFile{Floor: floor})
+	if err != nil {
+		return
+	}
+	tmp := metaPath(dir) + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, metaPath(dir)); err != nil {
+		os.Remove(tmp)
+	}
+}
+
+// tierView is one epoch-stamped snapshot of where a topic's readings
+// live: immutable segments, the immutable flushing stage and the
+// mutable head block.
+type tierView struct {
+	epoch uint64
+	floor int64
+	segs  []*segment
+	fl    []sensor.Reading
+	h     *head
+}
+
+func (db *DB) view(topic sensor.Topic) tierView {
+	db.mu.RLock()
+	v := tierView{
+		epoch: db.epoch,
+		floor: db.floor,
+		segs:  db.segs,
+		fl:    db.flushing[topic],
+		h:     db.heads[topic],
+	}
+	db.mu.RUnlock()
+	return v
+}
+
+// stable reports whether no data relocation happened since the view was
+// taken; an unstable read is discarded and retried.
+func (db *DB) stable(v tierView) bool {
+	db.mu.RLock()
+	ok := db.epoch == v.epoch
+	db.mu.RUnlock()
+	return ok
+}
+
+// appendSortedRange appends the readings of a sorted slice with
+// timestamps in [t0, t1] to dst.
+func appendSortedRange(rs []sensor.Reading, t0, t1 int64, dst []sensor.Reading) []sensor.Reading {
+	lo := sort.Search(len(rs), func(i int) bool { return rs[i].Time >= t0 })
+	hi := sort.Search(len(rs), func(i int) bool { return rs[i].Time > t1 })
+	return append(dst, rs[lo:hi]...)
+}
+
+// Range implements store.Backend: segments first (oldest flush to
+// newest), then the flushing stage, then the head block. The merged
+// result is re-sorted only when an out-of-order insert straddled a flush
+// boundary.
+func (db *DB) Range(topic sensor.Topic, t0, t1 int64, dst []sensor.Reading) []sensor.Reading {
+	if t1 < t0 {
+		return dst
+	}
+	base := len(dst)
+	for {
+		v := db.view(topic)
+		lo := t0
+		if lo < v.floor {
+			lo = v.floor
+		}
+		out := dst[:base]
+		for _, s := range v.segs {
+			// An unreadable or corrupt chunk is skipped whole — partial
+			// decodes are truncated away so a silently cut-short series
+			// never masquerades as a complete answer.
+			mark := len(out)
+			res, err := s.appendRange(topic, lo, t1, out)
+			if err != nil {
+				out = res[:mark]
+				continue
+			}
+			out = res
+		}
+		out = appendSortedRange(v.fl, lo, t1, out)
+		if v.h != nil {
+			out = v.h.appendRange(lo, t1, out)
+		}
+		if !db.stable(v) {
+			dst = out[:base]
+			continue
+		}
+		if !sortedFrom(out, base) {
+			sort.SliceStable(out[base:], func(i, j int) bool {
+				return out[base+i].Time < out[base+j].Time
+			})
+		}
+		return out
+	}
+}
+
+func sortedFrom(rs []sensor.Reading, start int) bool {
+	for i := start + 1; i < len(rs); i++ {
+		if rs[i].Time < rs[i-1].Time {
+			return false
+		}
+	}
+	return true
+}
+
+// Latest implements store.Backend. Because a late out-of-order arrival
+// can leave the head's newest reading older than a flushed segment's,
+// every tier whose time bound can beat the current best is consulted.
+func (db *DB) Latest(topic sensor.Topic) (sensor.Reading, bool) {
+	for {
+		v := db.view(topic)
+		var best sensor.Reading
+		found := false
+		if v.h != nil {
+			if r, ok := v.h.latest(v.floor); ok {
+				best, found = r, true
+			}
+		}
+		if n := len(v.fl); n > 0 && v.fl[n-1].Time >= v.floor &&
+			(!found || v.fl[n-1].Time > best.Time) {
+			best, found = v.fl[n-1], true
+		}
+		for i := len(v.segs) - 1; i >= 0; i-- {
+			ss, ok := v.segs[i].series[topic]
+			if !ok || ss.maxT < v.floor || (found && ss.maxT <= best.Time) {
+				continue
+			}
+			if r, ok, err := v.segs[i].latest(topic, v.floor); err == nil && ok &&
+				(!found || r.Time > best.Time) {
+				best, found = r, true
+			}
+		}
+		if db.stable(v) {
+			return best, found
+		}
+	}
+}
+
+// Count implements store.Backend.
+func (db *DB) Count(topic sensor.Topic) int {
+	for {
+		v := db.view(topic)
+		n := 0
+		for _, s := range v.segs {
+			c, err := s.countFrom(topic, v.floor)
+			if err == nil {
+				n += c
+			}
+		}
+		n += len(v.fl) - sort.Search(len(v.fl), func(i int) bool {
+			return v.fl[i].Time >= v.floor
+		})
+		if v.h != nil {
+			n += v.h.countFrom(v.floor)
+		}
+		if db.stable(v) {
+			return n
+		}
+	}
+}
+
+// topicSet returns the set of topics with at least one live reading.
+// The topic set only ever grows during a flush (data moves between
+// tiers, never away), so no epoch retry is needed: heads and the
+// flushing stage are read under one lock and segments are immutable.
+func (db *DB) topicSet() map[sensor.Topic]bool {
+	db.mu.RLock()
+	floor := db.floor
+	segs := db.segs
+	seen := make(map[sensor.Topic]bool, len(db.heads))
+	for t, h := range db.heads {
+		if h.countFrom(floor) > 0 {
+			seen[t] = true
+		}
+	}
+	for t, rs := range db.flushing {
+		if !seen[t] && len(rs) > 0 && rs[len(rs)-1].Time >= floor {
+			seen[t] = true
+		}
+	}
+	db.mu.RUnlock()
+	for _, s := range segs {
+		for t, ss := range s.series {
+			if !seen[t] && ss.maxT >= floor {
+				seen[t] = true
+			}
+		}
+	}
+	return seen
+}
+
+// Topics implements store.Backend.
+func (db *DB) Topics() []sensor.Topic {
+	seen := db.topicSet()
+	out := make([]sensor.Topic, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TotalReadings returns the number of live readings across all series.
+func (db *DB) TotalReadings() int {
+	for {
+		db.mu.RLock()
+		epoch := db.epoch
+		floor := db.floor
+		n := 0
+		// Segment counts and prune bookkeeping are mutated only under
+		// db.mu, so tally them while holding it (no chunk decodes here).
+		for _, s := range db.segs {
+			for _, ss := range s.series {
+				n += ss.count
+			}
+			n -= s.prunedCount
+		}
+		flushing := db.flushing
+		heads := make([]*head, 0, len(db.heads))
+		for _, h := range db.heads {
+			heads = append(heads, h)
+		}
+		db.mu.RUnlock()
+		for _, rs := range flushing {
+			n += len(rs) - sort.Search(len(rs), func(i int) bool {
+				return rs[i].Time >= floor
+			})
+		}
+		for _, h := range heads {
+			n += h.countFrom(floor)
+		}
+		if db.stable(tierView{epoch: epoch}) {
+			return n
+		}
+	}
+}
+
+// Flush drains every head block into one new immutable segment and
+// retires the WAL files the segment now covers. A flush with empty heads
+// only rotates the WAL. Safe to call concurrently with inserts and
+// queries: the detached data stays visible through the flushing stage
+// for the entire segment-write window.
+func (db *DB) Flush() error {
+	db.flushMu.Lock()
+	defer db.flushMu.Unlock()
+	db.ingest.Lock()
+	// Atomically: detach head data into the flushing stage, rotate the
+	// WAL. Inserts resume into fresh heads + the new WAL file while the
+	// segment is written from the stage.
+	db.mu.Lock()
+	data := make(map[sensor.Topic][]sensor.Reading, len(db.heads))
+	for t, h := range db.heads {
+		h.mu.Lock() // a janitor-less Prune may be trimming concurrently
+		if len(h.data) > 0 {
+			data[t] = h.data
+			h.data = nil
+		}
+		h.mu.Unlock()
+	}
+	db.heads = make(map[sensor.Topic]*head, len(db.heads))
+	db.headN = 0
+	db.headSince = time.Time{}
+	db.flushing = data
+	segSeq := db.segSeq
+	db.segSeq++
+	db.epoch++
+	db.mu.Unlock()
+	retiredWAL, err := db.wal.rotate()
+	// A degraded WAL re-arms here, before inserts resume: the rotate
+	// produced a fresh untorn file, and everything the old WAL missed is
+	// in the detached stage bound for the segment. Clearing later (after
+	// the segment write) would let inserts racing that window skip the
+	// WAL and then report healthy.
+	var prevWALErr error
+	if err == nil {
+		db.walErrMu.Lock()
+		prevWALErr = db.walErr
+		db.walErr = nil
+		db.walErrMu.Unlock()
+	}
+	db.ingest.Unlock()
+	if err != nil {
+		db.restoreFlushing()
+		return fmt.Errorf("tsdb: rotating WAL: %w", err)
+	}
+
+	walDir := filepath.Join(db.dir, "wal")
+	if len(data) == 0 {
+		// Nothing buffered: the retired WAL files hold nothing beyond
+		// what segments already cover.
+		db.mu.Lock()
+		db.flushing = nil
+		db.epoch++
+		db.mu.Unlock()
+		db.removeWALThrough(walDir, retiredWAL)
+		return nil
+	}
+	seg, err := writeSegment(filepath.Join(db.dir, "seg"), segSeq, retiredWAL, data)
+	if err != nil {
+		// Segment write failed: put the data back into heads so memory
+		// still serves it; the retired WAL files stay for recovery. If
+		// the WAL had been degraded, the restored heads contain readings
+		// in no log or segment — stay degraded until a flush succeeds.
+		db.restoreFlushing()
+		if prevWALErr != nil {
+			db.noteWALError(prevWALErr)
+		}
+		return fmt.Errorf("tsdb: writing segment: %w", err)
+	}
+	db.mu.Lock()
+	db.segs = append(db.segs, seg)
+	db.flushing = nil
+	db.epoch++
+	db.mu.Unlock()
+	db.removeWALThrough(walDir, retiredWAL)
+	return nil
+}
+
+// restoreFlushing moves staged flush data back into the head blocks
+// after a failed flush, so live queries keep answering from memory and
+// the next flush retries.
+func (db *DB) restoreFlushing() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	n := 0
+	for t, rs := range db.flushing {
+		db.headFor(t).insert(rs)
+		n += len(rs)
+	}
+	db.flushing = nil
+	db.headN += n
+	if n > 0 && db.headSince.IsZero() {
+		db.headSince = time.Now()
+	}
+	db.epoch++
+}
+
+// removeWALThrough deletes WAL files with sequence <= maxSeq. Failures
+// are harmless: recovery skips covered files by sequence.
+func (db *DB) removeWALThrough(walDir string, maxSeq uint64) {
+	files, err := listWAL(walDir)
+	if err != nil {
+		return
+	}
+	for _, wf := range files {
+		if wf.seq <= maxSeq {
+			os.Remove(wf.path)
+		}
+	}
+}
+
+// Prune implements store.Backend: it advances the retention watermark,
+// physically trims head blocks, deletes fully-expired segment files and
+// returns the number of readings newly removed. Data in the flushing
+// stage is left for its segment; the watermark hides it. The watermark
+// persists across restarts (meta.json), so expired readings do not
+// resurrect when segments and WAL are reloaded.
+func (db *DB) Prune(cutoff int64) int {
+	db.flushMu.Lock() // serialise against Flush: segs/head bookkeeping
+	defer db.flushMu.Unlock()
+	db.mu.Lock()
+	if cutoff <= db.floor {
+		db.mu.Unlock()
+		return 0
+	}
+	db.epoch++ // the floor moved: in-flight reads must retry against it
+	db.floor = cutoff
+	segs := db.segs
+	heads := make([]*head, 0, len(db.heads))
+	for _, h := range db.heads {
+		heads = append(heads, h)
+	}
+	db.mu.Unlock()
+
+	// Chunk decodes (countBelow) run without any db-wide lock: segments
+	// are immutable and flushMu keeps the set stable. Inserts and
+	// queries proceed throughout.
+	removed := 0
+	kept := make([]*segment, 0, len(segs))
+	newPruned := make(map[*segment]int)
+	var expired []*segment
+	for _, s := range segs {
+		if s.maxT < cutoff {
+			expired = append(expired, s)
+			continue
+		}
+		if s.minT < cutoff {
+			// Watermark cuts through this segment: count what it newly
+			// hides, on top of what previous prunes already counted.
+			// Only Prune mutates prunedCount, and flushMu serialises
+			// Prunes, so reading it here is safe.
+			if below, err := s.countBelow(cutoff); err == nil && below != s.prunedCount {
+				removed += below - s.prunedCount
+				newPruned[s] = below
+			}
+		}
+		kept = append(kept, s)
+	}
+	headDropped := 0
+	for _, h := range heads {
+		headDropped += h.prune(cutoff)
+	}
+	removed += headDropped
+
+	changed := len(newPruned) > 0 || len(expired) > 0 || headDropped > 0
+	db.mu.Lock()
+	// Readers hold snapshots of the old slice header, so the surviving
+	// set goes into the fresh slice, never compacted in place; the
+	// prunedCount writes land under db.mu because TotalReadings reads
+	// them there.
+	for s, n := range newPruned {
+		s.prunedCount = n
+	}
+	db.segs = kept
+	db.headN -= headDropped
+	if changed {
+		db.epoch++
+	}
+	db.mu.Unlock()
+	for _, s := range expired {
+		total := 0
+		for _, ss := range s.series {
+			total += ss.count
+		}
+		removed += total - s.prunedCount
+		s.close()
+		os.Remove(s.path)
+	}
+	// Persist the watermark only when it actually hid or dropped
+	// something: a janitor pass on an idle window then costs no write.
+	if changed {
+		saveFloor(db.dir, cutoff)
+	}
+	return removed
+}
+
+// Stats implements store.StatsProvider.
+func (db *DB) Stats() store.BackendStats {
+	db.mu.RLock()
+	segs := db.segs
+	headN := db.headN
+	for _, rs := range db.flushing {
+		headN += len(rs) // staged mid-flush: still memory-resident
+	}
+	db.mu.RUnlock()
+	st := store.BackendStats{
+		Kind:         "tsdb",
+		Segments:     len(segs),
+		HeadReadings: headN,
+	}
+	if err := db.walError(); err != nil {
+		st.Error = fmt.Sprintf("WAL degraded, recent data not durable: %v", err)
+	}
+	st.Topics = len(db.topicSet())
+	st.TotalReadings = db.TotalReadings()
+	for _, s := range segs {
+		st.DiskBytes += s.size
+	}
+	walDir := filepath.Join(db.dir, "wal")
+	if files, err := listWAL(walDir); err == nil {
+		for _, wf := range files {
+			if fi, err := os.Stat(wf.path); err == nil {
+				st.WALFiles++
+				st.WALBytes += fi.Size()
+			}
+		}
+	}
+	st.DiskBytes += st.WALBytes
+	return st
+}
+
+// Close stops the janitor, flushes outstanding heads into a final
+// segment and closes every file, releasing the directory lock. After a
+// clean Close the WAL is empty and reopening serves entirely from
+// segments. A WAL append failure during the DB's lifetime (data served
+// from memory but not durable) surfaces in the returned error.
+func (db *DB) Close() error {
+	db.closeOnce.Do(func() {
+		if db.janitorStop != nil {
+			close(db.janitorStop)
+			<-db.janitorDone
+		}
+		err := db.Flush()
+		if werr := db.wal.Close(); err == nil {
+			err = werr
+		}
+		db.mu.Lock()
+		for _, s := range db.segs {
+			if cerr := s.close(); err == nil {
+				err = cerr
+			}
+		}
+		db.mu.Unlock()
+		if werr := db.walError(); err == nil && werr != nil {
+			err = fmt.Errorf("tsdb: WAL degraded during run, recent data may not be durable: %w", werr)
+		}
+		if db.lock != nil {
+			db.lock.Close()
+		}
+		db.closeErr = err
+	})
+	return db.closeErr
+}
+
+// Abandon simulates a process kill for crash-recovery tests and drills:
+// it stops the janitor and releases every file handle — including the
+// directory lock, exactly as process death would — WITHOUT flushing
+// heads or syncing the WAL. The on-disk state is what a SIGKILL leaves
+// behind; the DB must not be used afterwards.
+func (db *DB) Abandon() {
+	db.closeOnce.Do(func() {
+		if db.janitorStop != nil {
+			close(db.janitorStop)
+			<-db.janitorDone
+		}
+		db.wal.mu.Lock()
+		db.wal.f.Close()
+		db.wal.mu.Unlock()
+		db.mu.Lock()
+		for _, s := range db.segs {
+			s.close()
+		}
+		db.mu.Unlock()
+		if db.lock != nil {
+			db.lock.Close()
+		}
+		db.closeErr = fmt.Errorf("tsdb: database was abandoned")
+	})
+}

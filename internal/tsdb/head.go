@@ -1,0 +1,80 @@
+package tsdb
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+// head is the mutable in-memory block of one series: every reading since
+// the last flush, kept in timestamp order so queries and segment writes
+// need no extra sort. It mirrors the in-memory store's series but is
+// transient — the janitor periodically drains heads into segments.
+type head struct {
+	mu   sync.RWMutex
+	data []sensor.Reading
+}
+
+// insert places readings at their sorted positions (append-fast for the
+// common in-order case).
+func (h *head) insert(rs []sensor.Reading) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, r := range rs {
+		n := len(h.data)
+		if n == 0 || h.data[n-1].Time <= r.Time {
+			h.data = append(h.data, r)
+			continue
+		}
+		i := sort.Search(n, func(i int) bool { return h.data[i].Time > r.Time })
+		h.data = append(h.data, sensor.Reading{})
+		copy(h.data[i+1:], h.data[i:])
+		h.data[i] = r
+	}
+}
+
+// appendRange appends the readings within [t0, t1] to dst.
+func (h *head) appendRange(t0, t1 int64, dst []sensor.Reading) []sensor.Reading {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	lo := sort.Search(len(h.data), func(i int) bool { return h.data[i].Time >= t0 })
+	hi := sort.Search(len(h.data), func(i int) bool { return h.data[i].Time > t1 })
+	return append(dst, h.data[lo:hi]...)
+}
+
+// latest returns the newest reading at or after floor.
+func (h *head) latest(floor int64) (sensor.Reading, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if n := len(h.data); n > 0 && h.data[n-1].Time >= floor {
+		return h.data[n-1], true
+	}
+	return sensor.Reading{}, false
+}
+
+// countFrom returns how many readings are at or after floor.
+func (h *head) countFrom(floor int64) int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	lo := sort.Search(len(h.data), func(i int) bool { return h.data[i].Time >= floor })
+	return len(h.data) - lo
+}
+
+// len returns the number of buffered readings.
+func (h *head) len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.data)
+}
+
+// prune drops readings strictly older than cutoff, returning how many.
+func (h *head) prune(cutoff int64) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	lo := sort.Search(len(h.data), func(i int) bool { return h.data[i].Time >= cutoff })
+	if lo > 0 {
+		h.data = append(h.data[:0], h.data[lo:]...)
+	}
+	return lo
+}

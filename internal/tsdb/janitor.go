@@ -1,0 +1,47 @@
+package tsdb
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// The janitor is the database's single background goroutine. Each pass it
+// decides whether the heads are worth flushing — enough buffered readings
+// to fill a respectable segment, or buffered long enough that WAL replay
+// time (and the unflushed window an OS crash could lose) warrants it —
+// and enforces time-based retention by pruning against the configured
+// window. Keeping both duties on one goroutine means segment writes and
+// segment deletes never race each other.
+func (db *DB) janitor() {
+	defer close(db.janitorDone)
+	ticker := time.NewTicker(db.opts.FlushEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-db.janitorStop:
+			return
+		case <-ticker.C:
+			db.janitorPass(time.Now())
+		}
+	}
+}
+
+// janitorPass runs one flush/retention decision at the given wall time.
+// Exposed to tests through Tick-like manual invocation via Flush/Prune;
+// the daemon path only reaches it from the janitor goroutine.
+func (db *DB) janitorPass(now time.Time) {
+	db.mu.RLock()
+	headN := db.headN
+	since := db.headSince
+	db.mu.RUnlock()
+	if headN >= db.opts.MaxHeadReadings ||
+		(headN > 0 && !since.IsZero() && now.Sub(since) >= db.opts.MaxHeadAge) {
+		if err := db.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "tsdb: janitor flush: %v\n", err)
+		}
+	}
+	if db.opts.Retention > 0 {
+		db.Prune(now.Add(-db.opts.Retention).UnixNano())
+	}
+}

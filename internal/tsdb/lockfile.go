@@ -1,0 +1,26 @@
+//go:build unix
+
+package tsdb
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on the database's LOCK file
+// so two processes (or two DB instances in one process) can never run
+// the same directory — interleaved WAL appends and segment renames
+// would silently lose acknowledged readings. flock locks die with the
+// process, so a SIGKILLed owner never wedges the directory.
+func lockDir(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tsdb: database directory locked by another instance: %w", err)
+	}
+	return f, nil
+}

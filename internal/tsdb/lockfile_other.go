@@ -1,0 +1,11 @@
+//go:build !unix
+
+package tsdb
+
+import "os"
+
+// lockDir on platforms without flock only creates the marker file; the
+// double-open guard is advisory there.
+func lockDir(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+}

@@ -1,0 +1,423 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+// Segment files are immutable and time-partitioned: each one holds every
+// reading flushed from the heads in one janitor pass, one Gorilla chunk
+// per series, with a CRC-protected index at the tail:
+//
+//	header:  magic "WTSG" | u32le version | u64le covered WAL seq
+//	chunks:  concatenated per-series chunks
+//	index:   u32le series count, then per series
+//	         uvarint topic len | topic | uvarint count |
+//	         varint minT | varint maxT | uvarint offset | uvarint length
+//	footer:  u64le index offset | u32le index CRC-32 | magic "WTSG"
+//
+// The covered WAL sequence records the newest WAL file whose contents are
+// fully represented by this segment and its predecessors; recovery uses
+// it to decide which WAL files still need replaying.
+
+const (
+	segMagic   = "WTSG"
+	segVersion = 1
+	segHeader  = 4 + 4 + 8
+	segFooter  = 8 + 4 + 4
+)
+
+// segSeries locates one series' chunk inside a segment file.
+type segSeries struct {
+	count      int
+	minT, maxT int64
+	off        int64
+	length     int64
+}
+
+// segment is one open, immutable segment file.
+type segment struct {
+	path       string
+	seq        uint64
+	coveredWAL uint64
+	minT, maxT int64
+	size       int64
+	series     map[sensor.Topic]segSeries
+	f          *os.File
+
+	// prunedCount is the number of readings in this segment already
+	// counted as removed by DB.Prune (retention watermark bookkeeping).
+	prunedCount int
+}
+
+func segPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%08d.seg", seq))
+}
+
+// writeSegment persists data as segment file seq, fsyncing file and
+// directory before the atomic rename, and returns the opened segment.
+// Series chunks are encoded in sorted topic order for determinism.
+func writeSegment(dir string, seq, coveredWAL uint64, data map[sensor.Topic][]sensor.Reading) (*segment, error) {
+	topics := make([]sensor.Topic, 0, len(data))
+	for t, rs := range data {
+		if len(rs) > 0 {
+			topics = append(topics, t)
+		}
+	}
+	if len(topics) == 0 {
+		return nil, nil
+	}
+	sort.Slice(topics, func(i, j int) bool { return topics[i] < topics[j] })
+
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, segMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, segVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, coveredWAL)
+
+	index := make([]byte, 0, len(topics)*32)
+	index = binary.LittleEndian.AppendUint32(index, uint32(len(topics)))
+	for _, topic := range topics {
+		rs := data[topic]
+		app := NewAppender()
+		for _, r := range rs {
+			app.Append(r)
+		}
+		chunk := app.Bytes()
+		off := len(buf)
+		buf = append(buf, chunk...)
+		index = binary.AppendUvarint(index, uint64(len(topic)))
+		index = append(index, topic...)
+		index = binary.AppendUvarint(index, uint64(len(rs)))
+		index = binary.AppendVarint(index, rs[0].Time)
+		index = binary.AppendVarint(index, rs[len(rs)-1].Time)
+		index = binary.AppendUvarint(index, uint64(off))
+		index = binary.AppendUvarint(index, uint64(len(chunk)))
+	}
+	indexOff := len(buf)
+	buf = append(buf, index...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(indexOff))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(index))
+	buf = append(buf, segMagic...)
+
+	path := segPath(dir, seq)
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, buf); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	// Past the rename the file is live: any later failure must take it
+	// back out, or the flush's error path restores the same readings
+	// into heads and the next flush duplicates them all.
+	if err := syncDir(dir); err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	seg, err := openSegment(path, seq)
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	return seg, nil
+}
+
+func writeFileSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// listSegments opens every segment file in dir, sorted by sequence.
+// Leftover .tmp files from an interrupted flush are removed.
+func listSegments(dir string) ([]*segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []*segment
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if e.IsDir() || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(name, ".seg"), 10, 64)
+		if err != nil {
+			continue
+		}
+		seg, err := openSegment(filepath.Join(dir, name), seq)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: opening segment %s: %w", name, err)
+		}
+		segs = append(segs, seg)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+// openSegment memory-loads a segment's index and keeps the file open for
+// on-demand chunk reads.
+func openSegment(path string, seq uint64) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := st.Size()
+	if size < segHeader+segFooter {
+		f.Close()
+		return nil, fmt.Errorf("file too small (%d bytes)", size)
+	}
+	hdr := make([]byte, segHeader)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(hdr[:4]) != segMagic {
+		f.Close()
+		return nil, fmt.Errorf("bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != segVersion {
+		f.Close()
+		return nil, fmt.Errorf("unsupported version %d", v)
+	}
+	coveredWAL := binary.LittleEndian.Uint64(hdr[8:])
+
+	foot := make([]byte, segFooter)
+	if _, err := f.ReadAt(foot, size-segFooter); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(foot[12:]) != segMagic {
+		f.Close()
+		return nil, fmt.Errorf("bad footer magic")
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(foot))
+	indexCRC := binary.LittleEndian.Uint32(foot[8:])
+	if indexOff < segHeader || indexOff > size-segFooter {
+		f.Close()
+		return nil, fmt.Errorf("index offset out of bounds")
+	}
+	index := make([]byte, size-segFooter-indexOff)
+	if _, err := f.ReadAt(index, indexOff); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(index) != indexCRC {
+		f.Close()
+		return nil, fmt.Errorf("index checksum mismatch")
+	}
+
+	seg := &segment{
+		path:       path,
+		seq:        seq,
+		coveredWAL: coveredWAL,
+		size:       size,
+		series:     make(map[sensor.Topic]segSeries),
+		f:          f,
+	}
+	if len(index) < 4 {
+		f.Close()
+		return nil, fmt.Errorf("short index")
+	}
+	nSeries := binary.LittleEndian.Uint32(index)
+	p := index[4:]
+	bad := func() (*segment, error) {
+		f.Close()
+		return nil, fmt.Errorf("corrupt index entry")
+	}
+	uvar := func() (uint64, bool) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, false
+		}
+		p = p[n:]
+		return v, true
+	}
+	svar := func() (int64, bool) {
+		v, n := binary.Varint(p)
+		if n <= 0 {
+			return 0, false
+		}
+		p = p[n:]
+		return v, true
+	}
+	first := true
+	for i := uint32(0); i < nSeries; i++ {
+		tlen, ok := uvar()
+		if !ok || uint64(len(p)) < tlen {
+			return bad()
+		}
+		topic := sensor.Topic(p[:tlen])
+		p = p[tlen:]
+		count, ok1 := uvar()
+		minT, ok2 := svar()
+		maxT, ok3 := svar()
+		off, ok4 := uvar()
+		length, ok5 := uvar()
+		if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 {
+			return bad()
+		}
+		seg.series[topic] = segSeries{
+			count: int(count), minT: minT, maxT: maxT,
+			off: int64(off), length: int64(length),
+		}
+		if first || minT < seg.minT {
+			seg.minT = minT
+		}
+		if first || maxT > seg.maxT {
+			seg.maxT = maxT
+		}
+		first = false
+	}
+	return seg, nil
+}
+
+// readChunk loads and parses one series' chunk.
+func (s *segment) readChunk(ss segSeries) (*Iter, error) {
+	chunk := make([]byte, ss.length)
+	if _, err := s.f.ReadAt(chunk, ss.off); err != nil {
+		return nil, err
+	}
+	return NewIter(chunk)
+}
+
+// appendRange appends the series' readings within [t0, t1] to dst.
+func (s *segment) appendRange(topic sensor.Topic, t0, t1 int64, dst []sensor.Reading) ([]sensor.Reading, error) {
+	ss, ok := s.series[topic]
+	if !ok || ss.maxT < t0 || ss.minT > t1 {
+		return dst, nil
+	}
+	it, err := s.readChunk(ss)
+	if err != nil {
+		return dst, err
+	}
+	for it.Next() {
+		r := it.At()
+		if r.Time > t1 {
+			break
+		}
+		if r.Time >= t0 {
+			dst = append(dst, r)
+		}
+	}
+	return dst, it.Err()
+}
+
+// latest returns the series' newest reading at or after floor.
+func (s *segment) latest(topic sensor.Topic, floor int64) (sensor.Reading, bool, error) {
+	ss, ok := s.series[topic]
+	if !ok || ss.maxT < floor {
+		return sensor.Reading{}, false, nil
+	}
+	it, err := s.readChunk(ss)
+	if err != nil {
+		return sensor.Reading{}, false, err
+	}
+	var last sensor.Reading
+	found := false
+	for it.Next() {
+		if r := it.At(); r.Time >= floor {
+			last = r
+			found = true
+		}
+	}
+	return last, found, it.Err()
+}
+
+// countFrom returns how many of the series' readings are at or after
+// floor, decoding the chunk only when the watermark cuts through it.
+func (s *segment) countFrom(topic sensor.Topic, floor int64) (int, error) {
+	ss, ok := s.series[topic]
+	if !ok || ss.maxT < floor {
+		return 0, nil
+	}
+	if ss.minT >= floor {
+		return ss.count, nil
+	}
+	it, err := s.readChunk(ss)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for it.Next() {
+		if it.At().Time >= floor {
+			n++
+		}
+	}
+	return n, it.Err()
+}
+
+// countBelow returns how many readings across all series are strictly
+// older than cutoff.
+func (s *segment) countBelow(cutoff int64) (int, error) {
+	if s.minT >= cutoff {
+		return 0, nil
+	}
+	if s.maxT < cutoff {
+		total := 0
+		for _, ss := range s.series {
+			total += ss.count
+		}
+		return total, nil
+	}
+	total := 0
+	for topic, ss := range s.series {
+		if ss.minT >= cutoff {
+			continue
+		}
+		if ss.maxT < cutoff {
+			total += ss.count
+			continue
+		}
+		n, err := s.countFrom(topic, cutoff)
+		if err != nil {
+			return 0, err
+		}
+		total += ss.count - n
+	}
+	return total, nil
+}
+
+// close releases the underlying file.
+func (s *segment) close() error { return s.f.Close() }

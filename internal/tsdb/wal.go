@@ -1,0 +1,225 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+// The write-ahead log is shared by every series: one append per ingest
+// batch, framed as
+//
+//	u32le payload length | u32le CRC-32 (IEEE) of payload | payload
+//
+// with the payload holding the topic and a delta-varint-compressed run of
+// readings. Records are written with a single Write call and no
+// user-space buffering, so everything an Append returned from survives a
+// process kill. Replay stops at the first torn or corrupt record — by
+// construction that can only be the interrupted tail.
+
+const walHeaderSize = 8
+
+// walFile names one on-disk WAL file.
+type walFile struct {
+	seq  uint64
+	path string
+}
+
+// listWAL returns the directory's WAL files sorted by sequence number.
+func listWAL(dir string) ([]walFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []walFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(name, ".wal"), 10, 64)
+		if err != nil {
+			continue // foreign file; leave it alone
+		}
+		files = append(files, walFile{seq: seq, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].seq < files[j].seq })
+	return files, nil
+}
+
+func walPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%08d.wal", seq))
+}
+
+// wal is the active write-ahead log file.
+type wal struct {
+	dir      string
+	syncEach bool
+
+	mu   sync.Mutex
+	f    *os.File
+	seq  uint64
+	size int64
+	buf  []byte // record scratch, reused across appends
+}
+
+// newWAL starts a fresh WAL file with the given sequence number.
+func newWAL(dir string, seq uint64, syncEach bool) (*wal, error) {
+	f, err := os.OpenFile(walPath(dir, seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{dir: dir, syncEach: syncEach, f: f, seq: seq}, nil
+}
+
+// Append durably logs one topic's reading batch.
+func (w *wal) Append(topic sensor.Topic, rs []sensor.Reading) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = appendWALRecord(w.buf[:0], topic, rs)
+	n, err := w.f.Write(w.buf)
+	w.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("tsdb: wal append: %w", err)
+	}
+	if w.syncEach {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// rotate starts the next WAL file and retires the active one, returning
+// the retired sequence number. It is fail-safe: the next file is opened
+// and the old one synced before anything is switched, so on error the
+// old file stays active and appends keep working.
+func (w *wal) rotate() (retired uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	next := walPath(w.dir, w.seq+1)
+	f, err := os.OpenFile(next, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if err := w.f.Sync(); err != nil {
+		f.Close()
+		os.Remove(next)
+		return 0, err
+	}
+	w.f.Close() // contents are synced; a close error loses nothing
+	retired = w.seq
+	w.seq++
+	w.f = f
+	w.size = 0
+	return retired, nil
+}
+
+// Close syncs and closes the active file.
+func (w *wal) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// appendWALRecord frames one (topic, readings) batch into dst.
+func appendWALRecord(dst []byte, topic sensor.Topic, rs []sensor.Reading) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	dst = binary.AppendUvarint(dst, uint64(len(topic)))
+	dst = append(dst, topic...)
+	dst = binary.AppendUvarint(dst, uint64(len(rs)))
+	prev := int64(0)
+	for _, r := range rs {
+		dst = binary.AppendVarint(dst, r.Time-prev)
+		prev = r.Time
+		var v [8]byte
+		binary.LittleEndian.PutUint64(v[:], math.Float64bits(r.Value))
+		dst = append(dst, v[:]...)
+	}
+	payload := dst[start+walHeaderSize:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// replayWAL streams every intact record of one WAL file into fn. A torn
+// or corrupt tail record ends the replay silently: it is the expected
+// shape of a crash interrupting Append, and everything before it is
+// protected by its own CRC.
+func replayWAL(path string, fn func(topic sensor.Topic, rs []sensor.Reading)) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	for len(data) > 0 {
+		if len(data) < walHeaderSize {
+			return nil // torn header
+		}
+		plen := binary.LittleEndian.Uint32(data)
+		crc := binary.LittleEndian.Uint32(data[4:])
+		rest := data[walHeaderSize:]
+		if uint64(plen) > uint64(len(rest)) {
+			return nil // torn payload
+		}
+		payload := rest[:plen]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil // corrupt tail
+		}
+		topic, rs, err := decodeWALPayload(payload)
+		if err != nil {
+			return nil // structurally invalid tail
+		}
+		fn(topic, rs)
+		data = rest[plen:]
+	}
+	return nil
+}
+
+func decodeWALPayload(p []byte) (sensor.Topic, []sensor.Reading, error) {
+	tlen, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p)-n) < tlen {
+		return "", nil, io.ErrUnexpectedEOF
+	}
+	topic := sensor.Topic(p[n : n+int(tlen)])
+	p = p[n+int(tlen):]
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return "", nil, io.ErrUnexpectedEOF
+	}
+	p = p[n:]
+	// Every reading needs at least 9 payload bytes (1-byte varint delta +
+	// 8-byte value); a count beyond that bound is a corrupt record, not a
+	// preallocation request.
+	if count > uint64(len(p))/9 {
+		return "", nil, io.ErrUnexpectedEOF
+	}
+	rs := make([]sensor.Reading, 0, count)
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		dt, n := binary.Varint(p)
+		if n <= 0 || len(p) < n+8 {
+			return "", nil, io.ErrUnexpectedEOF
+		}
+		prev += dt
+		v := binary.LittleEndian.Uint64(p[n:])
+		rs = append(rs, sensor.Reading{Time: prev, Value: math.Float64frombits(v)})
+		p = p[n+8:]
+	}
+	return topic, rs, nil
+}
