@@ -1,14 +1,20 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json ci
+.PHONY: all build vet doclint test race bench bench-json ci
 
-all: build vet test
+all: build vet doclint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Documentation lint: every internal package carries a package doc
+# comment, and the public surfaces of store, tsdb, core and transport
+# document every exported symbol (see cmd/doclint).
+doclint:
+	$(GO) run ./cmd/doclint
 
 test:
 	$(GO) test ./...
@@ -20,15 +26,18 @@ race:
 	$(GO) test -race -count=1 ./internal/...
 
 # Short benchmark smoke: the tick-path contention pairs, the cache view
-# micro-benches and the storage backend pairs (in-memory store vs tsdb
-# insert/range plus crash recovery). Full suite: go test -bench=. -benchmem .
+# micro-benches, the storage backend pairs (in-memory store vs tsdb
+# insert/range plus crash recovery) and the aggregation pairs (naive
+# Range+reduce vs the chunk-metadata engine).
+# Full suite: go test -bench=. -benchmem .
 bench:
-	$(GO) test -run '^$$' -bench 'TickAllContention|QueryContention|CacheView|BackendInsertBatch|BackendRange|TSDBRecovery' -benchtime 10x -benchmem .
+	$(GO) test -run '^$$' -bench 'TickAllContention|QueryContention|CacheView|BackendInsertBatch|BackendRange|TSDBRecovery|Aggregate|Downsample' -benchtime 10x -benchmem .
 
 # Machine-readable hot-path results for the per-PR perf trajectory,
-# including the tsdb insert/range/recovery benches and the PR3 storage
-# acceptance scenario (on-disk bytes per reading, crash-recovery parity).
+# including the storage and aggregation acceptance scenarios (on-disk
+# bytes per reading, crash-recovery parity, aggregate speedup and
+# allocation ratio vs naive Range+reduce).
 bench-json:
-	$(GO) run ./cmd/benchrunner -bench-json BENCH_PR3.json
+	$(GO) run ./cmd/benchrunner -bench-json BENCH_PR4.json
 
-ci: build vet test race bench
+ci: build vet doclint test race bench

@@ -860,3 +860,95 @@ func copyCrashState(b *testing.B, src, dst string) {
 		}
 	}
 }
+
+// --- PR4: aggregation engine vs naive Range+reduce -----------------------
+
+// aggBenchDB builds the PR4 acceptance corpus: 100k+ readings across 64
+// topics, flushed into segments so the per-chunk pre-aggregates exist.
+func aggBenchDB(b *testing.B) (*tsdb.DB, []sensor.Topic) {
+	b.Helper()
+	db, err := tsdb.Open(b.TempDir(), tsdb.Options{FlushEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs := tsdbBenchSeries(1600) // 64 x 1600 = 102,400 readings
+	topics := make([]sensor.Topic, 64)
+	for n := range topics {
+		topics[n] = sensor.Topic(fmt.Sprintf("/r%02d/n%02d/power", n/8, n%8))
+		db.InsertBatch(topics[n], rs)
+	}
+	if err := db.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return db, topics
+}
+
+// BenchmarkAggregateNaiveRange is the before side of the PR4 pair: an
+// average over every topic's full history computed the pre-engine way —
+// materialize the raw range into a slice, reduce it in the caller, throw
+// the slice away.
+func BenchmarkAggregateNaiveRange(b *testing.B) {
+	db, topics := aggBenchDB(b)
+	defer db.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var total store.AggResult
+		for _, tp := range topics {
+			total.Merge(store.AggregateNaive(db, tp, 0, 1600*sec))
+		}
+		if total.Count != 102400 {
+			b.Fatalf("aggregated %d readings", total.Count)
+		}
+	}
+}
+
+// BenchmarkAggregateEngine is the after side: the same query through the
+// tsdb aggregation engine — fully-covered chunks answer from index
+// pre-aggregates in O(1), no reading is materialized.
+func BenchmarkAggregateEngine(b *testing.B) {
+	db, topics := aggBenchDB(b)
+	defer db.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var total store.AggResult
+		for _, tp := range topics {
+			total.Merge(db.Aggregate(tp, 0, 1600*sec))
+		}
+		if total.Count != 102400 {
+			b.Fatalf("aggregated %d readings", total.Count)
+		}
+	}
+}
+
+// BenchmarkDownsampleNaiveRange / ...Engine pair 60-second bucketed
+// averages over one topic's 1600-reading history: materialize+bucket in
+// the caller vs the engine's streaming chunk decode.
+func BenchmarkDownsampleNaiveRange(b *testing.B) {
+	db, topics := aggBenchDB(b)
+	defer db.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var buckets []store.Bucket
+	for i := 0; i < b.N; i++ {
+		buckets = store.DownsampleNaive(db, topics[i%len(topics)], 0, 1600*sec, 60*sec, buckets[:0])
+		if len(buckets) != 27 {
+			b.Fatalf("%d buckets", len(buckets))
+		}
+	}
+}
+
+func BenchmarkDownsampleEngine(b *testing.B) {
+	db, topics := aggBenchDB(b)
+	defer db.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var buckets []store.Bucket
+	for i := 0; i < b.N; i++ {
+		buckets = db.Downsample(topics[i%len(topics)], 0, 1600*sec, 60*sec, buckets[:0])
+		if len(buckets) != 27 {
+			b.Fatalf("%d buckets", len(buckets))
+		}
+	}
+}

@@ -52,11 +52,28 @@ type storageAcceptance struct {
 	RecoveredSame   bool    `json:"recovered_identical"`
 }
 
+// aggAcceptance is the PR4 acceptance scenario: an aggregate over 100k+
+// readings across 64 topics answered by the chunk-metadata engine vs
+// the naive Range+reduce path, with the measured speedup and allocation
+// ratio (acceptance: >=5x and >=10x) and a result-equivalence check.
+type aggAcceptance struct {
+	Topics       int     `json:"topics"`
+	Readings     int     `json:"readings"`
+	NaiveNsPerOp float64 `json:"naive_ns_per_op"`
+	NaiveAllocs  int64   `json:"naive_allocs_per_op"`
+	EngineNs     float64 `json:"engine_ns_per_op"`
+	EngineAllocs int64   `json:"engine_allocs_per_op"`
+	Speedup      float64 `json:"speedup"`
+	AllocRatio   float64 `json:"alloc_ratio"`
+	Equivalent   bool    `json:"results_equivalent"`
+}
+
 type benchReport struct {
-	PR         int                `json:"pr"`
-	Note       string             `json:"note"`
-	Benchmarks []benchResult      `json:"benchmarks"`
-	Storage    *storageAcceptance `json:"storage,omitempty"`
+	PR          int                `json:"pr"`
+	Note        string             `json:"note"`
+	Benchmarks  []benchResult      `json:"benchmarks"`
+	Storage     *storageAcceptance `json:"storage,omitempty"`
+	Aggregation *aggAcceptance     `json:"aggregation,omitempty"`
 }
 
 const benchSec = int64(time.Second)
@@ -199,24 +216,28 @@ func contentionEnv(legacy bool) (*core.Manager, error) {
 
 func runBenchJSON(path string) error {
 	report := benchReport{
-		PR: 3,
+		PR: 4,
 		Note: "paired hot-path benchmarks: unbound vs bound QueryRelative, " +
 			"legacy Compute vs ComputeInto scratch arenas (64-unit aggregator tick), " +
 			"TickAll query contention (8 ops x 16 parallel units, 8-thread pool) legacy vs bound, " +
-			"and the PR3 storage pairs: in-memory store vs tsdb insert/range plus crash recovery " +
-			"and the 100k-reading/64-topic on-disk footprint acceptance scenario",
+			"the PR3 storage pairs (in-memory store vs tsdb insert/range, crash recovery, " +
+			"100k-reading/64-topic on-disk footprint) and the PR4 aggregation pairs: " +
+			"naive Range+reduce vs the chunk-metadata aggregation engine, " +
+			"with the 100k-reading/64-topic aggregate acceptance scenario",
 	}
-	add := func(name string, fn func(b *testing.B)) {
+	add := func(name string, fn func(b *testing.B)) benchResult {
 		r := testing.Benchmark(fn)
-		report.Benchmarks = append(report.Benchmarks, benchResult{
+		res := benchResult{
 			Name:        name,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			Iterations:  r.N,
-		})
+		}
+		report.Benchmarks = append(report.Benchmarks, res)
 		fmt.Printf("  %-28s %12.1f ns/op %8d B/op %6d allocs/op\n",
-			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+			name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		return res
 	}
 
 	fmt.Println("==> bench-json: query hot path")
@@ -366,6 +387,109 @@ func runBenchJSON(path string) error {
 		_ = buf
 	})
 	rangeDB.Close()
+
+	fmt.Println("==> bench-json: aggregation (naive Range+reduce vs chunk-metadata engine)")
+	const aggTopicCount, aggPerTopic = 64, 1600
+	aggDB, err := tsdb.Open(tmp+"/agg", tsdb.Options{FlushEvery: -1})
+	if err != nil {
+		return err
+	}
+	aggTopics := make([]sensor.Topic, aggTopicCount)
+	aggRS := benchSeries(aggPerTopic, 0)
+	for n := range aggTopics {
+		aggTopics[n] = sensor.Topic(fmt.Sprintf("/r%02d/n%02d/power", n/8, n%8))
+		aggDB.InsertBatch(aggTopics[n], aggRS)
+	}
+	if err := aggDB.Flush(); err != nil {
+		return err
+	}
+	aggWindowHi := int64(aggPerTopic) * benchSec
+	wantCount := int64(aggTopicCount * aggPerTopic)
+	naive := add("aggregate_naive_range", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var total store.AggResult
+			for _, tp := range aggTopics {
+				total.Merge(store.AggregateNaive(aggDB, tp, 0, aggWindowHi))
+			}
+			if total.Count != wantCount {
+				b.Fatalf("aggregated %d readings", total.Count)
+			}
+		}
+	})
+	engine := add("aggregate_engine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var total store.AggResult
+			for _, tp := range aggTopics {
+				total.Merge(aggDB.Aggregate(tp, 0, aggWindowHi))
+			}
+			if total.Count != wantCount {
+				b.Fatalf("aggregated %d readings", total.Count)
+			}
+		}
+	})
+	add("downsample_naive_range", func(b *testing.B) {
+		var buckets []store.Bucket
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buckets = store.DownsampleNaive(aggDB, aggTopics[i%len(aggTopics)], 0, aggWindowHi, 60*benchSec, buckets[:0])
+		}
+		_ = buckets
+	})
+	add("downsample_engine", func(b *testing.B) {
+		var buckets []store.Bucket
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buckets = aggDB.Downsample(aggTopics[i%len(aggTopics)], 0, aggWindowHi, 60*benchSec, buckets[:0])
+		}
+		_ = buckets
+	})
+	// Equivalence: the engine must answer exactly like the reference on
+	// full, boundary and bucketed windows of the corpus.
+	equivalent := true
+	for _, tp := range aggTopics {
+		for _, w := range [][2]int64{{0, aggWindowHi}, {137 * benchSec, 731 * benchSec}} {
+			if aggDB.Aggregate(tp, w[0], w[1]) != store.AggregateNaive(aggDB, tp, w[0], w[1]) {
+				equivalent = false
+			}
+		}
+		gotB := aggDB.Downsample(tp, 0, aggWindowHi, 60*benchSec, nil)
+		wantB := store.DownsampleNaive(aggDB, tp, 0, aggWindowHi, 60*benchSec, nil)
+		if len(gotB) != len(wantB) {
+			equivalent = false
+		} else {
+			for i := range gotB {
+				if gotB[i] != wantB[i] {
+					equivalent = false
+				}
+			}
+		}
+	}
+	aggAcc := &aggAcceptance{
+		Topics:       aggTopicCount,
+		Readings:     aggTopicCount * aggPerTopic,
+		NaiveNsPerOp: naive.NsPerOp,
+		NaiveAllocs:  naive.AllocsPerOp,
+		EngineNs:     engine.NsPerOp,
+		EngineAllocs: engine.AllocsPerOp,
+		Speedup:      naive.NsPerOp / engine.NsPerOp,
+		Equivalent:   equivalent,
+	}
+	if engine.AllocsPerOp > 0 {
+		aggAcc.AllocRatio = float64(naive.AllocsPerOp) / float64(engine.AllocsPerOp)
+	} else {
+		aggAcc.AllocRatio = float64(naive.AllocsPerOp)
+	}
+	report.Aggregation = aggAcc
+	fmt.Printf("  acceptance: %d readings / %d topics, %.1fx faster, %.0fx fewer allocs, equivalent=%v\n",
+		aggAcc.Readings, aggAcc.Topics, aggAcc.Speedup, aggAcc.AllocRatio, aggAcc.Equivalent)
+	if aggAcc.Speedup < 5 || aggAcc.AllocRatio < 10 || !aggAcc.Equivalent {
+		fmt.Printf("  WARNING: aggregation acceptance bounds missed (need >=5x ns, >=10x allocs, equivalence)\n")
+	}
+	if err := aggDB.Close(); err != nil {
+		return err
+	}
 
 	accept, err := runStorageAcceptance(tmp + "/accept")
 	if err != nil {

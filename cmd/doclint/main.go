@@ -1,0 +1,195 @@
+// Command doclint enforces the repository's documentation contract in
+// `make ci` (a go-vet-style check, no external dependencies):
+//
+//   - every package under internal/ carries a package doc comment
+//     ("// Package xxx ..."), and
+//   - the public surfaces listed in surfaceDirs (store, tsdb, core and
+//     transport — the packages other components program against)
+//     document every exported symbol: types, functions, methods on
+//     exported types, and exported const/var specs (a doc comment on
+//     the enclosing const/var block covers the whole block).
+//
+// Findings print as file:line messages; any finding fails the run.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// surfaceDirs are the packages whose exported symbols must all carry
+// doc comments. internal/core/units rides along with core: operator
+// plugins program directly against it.
+var surfaceDirs = []string{
+	"internal/store",
+	"internal/tsdb",
+	"internal/core",
+	"internal/core/units",
+	"internal/transport",
+}
+
+func main() {
+	var findings []string
+	pkgDirs, err := goPackageDirs("internal")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		os.Exit(2)
+	}
+	surface := make(map[string]bool, len(surfaceDirs))
+	for _, d := range surfaceDirs {
+		surface[filepath.Clean(d)] = true
+	}
+	for _, dir := range pkgDirs {
+		fs, err := lintDir(dir, surface[filepath.Clean(dir)])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	if len(findings) > 0 {
+		sort.Strings(findings)
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// goPackageDirs returns every directory under root containing at least
+// one non-test Go file.
+func goPackageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// lintDir checks one package directory: the package doc always, the
+// exported surface when surface is set.
+func lintDir(dir string, surface bool) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	for name, pkg := range pkgs {
+		hasDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasDoc = true
+			}
+		}
+		if !hasDoc {
+			findings = append(findings, fmt.Sprintf("%s: package %s has no package doc comment", dir, name))
+		}
+		if !surface {
+			continue
+		}
+		for path, f := range pkg.Files {
+			findings = append(findings, lintFile(fset, path, f)...)
+		}
+	}
+	return findings, nil
+}
+
+// lintFile reports every exported top-level symbol of one file that
+// lacks a doc comment.
+func lintFile(fset *token.FileSet, path string, f *ast.File) []string {
+	var findings []string
+	report := func(pos token.Pos, what, name string) {
+		findings = append(findings,
+			fmt.Sprintf("%s: exported %s %s has no doc comment", fset.Position(pos), what, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil {
+				recv := receiverTypeName(d.Recv)
+				if !ast.IsExported(recv) {
+					continue // method on an unexported type
+				}
+				report(d.Pos(), "method", recv+"."+d.Name.Name)
+			} else {
+				report(d.Pos(), "function", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			switch d.Tok {
+			case token.TYPE:
+				for _, spec := range d.Specs {
+					ts := spec.(*ast.TypeSpec)
+					if ts.Name.IsExported() && d.Doc == nil && ts.Doc == nil {
+						report(ts.Pos(), "type", ts.Name.Name)
+					}
+				}
+			case token.CONST, token.VAR:
+				// A doc comment on the block documents every spec in it
+				// (the idiomatic shape for enums and sentinel errors).
+				if d.Doc != nil {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs := spec.(*ast.ValueSpec)
+					if vs.Doc != nil || vs.Comment != nil {
+						continue
+					}
+					for _, n := range vs.Names {
+						if n.IsExported() {
+							report(n.Pos(), strings.ToLower(d.Tok.String()), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// receiverTypeName unwraps a method receiver to its type name.
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"time"
+
+	"github.com/dcdb/wintermute/internal/cache"
+	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/store"
+)
+
+// Aggregation queries of the Query Engine. Like the raw-reading query
+// modes they follow the cache-first discipline — a covering sensor
+// cache reduces its ring buffer in place — and otherwise delegate to
+// the Storage Backend through the store.Aggregate/store.Downsample
+// dispatchers, which use the backend's native streaming engine (the
+// tsdb per-chunk pre-aggregates) when it has one and fall back to
+// Range+reduce when it does not. No path materializes raw readings
+// into the caller's memory.
+
+// AggregateRelative reduces the window [latest-lookback, latest] of
+// topic to an AggResult, cache-first. The result is empty (Count 0)
+// when the sensor has no data anywhere.
+func (qe *QueryEngine) AggregateRelative(topic sensor.Topic, lookback time.Duration) store.AggResult {
+	return qe.aggregateRelativeIn(qe.lookup(topic), topic, lookback)
+}
+
+// aggregateRelativeIn answers a relative aggregation against a resolved
+// cache, falling back to the store. Shared by the unbound topic path
+// and the BoundSensor path.
+func (qe *QueryEngine) aggregateRelativeIn(c *cache.Cache, topic sensor.Topic, lookback time.Duration) store.AggResult {
+	if c != nil {
+		if a := c.AggregateRelative(lookback); a.Count > 0 {
+			return a
+		}
+	}
+	if qe.store != nil {
+		if latest, ok := qe.store.Latest(topic); ok {
+			return store.Aggregate(qe.store, topic, latest.Time-int64(lookback), latest.Time)
+		}
+	}
+	return store.AggResult{}
+}
+
+// AggregateAbsolute reduces the readings of topic with timestamps in
+// [t0, t1] to an AggResult. The cache answers when it covers the start
+// of the range; otherwise the Storage Backend does.
+func (qe *QueryEngine) AggregateAbsolute(topic sensor.Topic, t0, t1 int64) store.AggResult {
+	return qe.aggregateAbsoluteIn(qe.lookup(topic), topic, t0, t1)
+}
+
+// aggregateAbsoluteIn answers an absolute aggregation against a
+// resolved cache, falling back to the store when the cache is absent,
+// empty, or does not cover the start of the range.
+func (qe *QueryEngine) aggregateAbsoluteIn(c *cache.Cache, topic sensor.Topic, t0, t1 int64) store.AggResult {
+	if c != nil && c.Len() > 0 {
+		oldest, _ := c.Oldest()
+		if oldest.Time <= t0 || qe.store == nil {
+			return c.AggregateAbsolute(t0, t1)
+		}
+	}
+	if qe.store != nil {
+		return store.Aggregate(qe.store, topic, t0, t1)
+	}
+	return store.AggResult{}
+}
+
+// Downsample reduces the readings of topic in [t0, t1] into buckets of
+// width step aligned to t0, appending only non-empty buckets to dst in
+// time order — cache when it covers the range start, Storage Backend
+// otherwise.
+func (qe *QueryEngine) Downsample(topic sensor.Topic, t0, t1, step int64, dst []store.Bucket) []store.Bucket {
+	return qe.downsampleIn(qe.lookup(topic), topic, t0, t1, step, dst)
+}
+
+// downsampleIn answers a downsampling query against a resolved cache,
+// falling back to the store.
+func (qe *QueryEngine) downsampleIn(c *cache.Cache, topic sensor.Topic, t0, t1, step int64, dst []store.Bucket) []store.Bucket {
+	if c != nil && c.Len() > 0 {
+		oldest, _ := c.Oldest()
+		if oldest.Time <= t0 || qe.store == nil {
+			return c.DownsampleAbsolute(t0, t1, step, dst)
+		}
+	}
+	if qe.store != nil {
+		return store.Downsample(qe.store, topic, t0, t1, step, dst)
+	}
+	return dst
+}
+
+// AggregateRelative reduces the window [latest-lookback, latest], like
+// QueryEngine.AggregateRelative but without the topic lookup on the hit
+// path. The steady-state cache hit performs zero allocations — this is
+// the aggregation tick path of operator plugins.
+func (b *BoundSensor) AggregateRelative(lookback time.Duration) store.AggResult {
+	return b.qe.aggregateRelativeIn(b.resolved(), b.Topic, lookback)
+}
+
+// AggregateAbsolute reduces the readings in [t0, t1], like
+// QueryEngine.AggregateAbsolute but without the topic lookup on the hit
+// path.
+func (b *BoundSensor) AggregateAbsolute(t0, t1 int64) store.AggResult {
+	return b.qe.aggregateAbsoluteIn(b.resolved(), b.Topic, t0, t1)
+}
+
+// Downsample reduces the readings in [t0, t1] into step-wide buckets,
+// like QueryEngine.Downsample but without the topic lookup on the hit
+// path.
+func (b *BoundSensor) Downsample(t0, t1, step int64, dst []store.Bucket) []store.Bucket {
+	return b.qe.downsampleIn(b.resolved(), b.Topic, t0, t1, step, dst)
+}

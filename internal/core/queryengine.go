@@ -140,27 +140,9 @@ func (qe *QueryEngine) Average(topic sensor.Topic, lookback time.Duration) (floa
 }
 
 // averageIn answers a windowed-average query against a resolved cache,
-// falling back to the store.
+// falling back to the store. It is the aggregation path specialised to
+// AggAvg: the store fallback streams through the backend's aggregation
+// engine instead of materializing the raw window.
 func (qe *QueryEngine) averageIn(c *cache.Cache, topic sensor.Topic, lookback time.Duration) (float64, bool) {
-	if c != nil {
-		if avg, ok := c.Average(lookback); ok {
-			return avg, true
-		}
-	}
-	if qe.store == nil {
-		return 0, false
-	}
-	latest, ok := qe.store.Latest(topic)
-	if !ok {
-		return 0, false
-	}
-	rs := qe.store.Range(topic, latest.Time-int64(lookback), latest.Time, nil)
-	if len(rs) == 0 {
-		return 0, false
-	}
-	var sum float64
-	for _, r := range rs {
-		sum += r.Value
-	}
-	return sum / float64(len(rs)), true
+	return qe.aggregateRelativeIn(c, topic, lookback).Value(store.AggAvg)
 }

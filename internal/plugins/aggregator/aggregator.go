@@ -19,6 +19,7 @@ import (
 	"github.com/dcdb/wintermute/internal/core/units"
 	"github.com/dcdb/wintermute/internal/ml/stats"
 	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/store"
 )
 
 // Op names an aggregation function.
@@ -83,28 +84,49 @@ func (o *Operator) Compute(qe *core.QueryEngine, u *units.Unit, now time.Time) (
 // ComputeInto implements core.ContextOperator: queries go through the
 // unit's bound sensor handles and all working slices live in the tick
 // context, so the steady-state computation performs no allocations.
+//
+// Mean, Sum, Min and Max stream through the Query Engine's aggregation
+// path (BoundSensor.AggregateRelative): the window is reduced inside
+// the cache ring — or, on the store fallback, inside the backend's
+// aggregation engine — without materializing raw readings. Std needs
+// every value (variance) and Delta needs the window's first and last
+// readings, so both keep the raw QueryRelative path.
 func (o *Operator) ComputeInto(qe *core.QueryEngine, u *units.Unit, now time.Time, tc *core.TickContext) ([]core.Output, error) {
 	bu := qe.BindUnit(u)
 	var w stats.Welford
+	var agg store.AggResult
 	var sum, deltaSum float64
 	sensorsSeen := 0
 	buf := tc.Readings
 	for i := range u.Inputs {
-		buf = bu.Inputs[i].QueryRelative(o.window, buf[:0])
-		if len(buf) == 0 {
-			continue
-		}
-		sensorsSeen++
 		switch o.op {
-		case Delta:
-			deltaSum += buf[len(buf)-1].Value - buf[0].Value
-		case Sum:
-			var s float64
-			for _, r := range buf {
-				s += r.Value
+		case Mean, Min, Max:
+			a := bu.Inputs[i].AggregateRelative(o.window)
+			if a.Count == 0 {
+				continue
 			}
-			sum += s / float64(len(buf))
-		default:
+			sensorsSeen++
+			agg.Merge(a)
+		case Sum:
+			a := bu.Inputs[i].AggregateRelative(o.window)
+			if a.Count == 0 {
+				continue
+			}
+			sensorsSeen++
+			sum += a.Sum / float64(a.Count)
+		case Delta:
+			buf = bu.Inputs[i].QueryRelative(o.window, buf[:0])
+			if len(buf) == 0 {
+				continue
+			}
+			sensorsSeen++
+			deltaSum += buf[len(buf)-1].Value - buf[0].Value
+		default: // Std
+			buf = bu.Inputs[i].QueryRelative(o.window, buf[:0])
+			if len(buf) == 0 {
+				continue
+			}
+			sensorsSeen++
 			for _, r := range buf {
 				w.Add(r.Value)
 			}
@@ -117,13 +139,13 @@ func (o *Operator) ComputeInto(qe *core.QueryEngine, u *units.Unit, now time.Tim
 	var v float64
 	switch o.op {
 	case Mean:
-		v = w.Mean()
+		v, _ = agg.Value(store.AggAvg)
 	case Sum:
 		v = sum
 	case Min:
-		v = w.Min()
+		v = agg.Min
 	case Max:
-		v = w.Max()
+		v = agg.Max
 	case Std:
 		v = w.Std()
 	case Delta:

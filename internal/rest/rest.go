@@ -10,7 +10,9 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/dcdb/wintermute/internal/core"
@@ -165,8 +167,20 @@ func (a *API) average(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"sensor": topic, "window": window.String(), "average": avg})
 }
 
+// query serves GET /query. Without op it returns raw readings of one
+// sensor (relative, absolute or latest mode). With op (avg, min, max,
+// sum, count) it evaluates the aggregate over the requested window
+// through the Query Engine's streaming aggregation path — adding
+// step=<duration> buckets the window into a downsampled series — and
+// the sensor parameter may end in the '#' multi-level wildcard
+// (e.g. /rack0/#) to fan the aggregation out over every sensor below
+// that prefix.
 func (a *API) query(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
+	if q.Get("op") != "" {
+		a.queryAggregate(w, r)
+		return
+	}
 	topic := sensor.Topic(q.Get("sensor"))
 	var readings []sensor.Reading
 	switch {
@@ -191,6 +205,171 @@ func (a *API) query(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"sensor": topic, "readings": readings, "count": len(readings)})
+}
+
+// maxQueryBuckets bounds a downsampling response across the whole
+// request: window/step buckets times the number of fanned-out sensors,
+// keeping one request (a '#' wildcard over a dense history, say) from
+// asking the engine — and the JSON encoder — for millions of buckets.
+const maxQueryBuckets = 100_000
+
+// aggSensorJSON is one sensor's slot in an aggregation response. Value
+// is absent when the sensor had no readings in the window; Buckets is
+// only present on step (downsampling) queries.
+type aggSensorJSON struct {
+	Sensor  sensor.Topic    `json:"sensor"`
+	Count   int64           `json:"count"`
+	Value   *float64        `json:"value,omitempty"`
+	Buckets []aggBucketJSON `json:"buckets,omitempty"`
+}
+
+// aggBucketJSON is one downsampling bucket: its start timestamp, the
+// reading count and the operator evaluated over the bucket.
+type aggBucketJSON struct {
+	Start int64   `json:"start"`
+	Count int64   `json:"count"`
+	Value float64 `json:"value"`
+}
+
+// queryAggregate answers GET /query with op set.
+func (a *API) queryAggregate(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	op, err := store.ParseAggOp(q.Get("op"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	topics, err := a.expandTopics(q.Get("sensor"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+
+	resp := map[string]any{"op": op.String()}
+	val := func(res store.AggResult) *float64 {
+		if v, ok := res.Value(op); ok {
+			return &v
+		}
+		return nil
+	}
+
+	// Relative window: one lookback aggregate per sensor, each anchored
+	// at that sensor's latest reading. Bucketing needs an absolute
+	// window to align to.
+	if lb := q.Get("lookback"); lb != "" {
+		if q.Get("step") != "" {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("step requires an absolute start/end window"))
+			return
+		}
+		lookback, err := parseWindow(lb, 0)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		resp["lookback"] = lookback.String()
+		sensors := make([]aggSensorJSON, 0, len(topics))
+		var combined store.AggResult
+		for _, tp := range topics {
+			res := a.qe.AggregateRelative(tp, lookback)
+			combined.Merge(res)
+			sensors = append(sensors, aggSensorJSON{Sensor: tp, Count: res.Count, Value: val(res)})
+		}
+		resp["sensors"] = sensors
+		resp["combined"] = aggSensorJSON{Sensor: "", Count: combined.Count, Value: val(combined)}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	start, err1 := strconv.ParseInt(firstOf(q, "start", "from"), 10, 64)
+	end, err2 := strconv.ParseInt(firstOf(q, "end", "to"), 10, 64)
+	if err1 != nil || err2 != nil {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("aggregation needs start/end nanosecond timestamps or a lookback duration"))
+		return
+	}
+	resp["start"], resp["end"] = start, end
+
+	var step int64
+	if s := q.Get("step"); s != "" {
+		d, err := parseWindow(s, 0)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		step = int64(d)
+		if step <= 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("step must be positive"))
+			return
+		}
+		if end >= start && ((end-start)/step+1) > maxQueryBuckets/int64(len(topics)) {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("window/step yields more than %d buckets across %d sensors",
+					maxQueryBuckets, len(topics)))
+			return
+		}
+		resp["step"] = d.String()
+	}
+
+	sensors := make([]aggSensorJSON, 0, len(topics))
+	var combined store.AggResult
+	var buckets []store.Bucket
+	for _, tp := range topics {
+		if step > 0 {
+			buckets = a.qe.Downsample(tp, start, end, step, buckets[:0])
+			out := make([]aggBucketJSON, 0, len(buckets))
+			var total store.AggResult
+			for _, b := range buckets {
+				v, _ := b.Value(op)
+				out = append(out, aggBucketJSON{Start: b.Start, Count: b.Count, Value: v})
+				total.Merge(b.AggResult)
+			}
+			combined.Merge(total)
+			sensors = append(sensors, aggSensorJSON{Sensor: tp, Count: total.Count, Buckets: out})
+			continue
+		}
+		res := a.qe.AggregateAbsolute(tp, start, end)
+		combined.Merge(res)
+		sensors = append(sensors, aggSensorJSON{Sensor: tp, Count: res.Count, Value: val(res)})
+	}
+	resp["sensors"] = sensors
+	resp["combined"] = aggSensorJSON{Sensor: "", Count: combined.Count, Value: val(combined)}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// expandTopics resolves the sensor parameter of an aggregation query:
+// a plain topic names itself; a topic ending in the '#' multi-level
+// wildcard (MQTT-style, as in the push transport) expands to every
+// sensor at or below the prefix, resolved through the navigator.
+func (a *API) expandTopics(spec string) ([]sensor.Topic, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("missing sensor parameter")
+	}
+	if !strings.HasSuffix(spec, "#") {
+		return []sensor.Topic{sensor.Topic(spec)}, nil
+	}
+	prefix := strings.TrimSuffix(strings.TrimSuffix(spec, "#"), "/")
+	nav := a.qe.Navigator()
+	var topics []sensor.Topic
+	if prefix == "" {
+		topics = nav.AllSensors()
+	} else {
+		topics = nav.SensorsBelow(sensor.Topic(prefix))
+	}
+	if len(topics) == 0 {
+		return nil, fmt.Errorf("no sensors match %q", spec)
+	}
+	return topics, nil
+}
+
+// firstOf returns the first non-empty value among the named query
+// parameters (start/end accept from/to as aliases).
+func firstOf(q url.Values, names ...string) string {
+	for _, n := range names {
+		if v := q.Get(n); v != "" {
+			return v
+		}
+	}
+	return ""
 }
 
 func (a *API) start(w http.ResponseWriter, r *http.Request) {

@@ -3,6 +3,7 @@ package rest
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -367,5 +368,117 @@ func TestStorageEndpoint(t *testing.T) {
 	}
 	if ts.Segments != 1 || ts.DiskBytes <= 0 || ts.WALFiles == 0 || ts.HeadReadings != 1 {
 		t.Fatalf("tsdb accounting = %+v", ts)
+	}
+}
+
+// newAggTestServer serves a query engine whose only data source is a
+// persistent tsdb backend (no caches cover the sensors), so /query
+// aggregation exercises the full streaming path down to the segment
+// pre-aggregates.
+func newAggTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	nav := navigator.New()
+	caches := cache.NewSet()
+	db, err := tsdb.Open(t.TempDir(), tsdb.Options{FlushEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	fill := func(topic sensor.Topic, base float64, slope float64) {
+		if err := nav.AddSensor(topic); err != nil {
+			t.Fatal(err)
+		}
+		rs := make([]sensor.Reading, 10)
+		for i := range rs {
+			rs[i] = sensor.Reading{Value: base + slope*float64(i), Time: int64(i) * int64(time.Second)}
+		}
+		db.InsertBatch(topic, rs)
+	}
+	fill("/r1/n0/power", 10, 1)
+	fill("/r1/n1/power", 20, 2)
+	fill("/r2/n0/power", 5, 0)
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	qe := core.NewQueryEngine(nav, caches, db)
+	m := core.NewManager(qe, core.NewCacheSink(caches, nav, 16, time.Second), core.Env{})
+	t.Cleanup(func() { m.Close() })
+	srv := httptest.NewServer(NewHandler(m, qe))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestQueryAggregateGolden locks the /query aggregation response shape:
+// exact bodies for the wildcard fan-out, the bucketed downsampling and
+// the relative-window forms.
+func TestQueryAggregateGolden(t *testing.T) {
+	srv := newAggTestServer(t)
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		if _, err := io.Copy(&sb, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, sb.String()
+	}
+	for _, tc := range []struct {
+		name, path, want string
+	}{
+		{
+			name: "wildcard_avg",
+			path: "/query?op=avg&sensor=/r1/%23&start=0&end=9000000000",
+			want: `{"combined":{"sensor":"","count":20,"value":21.75},"end":9000000000,"op":"avg","sensors":[{"sensor":"/r1/n0/power","count":10,"value":14.5},{"sensor":"/r1/n1/power","count":10,"value":29}],"start":0}` + "\n",
+		},
+		{
+			name: "downsample_max",
+			path: "/query?op=max&sensor=/r1/n0/power&start=0&end=9000000000&step=5s",
+			want: `{"combined":{"sensor":"","count":10,"value":19},"end":9000000000,"op":"max","sensors":[{"sensor":"/r1/n0/power","count":10,"buckets":[{"start":0,"count":5,"value":14},{"start":5000000000,"count":5,"value":19}]}],"start":0,"step":"5s"}` + "\n",
+		},
+		{
+			name: "lookback_count",
+			path: "/query?op=count&sensor=/r1/n0/power&lookback=5s",
+			want: `{"combined":{"sensor":"","count":6,"value":6},"lookback":"5s","op":"count","sensors":[{"sensor":"/r1/n0/power","count":6,"value":6}]}` + "\n",
+		},
+		{
+			name: "sum_from_to_aliases",
+			path: "/query?op=sum&sensor=/r2/n0/power&from=0&to=2000000000",
+			want: `{"combined":{"sensor":"","count":3,"value":15},"end":2000000000,"op":"sum","sensors":[{"sensor":"/r2/n0/power","count":3,"value":15}],"start":0}` + "\n",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := get(tc.path)
+			if code != 200 {
+				t.Fatalf("status = %d, body %s", code, body)
+			}
+			if body != tc.want {
+				t.Fatalf("GET %s\n got: %swant: %s", tc.path, body, tc.want)
+			}
+		})
+	}
+}
+
+// TestQueryAggregateErrors covers the request-validation surface of the
+// aggregation form.
+func TestQueryAggregateErrors(t *testing.T) {
+	srv := newAggTestServer(t)
+	for _, tc := range []struct{ name, path string }{
+		{"unknown_op", "/query?op=median&sensor=/r1/n0/power&start=0&end=1"},
+		{"missing_window", "/query?op=avg&sensor=/r1/n0/power"},
+		{"step_with_lookback", "/query?op=avg&sensor=/r1/n0/power&lookback=10s&step=1s"},
+		{"no_wildcard_match", "/query?op=avg&sensor=/r9/%23&start=0&end=1"},
+		{"missing_sensor", "/query?op=avg&start=0&end=1"},
+		{"too_many_buckets", "/query?op=avg&sensor=/r1/n0/power&start=0&end=9000000000000&step=1ms"},
+		{"negative_step", "/query?op=avg&sensor=/r1/n0/power&start=0&end=1&step=-5s"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if code := getJSON(t, srv.URL+tc.path, nil); code != http.StatusBadRequest {
+				t.Fatalf("GET %s: status = %d, want 400", tc.path, code)
+			}
+		})
 	}
 }

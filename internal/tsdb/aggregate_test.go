@@ -1,0 +1,277 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/store"
+)
+
+// The property suite: for randomized series — out-of-order arrivals,
+// data straddling flush boundaries, every tier populated at once —
+// the streaming aggregation engine must answer exactly like the naive
+// materializing Range+reduce reference. Values are integer-valued
+// floats, so every partial sum is exact regardless of summation order
+// and the equivalence can be asserted bit for bit.
+
+// buildRandomDB fills a janitor-less DB with nTopics random series,
+// flushing at random points so data lands in several segments plus the
+// live heads, with a slice of out-of-order stragglers inserted after
+// flushes (straddling the flush boundary).
+func buildRandomDB(t *testing.T, rng *rand.Rand, dir string, nTopics, perTopic int) (*DB, []sensor.Topic, int64) {
+	t.Helper()
+	db, err := Open(dir, Options{FlushEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topics := make([]sensor.Topic, nTopics)
+	for i := range topics {
+		topics[i] = sensor.Topic(fmt.Sprintf("/rack%d/node%d/power", i/2, i))
+	}
+	var maxT int64
+	for round := 0; round < 4; round++ {
+		for _, tp := range topics {
+			batch := make([]sensor.Reading, 0, perTopic/4)
+			base := int64(round * perTopic / 4 * 10)
+			for k := 0; k < perTopic/4; k++ {
+				ts := base + int64(k*10) + rng.Int63n(7)
+				if rng.Intn(8) == 0 && len(batch) > 0 {
+					ts = batch[len(batch)-1].Time - rng.Int63n(30) // out of order
+				}
+				if ts < 0 {
+					ts = 0
+				}
+				if ts > maxT {
+					maxT = ts
+				}
+				batch = append(batch, sensor.Reading{Time: ts, Value: float64(rng.Intn(1000))})
+			}
+			db.InsertBatch(tp, batch)
+		}
+		if round < 3 {
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			// Stragglers older than the segment just written: the next
+			// query window straddles the flush boundary.
+			for _, tp := range topics {
+				db.Insert(tp, sensor.Reading{
+					Time:  rng.Int63n(int64(round+1) * int64(perTopic) / 4 * 10),
+					Value: float64(rng.Intn(1000)),
+				})
+			}
+		}
+	}
+	return db, topics, maxT
+}
+
+// checkAggEquivalence asserts, for a set of random windows and steps,
+// that the native engine and the naive reference agree exactly.
+func checkAggEquivalence(t *testing.T, rng *rand.Rand, db *DB, topics []sensor.Topic, maxT int64, label string) {
+	t.Helper()
+	for trial := 0; trial < 60; trial++ {
+		t0 := rng.Int63n(maxT+100) - 50
+		t1 := t0 + rng.Int63n(maxT/2+100)
+		if trial%9 == 0 {
+			t1 = t0 - 1 // inverted window
+		}
+		tp := topics[rng.Intn(len(topics))]
+		got := db.Aggregate(tp, t0, t1)
+		want := store.AggregateNaive(db, tp, t0, t1)
+		if got != want {
+			t.Fatalf("%s: Aggregate(%s, %d, %d) = %+v, naive = %+v", label, tp, t0, t1, got, want)
+		}
+		step := []int64{1, 3, 17, 100, 1000, maxT + 1}[rng.Intn(6)]
+		gotB := db.Downsample(tp, t0, t1, step, nil)
+		wantB := store.DownsampleNaive(db, tp, t0, t1, step, nil)
+		if len(gotB) != len(wantB) {
+			t.Fatalf("%s: Downsample(%s, %d, %d, %d): %d buckets, naive %d",
+				label, tp, t0, t1, step, len(gotB), len(wantB))
+		}
+		for i := range gotB {
+			if gotB[i] != wantB[i] {
+				t.Fatalf("%s: Downsample(%s, %d, %d, %d) bucket %d = %+v, naive %+v",
+					label, tp, t0, t1, step, i, gotB[i], wantB[i])
+			}
+		}
+	}
+}
+
+func TestAggregateEquivalenceProperty(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			db, topics, maxT := buildRandomDB(t, rng, t.TempDir(), 4, 800)
+			defer db.Close()
+
+			checkAggEquivalence(t, rng, db, topics, maxT, "live")
+
+			// Retention watermark cutting through segments and heads: both
+			// paths must clamp identically.
+			db.Prune(maxT / 3)
+			checkAggEquivalence(t, rng, db, topics, maxT, "pruned")
+		})
+	}
+}
+
+// TestAggregateEquivalenceAfterRecovery re-checks the property on both
+// recovery shapes: a clean Close (all data in segments) and a simulated
+// kill (WAL replay back into heads).
+func TestAggregateEquivalenceAfterRecovery(t *testing.T) {
+	for _, kill := range []bool{false, true} {
+		name := "clean_close"
+		if kill {
+			name = "kill_wal_replay"
+		}
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			dir := t.TempDir()
+			db, topics, maxT := buildRandomDB(t, rng, dir, 3, 400)
+			if kill {
+				db.Abandon()
+			} else if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			db2, err := Open(dir, Options{FlushEvery: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db2.Close()
+			checkAggEquivalence(t, rng, db2, topics, maxT, name)
+		})
+	}
+}
+
+// TestAggregateUsesChunkMetadata pins the O(1) fast path: aggregating a
+// window that fully covers a flushed chunk must not read the chunk
+// bytes at all. The segment file is truncated to its header after the
+// index is loaded — metadata answers still work, decodes cannot.
+func TestAggregateUsesChunkMetadata(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{FlushEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rs := make([]sensor.Reading, 100)
+	for i := range rs {
+		rs[i] = sensor.Reading{Time: int64(i), Value: float64(i)}
+	}
+	db.InsertBatch("/n/power", rs)
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the chunk bytes: replace the open file handle with one on
+	// an empty scratch file. Only the in-memory index remains usable.
+	db.mu.Lock()
+	seg := db.segs[0]
+	db.mu.Unlock()
+	scratch, err := os.CreateTemp(dir, "severed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := seg.f
+	seg.f = scratch
+	defer func() { seg.f = old; scratch.Close() }()
+
+	got := db.Aggregate("/n/power", 0, 99)
+	want := store.AggResult{Count: 100, Sum: 4950, Min: 0, Max: 99}
+	if got != want {
+		t.Fatalf("fully-covered aggregate = %+v, want %+v (metadata-only)", got, want)
+	}
+	if b := db.Downsample("/n/power", 0, 99, 1000, nil); len(b) != 1 || b[0].AggResult != want {
+		t.Fatalf("single-bucket downsample = %+v, want one bucket %+v", b, want)
+	}
+	// A boundary window must decode — and with the bytes severed, the
+	// chunk is skipped whole rather than answered partially.
+	if got := db.Aggregate("/n/power", 10, 20); got.Count != 0 {
+		t.Fatalf("boundary aggregate with severed chunk = %+v, want empty", got)
+	}
+}
+
+// writeSegmentV1 writes a version-1 segment (no per-chunk
+// pre-aggregates), byte-identical to the PR3 on-disk format, for the
+// compatibility test.
+func writeSegmentV1(t *testing.T, path string, coveredWAL uint64, data map[sensor.Topic][]sensor.Reading) {
+	t.Helper()
+	buf := append([]byte(nil), segMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, segVersionV1)
+	buf = binary.LittleEndian.AppendUint64(buf, coveredWAL)
+	index := binary.LittleEndian.AppendUint32(nil, uint32(len(data)))
+	for topic, rs := range data {
+		app := NewAppender()
+		for _, r := range rs {
+			app.Append(r)
+		}
+		chunk := app.Bytes()
+		off := len(buf)
+		buf = append(buf, chunk...)
+		index = binary.AppendUvarint(index, uint64(len(topic)))
+		index = append(index, topic...)
+		index = binary.AppendUvarint(index, uint64(len(rs)))
+		index = binary.AppendVarint(index, rs[0].Time)
+		index = binary.AppendVarint(index, rs[len(rs)-1].Time)
+		index = binary.AppendUvarint(index, uint64(off))
+		index = binary.AppendUvarint(index, uint64(len(chunk)))
+	}
+	indexOff := len(buf)
+	buf = append(buf, index...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(indexOff))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(index))
+	buf = append(buf, segMagic...)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSegmentV1Compatibility opens a database whose segment directory
+// holds a version-1 file: ranges, aggregates and downsampling must all
+// work (via the decode path — v1 series carry no pre-aggregates).
+func TestSegmentV1Compatibility(t *testing.T) {
+	dir := t.TempDir()
+	segDir := filepath.Join(dir, "seg")
+	if err := os.MkdirAll(segDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	rs := make([]sensor.Reading, 50)
+	for i := range rs {
+		rs[i] = sensor.Reading{Time: int64(i * 10), Value: float64(i % 7)}
+	}
+	writeSegmentV1(t, segPath(segDir, 1), 0, map[sensor.Topic][]sensor.Reading{"/n/power": rs})
+
+	db, err := Open(dir, Options{FlushEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.mu.RLock()
+	ss := db.segs[0].series["/n/power"]
+	db.mu.RUnlock()
+	if ss.hasAgg {
+		t.Fatal("v1 series unexpectedly claims pre-aggregates")
+	}
+	if got := db.Range("/n/power", 0, 490, nil); len(got) != 50 {
+		t.Fatalf("v1 Range returned %d readings, want 50", len(got))
+	}
+	got := db.Aggregate("/n/power", 0, 490)
+	want := store.AggregateNaive(db, "/n/power", 0, 490)
+	if got != want || got.Count != 50 {
+		t.Fatalf("v1 Aggregate = %+v, naive = %+v", got, want)
+	}
+	gotB := db.Downsample("/n/power", 0, 490, 100, nil)
+	wantB := store.DownsampleNaive(db, "/n/power", 0, 490, 100, nil)
+	if len(gotB) != len(wantB) {
+		t.Fatalf("v1 Downsample: %d buckets, naive %d", len(gotB), len(wantB))
+	}
+	for i := range gotB {
+		if gotB[i] != wantB[i] {
+			t.Fatalf("v1 Downsample bucket %d = %+v, naive %+v", i, gotB[i], wantB[i])
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"strings"
 
 	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/store"
 )
 
 // Segment files are immutable and time-partitioned: each one holds every
@@ -21,26 +23,43 @@ import (
 //	chunks:  concatenated per-series chunks
 //	index:   u32le series count, then per series
 //	         uvarint topic len | topic | uvarint count |
-//	         varint minT | varint maxT | uvarint offset | uvarint length
+//	         varint minT | varint maxT | uvarint offset | uvarint length |
+//	         f64le min value | f64le max value | f64le value sum   (v2)
 //	footer:  u64le index offset | u32le index CRC-32 | magic "WTSG"
 //
 // The covered WAL sequence records the newest WAL file whose contents are
 // fully represented by this segment and its predecessors; recovery uses
 // it to decide which WAL files still need replaying.
+//
+// Version 2 added the per-chunk value pre-aggregates (min/max/sum; the
+// count was in the index from the start), recorded once at flush time.
+// They let an aggregation query answer a fully-covered chunk from index
+// metadata in O(1) without touching the chunk bytes; only chunks the
+// window boundary or retention watermark cuts through are decoded.
+// Version 1 segments remain readable — their series carry no
+// pre-aggregates (hasAgg false) and always take the decode path.
 
 const (
-	segMagic   = "WTSG"
-	segVersion = 1
-	segHeader  = 4 + 4 + 8
-	segFooter  = 8 + 4 + 4
+	segMagic     = "WTSG"
+	segVersion   = 2
+	segVersionV1 = 1
+	segHeader    = 4 + 4 + 8
+	segFooter    = 8 + 4 + 4
 )
 
-// segSeries locates one series' chunk inside a segment file.
+// segSeries locates one series' chunk inside a segment file, together
+// with the chunk's pre-aggregates (v2 segments).
 type segSeries struct {
 	count      int
 	minT, maxT int64
 	off        int64
 	length     int64
+
+	// Per-chunk value pre-aggregates, recorded at flush time. hasAgg is
+	// false for series read from version-1 segments; those always
+	// decode.
+	hasAgg           bool
+	vmin, vmax, vsum float64
 }
 
 // segment is one open, immutable segment file.
@@ -82,13 +101,15 @@ func writeSegment(dir string, seq, coveredWAL uint64, data map[sensor.Topic][]se
 	buf = binary.LittleEndian.AppendUint32(buf, segVersion)
 	buf = binary.LittleEndian.AppendUint64(buf, coveredWAL)
 
-	index := make([]byte, 0, len(topics)*32)
+	index := make([]byte, 0, len(topics)*56)
 	index = binary.LittleEndian.AppendUint32(index, uint32(len(topics)))
 	for _, topic := range topics {
 		rs := data[topic]
 		app := NewAppender()
+		var agg store.AggResult
 		for _, r := range rs {
 			app.Append(r)
+			agg.Observe(r.Value)
 		}
 		chunk := app.Bytes()
 		off := len(buf)
@@ -100,6 +121,9 @@ func writeSegment(dir string, seq, coveredWAL uint64, data map[sensor.Topic][]se
 		index = binary.AppendVarint(index, rs[len(rs)-1].Time)
 		index = binary.AppendUvarint(index, uint64(off))
 		index = binary.AppendUvarint(index, uint64(len(chunk)))
+		index = binary.LittleEndian.AppendUint64(index, math.Float64bits(agg.Min))
+		index = binary.LittleEndian.AppendUint64(index, math.Float64bits(agg.Max))
+		index = binary.LittleEndian.AppendUint64(index, math.Float64bits(agg.Sum))
 	}
 	indexOff := len(buf)
 	buf = append(buf, index...)
@@ -217,9 +241,10 @@ func openSegment(path string, seq uint64) (*segment, error) {
 		f.Close()
 		return nil, fmt.Errorf("bad magic")
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != segVersion {
+	version := binary.LittleEndian.Uint32(hdr[4:])
+	if version != segVersion && version != segVersionV1 {
 		f.Close()
-		return nil, fmt.Errorf("unsupported version %d", v)
+		return nil, fmt.Errorf("unsupported version %d", version)
 	}
 	coveredWAL := binary.LittleEndian.Uint64(hdr[8:])
 
@@ -298,10 +323,21 @@ func openSegment(path string, seq uint64) (*segment, error) {
 		if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 {
 			return bad()
 		}
-		seg.series[topic] = segSeries{
+		ss := segSeries{
 			count: int(count), minT: minT, maxT: maxT,
 			off: int64(off), length: int64(length),
 		}
+		if version >= segVersion {
+			if len(p) < 24 {
+				return bad()
+			}
+			ss.hasAgg = true
+			ss.vmin = math.Float64frombits(binary.LittleEndian.Uint64(p))
+			ss.vmax = math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
+			ss.vsum = math.Float64frombits(binary.LittleEndian.Uint64(p[16:]))
+			p = p[24:]
+		}
+		seg.series[topic] = ss
 		if first || minT < seg.minT {
 			seg.minT = minT
 		}
