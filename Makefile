@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet doclint test race bench bench-json ci
+.PHONY: all build vet doclint test race bench bench-smoke bench-json ci
 
 all: build vet doclint test
 
@@ -25,19 +25,27 @@ test:
 race:
 	$(GO) test -race -count=1 ./internal/...
 
-# Short benchmark smoke: the tick-path contention pairs, the cache view
+# Short benchmark run: the tick-path contention pairs, the cache view
 # micro-benches, the storage backend pairs (in-memory store vs tsdb
-# insert/range plus crash recovery) and the aggregation pairs (naive
-# Range+reduce vs the chunk-metadata engine).
+# insert/range plus crash recovery), the aggregation pairs (naive
+# Range+reduce vs the chunk-metadata engine) and the concurrent-ingest
+# pairs (single-lock WAL vs group commit).
 # Full suite: go test -bench=. -benchmem .
 bench:
-	$(GO) test -run '^$$' -bench 'TickAllContention|QueryContention|CacheView|BackendInsertBatch|BackendRange|TSDBRecovery|Aggregate|Downsample' -benchtime 10x -benchmem .
+	$(GO) test -run '^$$' -bench 'TickAllContention|QueryContention|CacheView|BackendInsertBatch|BackendRange|TSDBRecovery|Aggregate|Downsample|IngestConcurrent' -benchtime 10x -benchmem .
+
+# One-iteration smoke over the ENTIRE benchmark suite: every benchmark
+# must still compile and execute, so the paired before/after workloads
+# cannot bit-rot between the fuller runs. Wired into `make ci`.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
 # Machine-readable hot-path results for the per-PR perf trajectory,
-# including the storage and aggregation acceptance scenarios (on-disk
-# bytes per reading, crash-recovery parity, aggregate speedup and
-# allocation ratio vs naive Range+reduce).
+# including the storage, aggregation and concurrent-ingest acceptance
+# scenarios (on-disk bytes per reading, crash-recovery parity, aggregate
+# speedup vs naive Range+reduce, 16-writer ingest speedup vs the
+# pre-group-commit path).
 bench-json:
-	$(GO) run ./cmd/benchrunner -bench-json BENCH_PR4.json
+	$(GO) run ./cmd/benchrunner -bench-json BENCH_PR5.json
 
-ci: build vet doclint test race bench
+ci: build vet doclint test race bench-smoke bench

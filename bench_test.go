@@ -11,6 +11,8 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -949,6 +951,82 @@ func BenchmarkDownsampleEngine(b *testing.B) {
 		buckets = db.Downsample(topics[i%len(topics)], 0, 1600*sec, 60*sec, buckets[:0])
 		if len(buckets) != 27 {
 			b.Fatalf("%d buckets", len(buckets))
+		}
+	}
+}
+
+// --- PR5: concurrent ingest, legacy single-lock WAL vs group commit ------
+
+// benchIngestConcurrent measures sustained multi-writer InsertBatch
+// throughput: `writers` goroutines each appending 64-reading batches to
+// their own topic. One op is one batch, so ns/op is the sustained
+// per-batch cost across the whole writer cohort. legacy selects the
+// pre-PR5 path (WAL encode+write+fsync under one lock, global head
+// resolution); grouped is the group-commit WAL + sharded head map.
+func benchIngestConcurrent(b *testing.B, writers int, walSync, legacy bool) {
+	db, err := tsdb.Open(b.TempDir(), tsdb.Options{
+		FlushEvery:   -1,
+		WALSync:      walSync,
+		LegacyIngest: legacy,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto := tsdbBenchSeries(64)
+	topics := make([]sensor.Topic, writers)
+	for w := range topics {
+		topics[w] = sensor.Topic(fmt.Sprintf("/r%02d/n%02d/power", w/8, w%8))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := make([]sensor.Reading, len(proto))
+			copy(batch, proto)
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(b.N) {
+					return
+				}
+				for j := range batch {
+					batch[j].Time = (i*64 + int64(j)) * sec
+				}
+				db.InsertBatch(topics[w], batch)
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	db.Close()
+	b.StartTimer()
+}
+
+// BenchmarkIngestConcurrentLegacy is the before side of the PR5 pair:
+// every concurrent batch serializes on the WAL writer lock (encode +
+// write + per-batch fsync when sync is on) and a global head lookup.
+func BenchmarkIngestConcurrentLegacy(b *testing.B) {
+	for _, writers := range []int{8, 16, 32} {
+		for _, walSync := range []bool{false, true} {
+			b.Run(fmt.Sprintf("writers=%d/sync=%v", writers, walSync), func(b *testing.B) {
+				benchIngestConcurrent(b, writers, walSync, true)
+			})
+		}
+	}
+}
+
+// BenchmarkIngestConcurrentGrouped is the after side: writers encode
+// outside the lock and share one write + one fsync per commit cohort,
+// and head resolution touches only the topic's shard.
+func BenchmarkIngestConcurrentGrouped(b *testing.B) {
+	for _, writers := range []int{8, 16, 32} {
+		for _, walSync := range []bool{false, true} {
+			b.Run(fmt.Sprintf("writers=%d/sync=%v", writers, walSync), func(b *testing.B) {
+				benchIngestConcurrent(b, writers, walSync, false)
+			})
 		}
 	}
 }

@@ -16,6 +16,8 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -52,6 +54,20 @@ type storageAcceptance struct {
 	RecoveredSame   bool    `json:"recovered_identical"`
 }
 
+// ingestAcceptance is the PR5 acceptance scenario: sustained concurrent
+// InsertBatch throughput at 16 writers with WAL sync enabled, pre-PR
+// path (single-lock WAL, one fsync per batch, global head resolution)
+// vs group-commit WAL + sharded head map (acceptance: >=4x), plus the
+// single-writer sanity pair.
+type ingestAcceptance struct {
+	Writers        int     `json:"writers"`
+	BatchLen       int     `json:"batch_len"`
+	LegacyNsPerOp  float64 `json:"legacy_ns_per_op"`
+	GroupedNsPerOp float64 `json:"grouped_ns_per_op"`
+	Speedup        float64 `json:"speedup"`
+	SyncEnabled    bool    `json:"wal_sync"`
+}
+
 // aggAcceptance is the PR4 acceptance scenario: an aggregate over 100k+
 // readings across 64 topics answered by the chunk-metadata engine vs
 // the naive Range+reduce path, with the measured speedup and allocation
@@ -74,6 +90,7 @@ type benchReport struct {
 	Benchmarks  []benchResult      `json:"benchmarks"`
 	Storage     *storageAcceptance `json:"storage,omitempty"`
 	Aggregation *aggAcceptance     `json:"aggregation,omitempty"`
+	Ingest      *ingestAcceptance  `json:"ingest,omitempty"`
 }
 
 const benchSec = int64(time.Second)
@@ -216,14 +233,17 @@ func contentionEnv(legacy bool) (*core.Manager, error) {
 
 func runBenchJSON(path string) error {
 	report := benchReport{
-		PR: 4,
+		PR: 5,
 		Note: "paired hot-path benchmarks: unbound vs bound QueryRelative, " +
 			"legacy Compute vs ComputeInto scratch arenas (64-unit aggregator tick), " +
 			"TickAll query contention (8 ops x 16 parallel units, 8-thread pool) legacy vs bound, " +
 			"the PR3 storage pairs (in-memory store vs tsdb insert/range, crash recovery, " +
-			"100k-reading/64-topic on-disk footprint) and the PR4 aggregation pairs: " +
-			"naive Range+reduce vs the chunk-metadata aggregation engine, " +
-			"with the 100k-reading/64-topic aggregate acceptance scenario",
+			"100k-reading/64-topic on-disk footprint), the PR4 aggregation pairs " +
+			"(naive Range+reduce vs the chunk-metadata aggregation engine, with the " +
+			"100k-reading/64-topic aggregate acceptance scenario) and the PR5 ingest " +
+			"pairs: pre-PR single-lock WAL (one fsync per batch) vs group-commit WAL + " +
+			"sharded heads at 8/16/32 concurrent writers, sync on and off, with the " +
+			"16-writer sync-enabled acceptance scenario",
 	}
 	add := func(name string, fn func(b *testing.B)) benchResult {
 		r := testing.Benchmark(fn)
@@ -489,6 +509,83 @@ func runBenchJSON(path string) error {
 	}
 	if err := aggDB.Close(); err != nil {
 		return err
+	}
+
+	fmt.Println("==> bench-json: concurrent ingest (single-lock WAL vs group commit)")
+	ingestDir := 0
+	benchIngest := func(writers int, walSync, legacy bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			ingestDir++
+			db, err := tsdb.Open(fmt.Sprintf("%s/ingest%d", tmp, ingestDir), tsdb.Options{
+				FlushEvery:   -1,
+				WALSync:      walSync,
+				LegacyIngest: legacy,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			proto := benchSeries(64, 0)
+			topics := make([]sensor.Topic, writers)
+			for w := range topics {
+				topics[w] = sensor.Topic(fmt.Sprintf("/r%02d/n%02d/power", w/8, w%8))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					batch := make([]sensor.Reading, len(proto))
+					copy(batch, proto)
+					for {
+						i := next.Add(1) - 1
+						if i >= int64(b.N) {
+							return
+						}
+						for j := range batch {
+							batch[j].Time = (i*64 + int64(j)) * benchSec
+						}
+						db.InsertBatch(topics[w], batch)
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			db.Close()
+			b.StartTimer()
+		}
+	}
+	var legacy16, grouped16 benchResult
+	for _, writers := range []int{8, 16, 32} {
+		for _, walSync := range []bool{false, true} {
+			tag := "nosync"
+			if walSync {
+				tag = "sync"
+			}
+			l := add(fmt.Sprintf("ingest_concurrent_legacy_%dw_%s", writers, tag),
+				benchIngest(writers, walSync, true))
+			g := add(fmt.Sprintf("ingest_concurrent_grouped_%dw_%s", writers, tag),
+				benchIngest(writers, walSync, false))
+			if writers == 16 && walSync {
+				legacy16, grouped16 = l, g
+			}
+		}
+	}
+	ingestAcc := &ingestAcceptance{
+		Writers:        16,
+		BatchLen:       64,
+		LegacyNsPerOp:  legacy16.NsPerOp,
+		GroupedNsPerOp: grouped16.NsPerOp,
+		Speedup:        legacy16.NsPerOp / grouped16.NsPerOp,
+		SyncEnabled:    true,
+	}
+	report.Ingest = ingestAcc
+	fmt.Printf("  acceptance: 16 writers, WAL sync on: %.1fx sustained insert throughput vs pre-PR path\n",
+		ingestAcc.Speedup)
+	if ingestAcc.Speedup < 4 {
+		fmt.Printf("  WARNING: ingest acceptance bound missed (need >=4x at 16 writers with sync)\n")
 	}
 
 	accept, err := runStorageAcceptance(tmp + "/accept")

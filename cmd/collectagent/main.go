@@ -41,7 +41,9 @@ func main() {
 		retention  = flag.Duration("retention", 180*time.Second, "sensor cache retention")
 		storeDir   = flag.String("store-dir", "", "persistent storage backend directory (empty: in-memory store)")
 		storeRet   = flag.Duration("store-retention", 0, "persistent backend retention window (0: keep forever)")
-		storeSync  = flag.Bool("store-wal-sync", false, "fsync the storage WAL on every append")
+		storeSync  = flag.Bool("store-wal-sync", false, "fsync the storage WAL on every group commit")
+		storeWin   = flag.Duration("store-wal-group-window", 0, "WAL group-commit linger window (0: commit immediately)")
+		ingestWrk  = flag.Int("ingest-workers", 0, "broker->storage ingest workers (0: min(4, GOMAXPROCS), negative: synchronous)")
 		storeMax   = flag.Int("store-max", 100000, "in-memory store: max readings per sensor (0: unlimited)")
 		configPath = flag.String("config", "", "Wintermute plugin configuration (JSON)")
 		threads    = flag.Int("threads", 0, "Wintermute worker pool size (0: GOMAXPROCS)")
@@ -50,13 +52,15 @@ func main() {
 	flag.Parse()
 
 	agent, err := collect.New(collect.Config{
-		ListenMQTT:     *mqttAddr,
-		CacheRetention: *retention,
-		StoreDir:       *storeDir,
-		StoreRetention: *storeRet,
-		StoreWALSync:   *storeSync,
-		StoreMax:       *storeMax,
-		Threads:        *threads,
+		ListenMQTT:          *mqttAddr,
+		CacheRetention:      *retention,
+		StoreDir:            *storeDir,
+		StoreRetention:      *storeRet,
+		StoreWALSync:        *storeSync,
+		StoreWALGroupWindow: *storeWin,
+		IngestWorkers:       *ingestWrk,
+		StoreMax:            *storeMax,
+		Threads:             *threads,
 	})
 	if err != nil {
 		log.Fatal(err)

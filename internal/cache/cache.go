@@ -248,12 +248,7 @@ func NewSet() *Set {
 
 // shard maps a topic to its shard with FNV-1a over the topic bytes.
 func (s *Set) shard(topic sensor.Topic) *setShard {
-	h := uint32(2166136261)
-	for i := 0; i < len(topic); i++ {
-		h ^= uint32(topic[i])
-		h *= 16777619
-	}
-	return &s.shards[h&(setShards-1)]
+	return &s.shards[topic.Hash()&(setShards-1)]
 }
 
 // GetOrCreate returns the cache for topic, creating it with the given

@@ -12,6 +12,8 @@ package collect
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"github.com/dcdb/wintermute/internal/cache"
@@ -42,9 +44,21 @@ type Config struct {
 	// StoreMax caps readings kept per sensor in the in-memory Storage
 	// Backend (0 = unlimited). Only meaningful without StoreDir.
 	StoreMax int
-	// StoreWALSync fsyncs the tsdb write-ahead log on every append
-	// (durability against OS crashes, at a large insert cost).
+	// StoreWALSync fsyncs the tsdb write-ahead log on every group commit
+	// (durability against OS crashes; the fsync is amortized across all
+	// concurrently-ingesting connections).
 	StoreWALSync bool
+	// StoreWALGroupWindow makes a WAL group-commit leader linger this
+	// long before persisting, trading per-batch latency for larger
+	// commit groups (0: commit immediately).
+	StoreWALGroupWindow time.Duration
+	// IngestWorkers sizes the worker fan-in between the broker and the
+	// storage path: delivered messages are queued per topic shard and
+	// ingested by this many workers, so a slow WAL fsync never stalls a
+	// connection's read loop, and concurrent batches coalesce into
+	// shared group commits. 0 picks a default (min(4, GOMAXPROCS));
+	// negative ingests synchronously on the delivering goroutine.
+	IngestWorkers int
 	// Threads sizes the Wintermute worker pool executing operator
 	// computations (0: runtime.GOMAXPROCS).
 	Threads int
@@ -66,6 +80,22 @@ type Agent struct {
 	DB *tsdb.DB
 
 	sink *core.CacheSink
+
+	// Ingest fan-in between the broker and the sink: one bounded queue
+	// per worker, messages sharded by topic so per-topic batch order is
+	// preserved. batchPool recycles the copies the enqueue path must
+	// make (the broker reuses its decode buffers).
+	ingestQs    []chan ingestBatch
+	ingestWG    sync.WaitGroup
+	ingestClose sync.Once
+	batchPool   sync.Pool
+}
+
+// ingestBatch is one queued topic batch; buf returns to the pool after
+// the worker pushed it.
+type ingestBatch struct {
+	topic sensor.Topic
+	buf   *[]sensor.Reading
 }
 
 // New creates a Collect Agent and, when configured, starts its broker.
@@ -82,8 +112,9 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.StoreDir != "" {
 		var err error
 		db, err = tsdb.Open(cfg.StoreDir, tsdb.Options{
-			Retention: cfg.StoreRetention,
-			WALSync:   cfg.StoreWALSync,
+			Retention:      cfg.StoreRetention,
+			WALSync:        cfg.StoreWALSync,
+			WALGroupWindow: cfg.StoreWALGroupWindow,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("collect: opening storage backend: %w", err)
@@ -123,14 +154,74 @@ func New(cfg Config) (*Agent, error) {
 			return nil, fmt.Errorf("collect: starting broker: %w", err)
 		}
 		a.Broker = b
-		b.SubscribeLocal("#", func(m transport.Message) {
-			// One delivered message becomes one batched sink push: the
-			// topic's cache, store series and navigator registration are
-			// each touched once per message, not once per reading.
-			a.IngestBatch(m.Topic, m.Readings)
-		})
+		if workers := ingestWorkerCount(cfg.IngestWorkers); workers > 0 {
+			a.startIngestWorkers(workers)
+			b.SubscribeLocal("#", func(m transport.Message) {
+				// The broker owns m.Readings only for the duration of
+				// the call; copy into a pooled batch and hand it to the
+				// topic's worker. Per-topic order is preserved by the
+				// shard mapping; a full queue blocks the delivering
+				// connection (backpressure), never drops.
+				a.enqueueIngest(m.Topic, m.Readings)
+			})
+		} else {
+			b.SubscribeLocal("#", func(m transport.Message) {
+				// One delivered message becomes one batched sink push: the
+				// topic's cache, store series and navigator registration are
+				// each touched once per message, not once per reading.
+				a.IngestBatch(m.Topic, m.Readings)
+			})
+		}
 	}
 	return a, nil
+}
+
+// ingestWorkerCount resolves the IngestWorkers knob: 0 = min(4,
+// GOMAXPROCS), negative = synchronous delivery (no fan-in).
+func ingestWorkerCount(cfg int) int {
+	if cfg < 0 {
+		return 0
+	}
+	if cfg > 0 {
+		return cfg
+	}
+	if n := runtime.GOMAXPROCS(0); n < 4 {
+		return n
+	}
+	return 4
+}
+
+// startIngestWorkers launches the fan-in: one bounded queue and one
+// goroutine per worker.
+func (a *Agent) startIngestWorkers(n int) {
+	a.batchPool.New = func() any {
+		rs := make([]sensor.Reading, 0, 64)
+		return &rs
+	}
+	a.ingestQs = make([]chan ingestBatch, n)
+	for i := range a.ingestQs {
+		q := make(chan ingestBatch, 256)
+		a.ingestQs[i] = q
+		a.ingestWG.Add(1)
+		go func() {
+			defer a.ingestWG.Done()
+			for m := range q {
+				a.sink.PushSeries(m.topic, *m.buf)
+				*m.buf = (*m.buf)[:0]
+				a.batchPool.Put(m.buf)
+			}
+		}()
+	}
+}
+
+// enqueueIngest copies one delivered batch into pooled storage and
+// queues it on its topic's worker.
+func (a *Agent) enqueueIngest(topic sensor.Topic, rs []sensor.Reading) {
+	buf := a.batchPool.Get().(*[]sensor.Reading)
+	*buf = append((*buf)[:0], rs...)
+	// The shared FNV-1a topic hash pins a topic to one worker, so its
+	// batches are always ingested in arrival order.
+	a.ingestQs[topic.Hash()%uint32(len(a.ingestQs))] <- ingestBatch{topic: topic, buf: buf}
 }
 
 // Addr returns the broker address, or "" when no broker is running.
@@ -165,14 +256,26 @@ func (a *Agent) TickOnce(now time.Time) error {
 func (a *Agent) Start() { a.Manager.Start() }
 
 // Close stops operators, shuts the Wintermute worker pool down, closes
-// the broker and, for a persistent agent, flushes and closes the storage
-// backend.
+// the broker, drains the ingest fan-in queues, and, for a persistent
+// agent, flushes and closes the storage backend — in that order, so
+// every batch the broker acknowledged reaches the backend before its
+// final flush.
 func (a *Agent) Close() error {
 	a.Manager.Close()
 	var err error
 	if a.Broker != nil {
 		err = a.Broker.Close()
 	}
+	// The broker is closed: no handler can enqueue anymore. Drain what
+	// is queued so acknowledged deliveries land in the backend. Once-
+	// guarded like every other component here, so a second Close is a
+	// no-op instead of a close-of-closed-channel panic.
+	a.ingestClose.Do(func() {
+		for _, q := range a.ingestQs {
+			close(q)
+		}
+		a.ingestWG.Wait()
+	})
 	if a.DB != nil {
 		if derr := a.DB.Close(); err == nil {
 			err = derr

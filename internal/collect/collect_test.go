@@ -138,3 +138,123 @@ func TestPersistentAgentCrashRecovery(t *testing.T) {
 		}
 	}
 }
+
+// TestIngestFanInPreservesPerTopicOrder drives many topics through the
+// broker -> worker fan-in and checks every batch lands, with each
+// topic's readings in arrival order (the shard mapping pins a topic to
+// one worker).
+func TestIngestFanInPreservesPerTopicOrder(t *testing.T) {
+	a, err := New(Config{ListenMQTT: "127.0.0.1:0", IngestWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	c, err := transport.Dial(a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Every reading of every batch carries the SAME timestamp: the store
+	// keeps equal-timestamp readings in arrival order (stable insert), so
+	// the Value sequence read back IS the ingest order — any cross-batch
+	// or cross-worker reorder of one topic shows up as a value out of
+	// place, which monotonic timestamps could never detect (the store
+	// sorts those).
+	const topics = 16
+	const batches = 25
+	const batchLen = 4
+	const stamp = int64(time.Second)
+	for i := 0; i < batches; i++ {
+		for n := 0; n < topics; n++ {
+			topic := sensor.Topic(fmt.Sprintf("/fan/n%02d/power", n))
+			batch := make([]sensor.Reading, batchLen)
+			for j := range batch {
+				batch[j] = sensor.Reading{Value: float64(i*batchLen + j), Time: stamp}
+			}
+			if err := c.Publish(topic, batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		total := 0
+		for n := 0; n < topics; n++ {
+			total += a.Store.Count(sensor.Topic(fmt.Sprintf("/fan/n%02d/power", n)))
+		}
+		if total == topics*batches*batchLen {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ingested %d of %d readings", total, topics*batches*batchLen)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for n := 0; n < topics; n++ {
+		topic := sensor.Topic(fmt.Sprintf("/fan/n%02d/power", n))
+		rs := a.Store.Range(topic, stamp, stamp, nil)
+		if len(rs) != batches*batchLen {
+			t.Fatalf("%s: %d readings", topic, len(rs))
+		}
+		for i := range rs {
+			if rs[i].Value != float64(i) {
+				t.Fatalf("%s: reading %d = %+v (arrival order broken)", topic, i, rs[i])
+			}
+		}
+		if !a.Nav.HasSensor(topic) {
+			t.Fatalf("%s missing from sensor tree", topic)
+		}
+	}
+	// Close must stay idempotent with the fan-in queues in place.
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestIngestFanInDrainsOnClose publishes a burst and immediately closes
+// the agent: Close must drain the worker queues into the backend before
+// shutting it, so a persistent agent loses nothing it acknowledged.
+func TestIngestFanInDrainsOnClose(t *testing.T) {
+	dir := t.TempDir()
+	a, err := New(Config{ListenMQTT: "127.0.0.1:0", StoreDir: dir, IngestWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := transport.Dial(a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const msgs = 200
+	for i := 0; i < msgs; i++ {
+		if err := c.Publish("/drain/power", []sensor.Reading{{Value: float64(i), Time: int64(i) * int64(time.Second)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for the broker to have routed everything (delivery into the
+	// queues), then close immediately: queued-but-unprocessed batches
+	// must still land.
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Broker.Published() < msgs {
+		if time.Now().After(deadline) {
+			t.Fatalf("routed %d of %d", a.Broker.Published(), msgs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	a2, err := New(Config{StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	if got := a2.Store.Count("/drain/power"); got != msgs {
+		t.Fatalf("recovered %d readings, want %d", got, msgs)
+	}
+}

@@ -221,3 +221,16 @@ func MatchFilter(f string, t Topic) bool {
 	}
 	return string(t) == f
 }
+
+// Hash returns the FNV-1a hash of the topic bytes: the shared sharding
+// function for every topic-striped structure (cache set shards, tsdb
+// head stripes, collect-agent ingest workers), so one topic always
+// lands on the same stripe everywhere.
+func (t Topic) Hash() uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(t); i++ {
+		h ^= uint32(t[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"log"
 	"net"
 	"sync"
@@ -10,7 +11,47 @@ import (
 )
 
 // Handler consumes published messages delivered to a subscription.
+//
+// Broker-side local handlers receive a Message whose Readings slice is
+// owned by the broker and reused for the next frame: it is valid only
+// for the duration of the call. A handler that hands the batch to
+// another goroutine (or stores it) must copy it first. Client-side
+// subscription handlers receive a private slice and may retain it.
 type Handler func(Message)
+
+// brokerConn is one client connection's broker-side state. Every frame
+// written to the connection — acks from the serve loop, publishes
+// forwarded by route — goes through writeFrame, whose mutex keeps
+// frames whole when both paths write concurrently. The bufio writer
+// coalesces a frame's header and payload into a single syscall.
+type brokerConn struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	bw      *bufio.Writer
+
+	filters []string // network subscriptions; guarded by Broker.mu
+}
+
+// writeFrame emits one whole frame under the connection's write lock,
+// flushed before the lock is released so a concurrent writer can never
+// interleave mid-frame.
+func (c *brokerConn) writeFrame(typ byte, payload []byte) error {
+	c.writeMu.Lock()
+	err := writeFrame(c.bw, typ, payload)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.writeMu.Unlock()
+	return err
+}
+
+// netSub is one entry of the copy-on-write subscriber snapshot: a
+// connection and an immutable copy of its filters at snapshot time.
+type netSub struct {
+	c       *brokerConn
+	filters []string
+}
 
 // Broker is the message broker at the heart of a Collect Agent: it
 // accepts Pusher connections, routes published reading batches to network
@@ -19,10 +60,15 @@ type Handler func(Message)
 type Broker struct {
 	ln net.Listener
 
-	mu     sync.RWMutex
-	conns  map[net.Conn][]string // network subscriptions per connection
-	local  []localSub
+	mu     sync.Mutex
+	conns  map[*brokerConn]struct{}
 	closed bool
+
+	// subs and locals are copy-on-write snapshots rebuilt under mu on
+	// every (rare) subscription change, so the per-message route path
+	// reads them with one atomic load — no lock, no allocation.
+	subs   atomic.Pointer[[]netSub]
+	locals atomic.Pointer[[]localSub]
 
 	wg sync.WaitGroup
 	// published counts all messages routed, for the footprint experiment.
@@ -40,7 +86,7 @@ func NewBroker(addr string) (*Broker, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &Broker{ln: ln, conns: make(map[net.Conn][]string)}
+	b := &Broker{ln: ln, conns: make(map[*brokerConn]struct{})}
 	b.wg.Add(1)
 	go b.acceptLoop()
 	return b, nil
@@ -54,11 +100,31 @@ func (b *Broker) Published() uint64 { return b.published.Load() }
 
 // SubscribeLocal registers an in-process handler for every message whose
 // topic matches filter ('#' wildcard supported). Used by the Collect Agent
-// to receive data without a network hop.
+// to receive data without a network hop. See Handler for the ownership
+// rules of the delivered Message.
 func (b *Broker) SubscribeLocal(filter string, fn Handler) {
 	b.mu.Lock()
-	b.local = append(b.local, localSub{filter: filter, fn: fn})
+	var locals []localSub
+	if cur := b.locals.Load(); cur != nil {
+		locals = append(locals, *cur...)
+	}
+	locals = append(locals, localSub{filter: filter, fn: fn})
+	b.locals.Store(&locals)
 	b.mu.Unlock()
+}
+
+// rebuildSubs regenerates the network-subscriber snapshot. Callers hold
+// b.mu. Filters are copied so a later subscribe on the same connection
+// cannot mutate a slice the lock-free route path is iterating.
+func (b *Broker) rebuildSubs() {
+	subs := make([]netSub, 0, len(b.conns))
+	for c := range b.conns {
+		if len(c.filters) == 0 {
+			continue
+		}
+		subs = append(subs, netSub{c: c, filters: append([]string(nil), c.filters...)})
+	}
+	b.subs.Store(&subs)
 }
 
 // Close stops the broker and disconnects all clients.
@@ -69,14 +135,14 @@ func (b *Broker) Close() error {
 		return nil
 	}
 	b.closed = true
-	conns := make([]net.Conn, 0, len(b.conns))
+	conns := make([]*brokerConn, 0, len(b.conns))
 	for c := range b.conns {
 		conns = append(conns, c)
 	}
 	b.mu.Unlock()
 	err := b.ln.Close()
 	for _, c := range conns {
-		c.Close()
+		c.conn.Close()
 	}
 	b.wg.Wait()
 	return err
@@ -89,44 +155,56 @@ func (b *Broker) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		bc := &brokerConn{conn: conn, bw: bufio.NewWriterSize(conn, 4<<10)}
 		b.mu.Lock()
 		if b.closed {
 			b.mu.Unlock()
 			conn.Close()
 			return
 		}
-		b.conns[conn] = nil
+		b.conns[bc] = struct{}{}
 		b.mu.Unlock()
 		b.wg.Add(1)
-		go b.serveConn(conn)
+		go b.serveConn(bc)
 	}
 }
 
-func (b *Broker) serveConn(conn net.Conn) {
+func (b *Broker) serveConn(bc *brokerConn) {
 	defer b.wg.Done()
 	defer func() {
 		b.mu.Lock()
-		delete(b.conns, conn)
+		delete(b.conns, bc)
+		if len(bc.filters) > 0 {
+			b.rebuildSubs()
+		}
 		b.mu.Unlock()
-		conn.Close()
+		bc.conn.Close()
 	}()
-	var writeMu sync.Mutex
+	// Per-connection scratch, reused frame to frame: the buffered
+	// reader, the frame payload buffer, the decoded readings and an
+	// intern table for this publisher's (few, recurring) topics. The
+	// steady-state publish path allocates nothing.
+	br := bufio.NewReaderSize(bc.conn, 32<<10)
+	var (
+		payloadBuf []byte
+		readings   []sensor.Reading
+	)
+	topics := make(map[string]sensor.Topic, 64)
 	for {
-		typ, payload, err := readFrame(conn)
+		typ, payload, err := readFrameReuse(br, &payloadBuf)
 		if err != nil {
 			return
 		}
 		switch typ {
 		case frameConnect:
-			writeMu.Lock()
-			err = writeFrame(conn, frameConnAck, nil)
-			writeMu.Unlock()
+			err = bc.writeFrame(frameConnAck, nil)
 		case framePublish:
-			msg, derr := DecodePublish(payload)
+			msg, derr := decodePublishInto(payload, readings[:0], topics)
 			if derr != nil {
 				log.Printf("transport: broker: dropping bad publish: %v", derr)
 				continue
 			}
+			readings = msg.Readings[:0]
 			b.route(msg, payload)
 		case frameSubscribe:
 			filter, derr := decodeString(payload)
@@ -134,15 +212,12 @@ func (b *Broker) serveConn(conn net.Conn) {
 				return
 			}
 			b.mu.Lock()
-			b.conns[conn] = append(b.conns[conn], filter)
+			bc.filters = append(bc.filters, filter)
+			b.rebuildSubs()
 			b.mu.Unlock()
-			writeMu.Lock()
-			err = writeFrame(conn, frameSubAck, nil)
-			writeMu.Unlock()
+			err = bc.writeFrame(frameSubAck, nil)
 		case framePingReq:
-			writeMu.Lock()
-			err = writeFrame(conn, framePingResp, nil)
-			writeMu.Unlock()
+			err = bc.writeFrame(framePingResp, nil)
 		case frameDisconnect:
 			return
 		}
@@ -153,31 +228,34 @@ func (b *Broker) serveConn(conn net.Conn) {
 }
 
 // route delivers a message to local handlers and matching subscribers.
-// The already-encoded payload is reused for network forwarding.
+// The already-encoded payload is reused for network forwarding. The
+// subscriber and local-handler snapshots are copy-on-write, so the
+// steady-state routing path takes no lock and performs no allocation.
 func (b *Broker) route(msg Message, payload []byte) {
 	b.published.Add(1)
-	b.mu.RLock()
-	locals := b.local
-	var targets []net.Conn
-	for conn, filters := range b.conns {
-		for _, f := range filters {
-			if sensor.MatchFilter(f, msg.Topic) {
-				targets = append(targets, conn)
-				break
+	if locals := b.locals.Load(); locals != nil {
+		for _, ls := range *locals {
+			if sensor.MatchFilter(ls.filter, msg.Topic) {
+				ls.fn(msg)
 			}
 		}
 	}
-	b.mu.RUnlock()
-	for _, ls := range locals {
-		if sensor.MatchFilter(ls.filter, msg.Topic) {
-			ls.fn(msg)
-		}
+	subs := b.subs.Load()
+	if subs == nil {
+		return
 	}
-	for _, conn := range targets {
-		// Best effort: a slow or dead subscriber must not stall routing
-		// for others; errors surface as connection teardown on read.
-		if err := writeFrame(conn, framePublish, payload); err != nil {
-			conn.Close()
+	for _, s := range *subs {
+		for _, f := range s.filters {
+			if !sensor.MatchFilter(f, msg.Topic) {
+				continue
+			}
+			// Best effort: a slow or dead subscriber must not stall
+			// routing for others; errors surface as connection teardown
+			// on read.
+			if err := s.c.writeFrame(framePublish, payload); err != nil {
+				s.c.conn.Close()
+			}
+			break
 		}
 	}
 }

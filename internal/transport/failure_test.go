@@ -47,7 +47,10 @@ func TestBrokerDropsBadPublishKeepsConnection(t *testing.T) {
 	}
 	defer b.Close()
 	got := make(chan Message, 1)
-	b.SubscribeLocal("#", func(m Message) { got <- m })
+	b.SubscribeLocal("#", func(m Message) {
+		m.Readings = append([]sensor.Reading(nil), m.Readings...)
+		got <- m
+	})
 
 	raw, err := net.Dial("tcp", b.Addr())
 	if err != nil {

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -65,11 +66,18 @@ func TestEncodeDecodePublishProperty(t *testing.T) {
 }
 
 func TestDecodePublishErrors(t *testing.T) {
+	// A forged count chosen so cnt*16 wraps uint64 to the actual payload
+	// length: the multiply-based length check would pass and the decode
+	// loop would run off the end of the buffer.
+	overflow := []byte{1, 'a'}
+	overflow = binary.AppendUvarint(overflow, 1<<60+1)
+	overflow = append(overflow, make([]byte, 16)...)
 	bad := [][]byte{
 		{},             // empty
 		{0xff},         // truncated uvarint
 		{5, 'a'},       // topic shorter than declared
 		{1, 'a', 2, 0}, // reading records truncated
+		overflow,       // count * 16 wraps uint64
 	}
 	for i, payload := range bad {
 		if _, err := DecodePublish(payload); err == nil {
@@ -113,6 +121,9 @@ func TestBrokerLocalDelivery(t *testing.T) {
 	var mu sync.Mutex
 	var got []Message
 	b.SubscribeLocal("/r1/#", func(m Message) {
+		// The broker owns m.Readings only for the duration of the call
+		// (see Handler); retaining the batch requires a copy.
+		m.Readings = append([]sensor.Reading(nil), m.Readings...)
 		mu.Lock()
 		got = append(got, m)
 		mu.Unlock()

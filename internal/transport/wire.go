@@ -58,8 +58,16 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	return nil
 }
 
-// readFrame reads one frame.
+// readFrame reads one frame into a fresh payload slice the caller owns.
 func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var payloadBuf []byte
+	return readFrameReuse(r, &payloadBuf)
+}
+
+// readFrameReuse reads one frame into *buf, growing it as needed and
+// reusing its capacity across calls. The returned payload aliases *buf
+// and is only valid until the next call.
+func readFrameReuse(r io.Reader, buf *[]byte) (typ byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
@@ -68,7 +76,10 @@ func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	if n > maxFrameSize {
 		return 0, nil, ErrFrameTooLarge
 	}
-	payload = make([]byte, n)
+	if uint32(cap(*buf)) < n {
+		*buf = make([]byte, n)
+	}
+	payload = (*buf)[:n]
 	if _, err = io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}
@@ -102,30 +113,57 @@ func EncodePublish(m Message) []byte {
 	return buf
 }
 
-// DecodePublish parses a PUBLISH payload.
+// DecodePublish parses a PUBLISH payload into freshly-allocated storage
+// the caller owns.
 func DecodePublish(payload []byte) (Message, error) {
+	return decodePublishInto(payload, nil, nil)
+}
+
+// decodePublishInto parses a PUBLISH payload, appending the readings to
+// rs (reusing its capacity) and resolving the topic through the intern
+// table when one is given — so a connection's steady-state decode
+// allocates nothing once its topics and batch size have been seen. The
+// intern table is bounded: a publisher cycling through unbounded topics
+// degrades to one string allocation per message, not unbounded memory.
+func decodePublishInto(payload []byte, rs []sensor.Reading, intern map[string]sensor.Topic) (Message, error) {
 	var m Message
 	tl, n := binary.Uvarint(payload)
 	if n <= 0 || uint64(len(payload)-n) < tl {
 		return m, fmt.Errorf("%w: topic length", ErrBadFrame)
 	}
 	payload = payload[n:]
-	m.Topic = sensor.Topic(payload[:tl])
+	rawTopic := payload[:tl]
 	payload = payload[tl:]
 	cnt, n := binary.Uvarint(payload)
 	if n <= 0 {
 		return m, fmt.Errorf("%w: reading count", ErrBadFrame)
 	}
 	payload = payload[n:]
-	if uint64(len(payload)) != cnt*16 {
+	// Divide instead of multiplying: cnt*16 can wrap uint64, letting a
+	// forged count pass the length check and crash the decode loop.
+	if uint64(len(payload))%16 != 0 || uint64(len(payload))/16 != cnt {
 		return m, fmt.Errorf("%w: reading records", ErrBadFrame)
 	}
-	m.Readings = make([]sensor.Reading, cnt)
-	for i := range m.Readings {
-		m.Readings[i].Value = math.Float64frombits(binary.BigEndian.Uint64(payload[0:8]))
-		m.Readings[i].Time = int64(binary.BigEndian.Uint64(payload[8:16]))
+	// Topic resolution happens only after the frame validated whole, and
+	// only short topics are pinned in the table — a hostile publisher
+	// can neither poison the intern table with malformed frames nor grow
+	// it by megabytes per entry.
+	if t, ok := intern[string(rawTopic)]; ok {
+		m.Topic = t
+	} else {
+		m.Topic = sensor.Topic(rawTopic)
+		if intern != nil && len(rawTopic) <= 256 && len(intern) < 4096 {
+			intern[string(m.Topic)] = m.Topic
+		}
+	}
+	for i := uint64(0); i < cnt; i++ {
+		rs = append(rs, sensor.Reading{
+			Value: math.Float64frombits(binary.BigEndian.Uint64(payload[0:8])),
+			Time:  int64(binary.BigEndian.Uint64(payload[8:16])),
+		})
 		payload = payload[16:]
 	}
+	m.Readings = rs
 	return m, nil
 }
 

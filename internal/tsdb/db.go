@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dcdb/wintermute/internal/sensor"
@@ -31,11 +32,25 @@ type Options struct {
 	// MaxHeadAge flushes heads once the oldest buffered reading's
 	// arrival is this old (default 60s), bounding WAL replay time.
 	MaxHeadAge time.Duration
-	// WALSync fsyncs the write-ahead log on every append. Off by
+	// WALSync fsyncs the write-ahead log on every group commit. Off by
 	// default: an OS crash may then lose the last moments of data, but a
 	// process kill loses nothing, matching the paper's "near-line"
-	// durability needs at a fraction of the insert cost.
+	// durability needs at a fraction of the insert cost. With group
+	// commit the fsync is amortized across every concurrently-inserting
+	// writer, so the cost no longer scales with writer count.
 	WALSync bool
+	// WALGroupWindow makes a group-commit leader linger this long before
+	// persisting its cohort, trading per-batch latency for larger groups
+	// (fewer writes and fsyncs). 0 — the default — commits immediately;
+	// concurrent writers still coalesce naturally while the previous
+	// cohort's write/fsync is in flight.
+	WALGroupWindow time.Duration
+	// LegacyIngest selects the pre-group-commit ingest path: WAL encode,
+	// write and fsync under one writer lock (one fsync per batch) and a
+	// global mutex on head resolution. Kept only so the paired
+	// ingest_concurrent benchmarks can measure the before side; never
+	// set it in production.
+	LegacyIngest bool
 }
 
 func (o Options) withDefaults() Options {
@@ -49,6 +64,24 @@ func (o Options) withDefaults() Options {
 		o.MaxHeadAge = 60 * time.Second
 	}
 	return o
+}
+
+// headShardCount is the number of stripes in the head map; a power of
+// two so the shard index is a mask. 64 stripes (matching cache.Set)
+// keep two hot topics off the same lock with high probability.
+const headShardCount = 64
+
+// headShard is one stripe of the head map: an independent lock + map so
+// concurrent InsertBatch calls for different topics never contend.
+type headShard struct {
+	mu    sync.RWMutex
+	heads map[sensor.Topic]*head
+}
+
+// headShardIdx maps a topic to its stripe with the shared FNV-1a topic
+// hash (the cache.Set sharding idiom).
+func headShardIdx(topic sensor.Topic) uint32 {
+	return topic.Hash() & (headShardCount - 1)
 }
 
 // DB is an embedded persistent time-series database implementing
@@ -68,13 +101,19 @@ type DB struct {
 	// other; queries and inserts never take it.
 	flushMu sync.Mutex
 
-	mu        sync.RWMutex // guards heads, flushing, segs, segSeq, floor, headN, epoch
-	heads     map[sensor.Topic]*head
-	segs      []*segment
-	segSeq    uint64
-	headN     int // total readings across heads
-	headSince time.Time
-	floor     int64 // retention watermark: readings < floor are pruned
+	mu     sync.RWMutex // guards segs, segSeq, floor, flushing, epoch
+	segs   []*segment
+	segSeq uint64
+	floor  int64 // retention watermark: readings < floor are pruned
+
+	// shards stripe the head map so the insert hot path touches only its
+	// topic's lock; db.mu is never taken by InsertBatch. Relocation
+	// (flush detach) locks every stripe while holding db.mu exclusively,
+	// so the epoch-retry read protocol still detects data moving tiers.
+	shards [headShardCount]headShard
+
+	headN     atomic.Int64 // total readings across heads
+	headSince atomic.Int64 // unix nanos of the oldest buffered arrival, 0 = empty
 
 	// epoch counts data-relocation events: flush detach/registration,
 	// restore, prune. A query snapshots the epoch with its tier
@@ -94,9 +133,15 @@ type DB struct {
 	wal *wal
 	// walErr is the first WAL append failure (sticky): once set, the DB
 	// keeps serving from memory but reports itself degraded through
-	// Stats and Close.
-	walErrMu sync.Mutex
-	walErr   error
+	// Stats and Close. walDegraded mirrors it so the insert fast path
+	// checks one atomic instead of taking a mutex per batch.
+	walErrMu    sync.Mutex
+	walErr      error
+	walDegraded atomic.Bool
+
+	// legacyMu emulates the pre-PR5 global head-resolution lock when
+	// Options.LegacyIngest is set (paired benchmarks only).
+	legacyMu sync.Mutex
 
 	lock *os.File // exclusive directory lock (LOCK file)
 
@@ -134,10 +179,12 @@ func Open(dir string, opts Options) (*DB, error) {
 	db := &DB{
 		dir:   dir,
 		opts:  opts,
-		heads: make(map[sensor.Topic]*head),
 		segs:  segs,
 		floor: loadFloor(dir),
 		lock:  lock,
+	}
+	for i := range db.shards {
+		db.shards[i].heads = make(map[sensor.Topic]*head)
 	}
 	// Re-derive the per-segment prune bookkeeping the persisted
 	// watermark implies, so post-restart Prune calls report accurate
@@ -188,7 +235,7 @@ func Open(dir string, opts Options) (*DB, error) {
 				return
 			}
 			db.headFor(topic).insert(rs)
-			db.headN += len(rs)
+			db.headN.Add(int64(len(rs)))
 		}); err != nil {
 			lock.Close()
 			return nil, fmt.Errorf("tsdb: replaying %s: %w", wf.path, err)
@@ -197,14 +244,16 @@ func Open(dir string, opts Options) (*DB, error) {
 			maxWALSeq = wf.seq
 		}
 	}
-	if db.headN > 0 {
-		db.headSince = time.Now()
+	if db.headN.Load() > 0 {
+		db.headSince.Store(time.Now().UnixNano())
 	}
 	db.wal, err = newWAL(walDir, maxWALSeq+1, opts.WALSync)
 	if err != nil {
 		lock.Close()
 		return nil, err
 	}
+	db.wal.groupWindow = opts.WALGroupWindow
+	db.wal.legacy = opts.LegacyIngest
 	if opts.FlushEvery > 0 {
 		db.janitorStop = make(chan struct{})
 		db.janitorDone = make(chan struct{})
@@ -217,14 +266,31 @@ func Open(dir string, opts Options) (*DB, error) {
 func (db *DB) Dir() string { return db.dir }
 
 // headFor returns the topic's head block, creating it on first sight.
-// Callers must hold db.mu (any mode) or be in single-threaded recovery;
-// creation upgrades internally.
+// Only the topic's shard lock is taken; creation upgrades internally.
 func (db *DB) headFor(topic sensor.Topic) *head {
-	if h := db.heads[topic]; h != nil {
+	sh := &db.shards[headShardIdx(topic)]
+	sh.mu.RLock()
+	h := sh.heads[topic]
+	sh.mu.RUnlock()
+	if h != nil {
 		return h
 	}
-	h := &head{}
-	db.heads[topic] = h
+	sh.mu.Lock()
+	if h = sh.heads[topic]; h == nil {
+		h = &head{}
+		sh.heads[topic] = h
+	}
+	sh.mu.Unlock()
+	return h
+}
+
+// headLookup returns the topic's head block, or nil, without creating
+// one.
+func (db *DB) headLookup(topic sensor.Topic) *head {
+	sh := &db.shards[headShardIdx(topic)]
+	sh.mu.RLock()
+	h := sh.heads[topic]
+	sh.mu.RUnlock()
 	return h
 }
 
@@ -233,15 +299,17 @@ func (db *DB) Insert(topic sensor.Topic, r sensor.Reading) {
 	db.InsertBatch(topic, []sensor.Reading{r})
 }
 
-// InsertBatch logs and buffers one topic's reading batch: one WAL write,
-// one head lock.
+// InsertBatch logs and buffers one topic's reading batch: one staged
+// group-commit record, one head-shard lock. Concurrent batches for
+// different topics share a single WAL write (+ fsync) and never touch a
+// common lock beyond the shared ingest read-lock.
 func (db *DB) InsertBatch(topic sensor.Topic, rs []sensor.Reading) {
 	if len(rs) == 0 {
 		return
 	}
 	db.ingest.RLock()
 	defer db.ingest.RUnlock()
-	if db.walError() == nil {
+	if !db.walDegraded.Load() {
 		// A failing WAL (disk full, dead device) must not lose data
 		// silently while the process lives: keep serving from memory and
 		// surface the error through Stats/Close. Appending is suspended
@@ -253,14 +321,21 @@ func (db *DB) InsertBatch(topic sensor.Topic, rs []sensor.Reading) {
 			db.noteWALError(err)
 		}
 	}
-	db.mu.Lock()
-	h := db.headFor(topic)
-	db.headN += len(rs)
-	if db.headSince.IsZero() {
-		db.headSince = time.Now()
+	if db.opts.LegacyIngest {
+		// Pre-PR5 shape: every writer funnels through one mutex to
+		// resolve its head block (benchmarks only).
+		db.legacyMu.Lock()
+		h := db.headFor(topic)
+		db.headN.Add(int64(len(rs)))
+		db.headSince.CompareAndSwap(0, time.Now().UnixNano())
+		db.legacyMu.Unlock()
+		h.insert(rs)
+		return
 	}
-	db.mu.Unlock()
+	h := db.headFor(topic)
 	h.insert(rs)
+	db.headN.Add(int64(len(rs)))
+	db.headSince.CompareAndSwap(0, time.Now().UnixNano())
 }
 
 func (db *DB) noteWALError(err error) {
@@ -268,6 +343,7 @@ func (db *DB) noteWALError(err error) {
 	first := db.walErr == nil
 	if first {
 		db.walErr = err
+		db.walDegraded.Store(true)
 	}
 	db.walErrMu.Unlock()
 	if first {
@@ -280,6 +356,17 @@ func (db *DB) walError() error {
 	db.walErrMu.Lock()
 	defer db.walErrMu.Unlock()
 	return db.walErr
+}
+
+// clearWALError re-arms durability after a successful rotate, returning
+// the previous sticky failure.
+func (db *DB) clearWALError() error {
+	db.walErrMu.Lock()
+	prev := db.walErr
+	db.walErr = nil
+	db.walDegraded.Store(false)
+	db.walErrMu.Unlock()
+	return prev
 }
 
 // metaPath holds the persisted retention watermark.
@@ -340,9 +427,12 @@ func (db *DB) view(topic sensor.Topic) tierView {
 		floor: db.floor,
 		segs:  db.segs,
 		fl:    db.flushing[topic],
-		h:     db.heads[topic],
 	}
 	db.mu.RUnlock()
+	// The head pointer is resolved outside db.mu (shard lock only); if a
+	// flush relocates it between the snapshot above and this lookup, the
+	// epoch check catches it and the read retries.
+	v.h = db.headLookup(topic)
 	return v
 }
 
@@ -474,33 +564,48 @@ func (db *DB) Count(topic sensor.Topic) int {
 }
 
 // topicSet returns the set of topics with at least one live reading.
-// The topic set only ever grows during a flush (data moves between
-// tiers, never away), so no epoch retry is needed: heads and the
-// flushing stage are read under one lock and segments are immutable.
+// Heads are striped, so the scan cannot read heads and the flushing
+// stage under one lock anymore; the epoch retry makes the combined
+// snapshot consistent (a flush draining a head into the stage mid-scan
+// bumps the epoch and the scan reruns).
 func (db *DB) topicSet() map[sensor.Topic]bool {
-	db.mu.RLock()
-	floor := db.floor
-	segs := db.segs
-	seen := make(map[sensor.Topic]bool, len(db.heads))
-	for t, h := range db.heads {
-		if h.countFrom(floor) > 0 {
-			seen[t] = true
+	for {
+		db.mu.RLock()
+		epoch := db.epoch
+		floor := db.floor
+		segs := db.segs
+		flushing := db.flushing
+		db.mu.RUnlock()
+		var seen map[sensor.Topic]bool
+		for i := range db.shards {
+			sh := &db.shards[i]
+			sh.mu.RLock()
+			if seen == nil {
+				seen = make(map[sensor.Topic]bool, (len(sh.heads)+1)*headShardCount)
+			}
+			for t, h := range sh.heads {
+				if h.countFrom(floor) > 0 {
+					seen[t] = true
+				}
+			}
+			sh.mu.RUnlock()
 		}
-	}
-	for t, rs := range db.flushing {
-		if !seen[t] && len(rs) > 0 && rs[len(rs)-1].Time >= floor {
-			seen[t] = true
-		}
-	}
-	db.mu.RUnlock()
-	for _, s := range segs {
-		for t, ss := range s.series {
-			if !seen[t] && ss.maxT >= floor {
+		for t, rs := range flushing {
+			if !seen[t] && len(rs) > 0 && rs[len(rs)-1].Time >= floor {
 				seen[t] = true
 			}
 		}
+		for _, s := range segs {
+			for t, ss := range s.series {
+				if !seen[t] && ss.maxT >= floor {
+					seen[t] = true
+				}
+			}
+		}
+		if db.stable(tierView{epoch: epoch}) {
+			return seen
+		}
 	}
-	return seen
 }
 
 // Topics implements store.Backend.
@@ -512,6 +617,19 @@ func (db *DB) Topics() []sensor.Topic {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// collectHeads snapshots every live head block across the shards.
+func (db *DB) collectHeads(dst []*head) []*head {
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for _, h := range sh.heads {
+			dst = append(dst, h)
+		}
+		sh.mu.RUnlock()
+	}
+	return dst
 }
 
 // TotalReadings returns the number of live readings across all series.
@@ -530,11 +648,8 @@ func (db *DB) TotalReadings() int {
 			n -= s.prunedCount
 		}
 		flushing := db.flushing
-		heads := make([]*head, 0, len(db.heads))
-		for _, h := range db.heads {
-			heads = append(heads, h)
-		}
 		db.mu.RUnlock()
+		heads := db.collectHeads(nil)
 		for _, rs := range flushing {
 			n += len(rs) - sort.Search(len(rs), func(i int) bool {
 				return rs[i].Time >= floor
@@ -560,20 +675,28 @@ func (db *DB) Flush() error {
 	db.ingest.Lock()
 	// Atomically: detach head data into the flushing stage, rotate the
 	// WAL. Inserts resume into fresh heads + the new WAL file while the
-	// segment is written from the stage.
+	// segment is written from the stage. The shard locks nest inside
+	// db.mu (the one place both are held), so the detach is invisible to
+	// epoch-checked readers until db.mu is released with the epoch
+	// bumped.
 	db.mu.Lock()
-	data := make(map[sensor.Topic][]sensor.Reading, len(db.heads))
-	for t, h := range db.heads {
-		h.mu.Lock() // a janitor-less Prune may be trimming concurrently
-		if len(h.data) > 0 {
-			data[t] = h.data
-			h.data = nil
+	data := make(map[sensor.Topic][]sensor.Reading)
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.Lock()
+		for t, h := range sh.heads {
+			h.mu.Lock() // a janitor-less Prune may be trimming concurrently
+			if len(h.data) > 0 {
+				data[t] = h.data
+				h.data = nil
+			}
+			h.mu.Unlock()
 		}
-		h.mu.Unlock()
+		sh.heads = make(map[sensor.Topic]*head, len(sh.heads))
+		sh.mu.Unlock()
 	}
-	db.heads = make(map[sensor.Topic]*head, len(db.heads))
-	db.headN = 0
-	db.headSince = time.Time{}
+	db.headN.Store(0)
+	db.headSince.Store(0)
 	db.flushing = data
 	segSeq := db.segSeq
 	db.segSeq++
@@ -587,10 +710,7 @@ func (db *DB) Flush() error {
 	// WAL and then report healthy.
 	var prevWALErr error
 	if err == nil {
-		db.walErrMu.Lock()
-		prevWALErr = db.walErr
-		db.walErr = nil
-		db.walErrMu.Unlock()
+		prevWALErr = db.clearWALError()
 	}
 	db.ingest.Unlock()
 	if err != nil {
@@ -642,9 +762,9 @@ func (db *DB) restoreFlushing() {
 		n += len(rs)
 	}
 	db.flushing = nil
-	db.headN += n
-	if n > 0 && db.headSince.IsZero() {
-		db.headSince = time.Now()
+	db.headN.Add(int64(n))
+	if n > 0 {
+		db.headSince.CompareAndSwap(0, time.Now().UnixNano())
 	}
 	db.epoch++
 }
@@ -680,11 +800,8 @@ func (db *DB) Prune(cutoff int64) int {
 	db.epoch++ // the floor moved: in-flight reads must retry against it
 	db.floor = cutoff
 	segs := db.segs
-	heads := make([]*head, 0, len(db.heads))
-	for _, h := range db.heads {
-		heads = append(heads, h)
-	}
 	db.mu.Unlock()
+	heads := db.collectHeads(nil)
 
 	// Chunk decodes (countBelow) run without any db-wide lock: segments
 	// are immutable and flushMu keeps the set stable. Inserts and
@@ -726,11 +843,11 @@ func (db *DB) Prune(cutoff int64) int {
 		s.prunedCount = n
 	}
 	db.segs = kept
-	db.headN -= headDropped
 	if changed {
 		db.epoch++
 	}
 	db.mu.Unlock()
+	db.headN.Add(int64(-headDropped))
 	for _, s := range expired {
 		total := 0
 		for _, ss := range s.series {
@@ -752,7 +869,7 @@ func (db *DB) Prune(cutoff int64) int {
 func (db *DB) Stats() store.BackendStats {
 	db.mu.RLock()
 	segs := db.segs
-	headN := db.headN
+	headN := int(db.headN.Load())
 	for _, rs := range db.flushing {
 		headN += len(rs) // staged mid-flush: still memory-resident
 	}
@@ -784,10 +901,13 @@ func (db *DB) Stats() store.BackendStats {
 }
 
 // Close stops the janitor, flushes outstanding heads into a final
-// segment and closes every file, releasing the directory lock. After a
-// clean Close the WAL is empty and reopening serves entirely from
-// segments. A WAL append failure during the DB's lifetime (data served
-// from memory but not durable) surfaces in the returned error.
+// segment and closes every file, releasing the directory lock. In-flight
+// group commits are drained first (Flush waits out concurrent inserts,
+// and wal.Close waits out any commit leader), so every acknowledged
+// InsertBatch is on disk before the process moves on. After a clean
+// Close the WAL is empty and reopening serves entirely from segments. A
+// WAL append failure during the DB's lifetime (data served from memory
+// but not durable) surfaces in the returned error.
 func (db *DB) Close() error {
 	db.closeOnce.Do(func() {
 		if db.janitorStop != nil {
@@ -819,17 +939,17 @@ func (db *DB) Close() error {
 // Abandon simulates a process kill for crash-recovery tests and drills:
 // it stops the janitor and releases every file handle — including the
 // directory lock, exactly as process death would — WITHOUT flushing
-// heads or syncing the WAL. The on-disk state is what a SIGKILL leaves
-// behind; the DB must not be used afterwards.
+// heads or syncing the WAL. In-flight group commits are waited out (an
+// acknowledged Append is on disk; an unacknowledged one may or may not
+// be, exactly the kill semantics). The on-disk state is what a SIGKILL
+// leaves behind; the DB must not be used afterwards.
 func (db *DB) Abandon() {
 	db.closeOnce.Do(func() {
 		if db.janitorStop != nil {
 			close(db.janitorStop)
 			<-db.janitorDone
 		}
-		db.wal.mu.Lock()
-		db.wal.f.Close()
-		db.wal.mu.Unlock()
+		db.wal.abandon()
 		db.mu.Lock()
 		for _, s := range db.segs {
 			s.close()

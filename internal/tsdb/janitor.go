@@ -31,12 +31,10 @@ func (db *DB) janitor() {
 // Exposed to tests through Tick-like manual invocation via Flush/Prune;
 // the daemon path only reaches it from the janitor goroutine.
 func (db *DB) janitorPass(now time.Time) {
-	db.mu.RLock()
-	headN := db.headN
-	since := db.headSince
-	db.mu.RUnlock()
+	headN := int(db.headN.Load())
+	since := db.headSince.Load()
 	if headN >= db.opts.MaxHeadReadings ||
-		(headN > 0 && !since.IsZero() && now.Sub(since) >= db.opts.MaxHeadAge) {
+		(headN > 0 && since != 0 && now.Sub(time.Unix(0, since)) >= db.opts.MaxHeadAge) {
 		if err := db.Flush(); err != nil {
 			fmt.Fprintf(os.Stderr, "tsdb: janitor flush: %v\n", err)
 		}
