@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet doclint test race bench bench-smoke bench-json ci
+.PHONY: all build vet doclint lint test race bench bench-smoke bench-json ci
 
-all: build vet doclint test
+all: build vet doclint lint test
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,16 @@ vet:
 	$(GO) vet ./...
 
 # Documentation lint: every internal package carries a package doc
-# comment, and the public surfaces of store, tsdb, core and transport
-# document every exported symbol (see cmd/doclint).
+# comment, and the public surfaces of store, tsdb, cache, collect, core
+# and transport document every exported symbol (see cmd/doclint).
 doclint:
 	$(GO) run ./cmd/doclint
+
+# Invariant lint: the repo-specific analyzer suite (atomicmix,
+# lockorder, poolescape, batchinsert) that mechanically enforces the
+# concurrency and pooling contracts cataloged in docs/ANALYSIS.md.
+lint:
+	$(GO) run ./cmd/invlint ./...
 
 test:
 	$(GO) test ./...
@@ -22,8 +28,12 @@ test:
 # Race-enabled run over every internal package; the hottest suspects are
 # the operator manager/scheduler, the sharded sensor caches, the
 # bound-handle/scratch-arena tick path and the tsdb ingest/flush paths.
+# The second leg runs the root-package benchmark suite one iteration
+# under the race detector: the paired contention workloads exercise
+# cross-goroutine interleavings the unit tests cannot reach.
 race:
 	$(GO) test -race -count=1 ./internal/...
+	$(GO) test -race -run '^$$' -bench . -benchtime 1x .
 
 # Short benchmark run: the tick-path contention pairs, the cache view
 # micro-benches, the storage backend pairs (in-memory store vs tsdb
@@ -48,4 +58,4 @@ bench-smoke:
 bench-json:
 	$(GO) run ./cmd/benchrunner -bench-json BENCH_PR5.json
 
-ci: build vet doclint test race bench-smoke bench
+ci: build vet doclint lint test race bench-smoke bench

@@ -95,15 +95,22 @@ type benchReport struct {
 
 const benchSec = int64(time.Second)
 
+// warmCache fills one cache with 180 s of ramp history in a single
+// batched store.
+func warmCache(c *cache.Cache) {
+	rs := make([]sensor.Reading, 180)
+	for k := range rs {
+		rs[k] = sensor.Reading{Value: float64(k), Time: int64(k) * benchSec}
+	}
+	c.StoreBatch(rs)
+}
+
 // queryEnv builds one warm cached sensor.
 func queryEnv() *core.QueryEngine {
 	nav := navigator.New()
 	caches := cache.NewSet()
 	_ = nav.AddSensor("/n/power")
-	c := caches.GetOrCreate("/n/power", 180, time.Second)
-	for k := 0; k < 180; k++ {
-		c.Store(sensor.Reading{Value: float64(k), Time: int64(k) * benchSec})
-	}
+	warmCache(caches.GetOrCreate("/n/power", 180, time.Second))
 	return core.NewQueryEngine(nav, caches, nil)
 }
 
@@ -116,10 +123,7 @@ func tickEnv(nodes int) (*core.QueryEngine, *aggregator.Operator, core.Sink, err
 		if err := nav.AddSensor(topic); err != nil {
 			return nil, nil, nil, err
 		}
-		c := caches.GetOrCreate(topic, 180, time.Second)
-		for k := 0; k < 180; k++ {
-			c.Store(sensor.Reading{Value: float64(k), Time: int64(k) * benchSec})
-		}
+		warmCache(caches.GetOrCreate(topic, 180, time.Second))
 	}
 	qe := core.NewQueryEngine(nav, caches, nil)
 	op, err := aggregator.New(aggregator.Config{
@@ -201,10 +205,7 @@ func contentionEnv(legacy bool) (*core.Manager, error) {
 		if err := nav.AddSensor(topic); err != nil {
 			return nil, err
 		}
-		c := caches.GetOrCreate(topic, 180, time.Second)
-		for k := 0; k < 180; k++ {
-			c.Store(sensor.Reading{Value: float64(k), Time: int64(k) * benchSec})
-		}
+		warmCache(caches.GetOrCreate(topic, 180, time.Second))
 	}
 	qe := core.NewQueryEngine(nav, caches, nil)
 	sink := core.NewCacheSink(caches, nav, 180, time.Second)

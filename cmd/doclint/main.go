@@ -3,8 +3,9 @@
 //
 //   - every package under internal/ carries a package doc comment
 //     ("// Package xxx ..."), and
-//   - the public surfaces listed in surfaceDirs (store, tsdb, core and
-//     transport — the packages other components program against)
+//   - the public surfaces listed in surfaceDirs (cache, collect, store,
+//     tsdb, core and transport — the packages other components program
+//     against)
 //     document every exported symbol: types, functions, methods on
 //     exported types, and exported const/var specs (a doc comment on
 //     the enclosing const/var block covers the whole block).
@@ -26,8 +27,11 @@ import (
 
 // surfaceDirs are the packages whose exported symbols must all carry
 // doc comments. internal/core/units rides along with core: operator
-// plugins program directly against it.
+// plugins program directly against it; cache and collect joined when
+// they became the sink and agent surfaces other components consume.
 var surfaceDirs = []string{
+	"internal/cache",
+	"internal/collect",
 	"internal/store",
 	"internal/tsdb",
 	"internal/core",

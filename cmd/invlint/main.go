@@ -1,0 +1,97 @@
+// Command invlint runs the repository's invariant analyzer suite
+// (internal/lint) over the module and prints vet-style findings.
+//
+// Usage:
+//
+//	invlint [dir ...]
+//
+// With no arguments (or the conventional "./...") the whole module is
+// analyzed. Directory arguments restrict analysis to those packages
+// plus their intra-module dependencies. The exit status is 0 when the
+// tree is clean, 1 when any finding (or malformed //lint:ignore
+// directive) is reported, and 2 when the module cannot be loaded.
+//
+// The enforced invariants are cataloged in docs/ANALYSIS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/dcdb/wintermute/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: invlint [-list] [dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "invlint:", err)
+		os.Exit(2)
+	}
+	var dirs []string
+	for _, arg := range flag.Args() {
+		if arg == "./..." || arg == "..." {
+			continue // module-wide, the default
+		}
+		dirs = append(dirs, filepath.Clean(arg))
+	}
+
+	m, err := lint.Load(root, dirs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "invlint:", err)
+		os.Exit(2)
+	}
+
+	findings := lint.RunAll(m, analyzers)
+	findings = append(findings, lint.BadDirectives(m)...)
+	for _, f := range findings {
+		fmt.Println(relativize(root, f))
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks upward from the working directory to the nearest
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// relativize renders a finding with a module-relative path so output is
+// stable across checkouts.
+func relativize(root string, f lint.Finding) string {
+	if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+		f.Pos.Filename = rel
+	}
+	return f.String()
+}

@@ -221,6 +221,8 @@ func (a *Agent) enqueueIngest(topic sensor.Topic, rs []sensor.Reading) {
 	*buf = append((*buf)[:0], rs...)
 	// The shared FNV-1a topic hash pins a topic to one worker, so its
 	// batches are always ingested in arrival order.
+	//
+	//lint:ignore poolescape ownership transfer by design: exactly one ingest worker receives buf and returns it to batchPool after PushSeries
 	a.ingestQs[topic.Hash()%uint32(len(a.ingestQs))] <- ingestBatch{topic: topic, buf: buf}
 }
 

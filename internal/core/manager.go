@@ -121,6 +121,14 @@ type OperatorStatus struct {
 // Manager is the central entity responsible for reading Wintermute
 // configuration, loading plugins and managing operator life cycles
 // (paper §V-A). One manager is embedded in each Pusher and Collect Agent.
+//
+// Lock hierarchy, machine-checked by cmd/invlint: the manager lock is
+// outermost; a tick serialization lock may be taken under it; the
+// per-runtime stats lock and the scheduler lock are innermost. The PR 1
+// Status() deadlock was exactly an inversion of this order.
+//
+//lint:lockorder Manager.mu < opRuntime.tickMu < opRuntime.mu
+//lint:lockorder opRuntime.tickMu < Scheduler.mu
 type Manager struct {
 	qe   *QueryEngine
 	sink Sink
@@ -376,10 +384,14 @@ func (m *Manager) runLoop(rt *opRuntime, stop <-chan struct{}) {
 // operator never overlap (a tick outlasting its interval delays the next
 // one instead of racing it).
 func (m *Manager) tickRuntime(rt *opRuntime, now time.Time) error {
+	// Resolve the scheduler before taking tickMu: m.scheduler() acquires
+	// m.mu, which the lock hierarchy places before tickMu, so taking it
+	// under tickMu would invert the declared order (invlint: lockorder).
+	sched := m.scheduler()
 	rt.tickMu.Lock()
 	defer rt.tickMu.Unlock()
 	start := time.Now()
-	err := TickScheduled(rt.op, m.qe, m.sink, now, m.scheduler())
+	err := TickScheduled(rt.op, m.qe, m.sink, now, sched)
 	rt.mu.Lock()
 	rt.ticks++
 	rt.lastErr = err

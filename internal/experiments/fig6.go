@@ -168,10 +168,12 @@ func RunFig6(cfg Fig6Config) (*Fig6Result, error) {
 			cycles += cy
 			instr += in
 		}
-		sink.Push(nodePath.Join("power"), sensor.Reading{Value: node.Power(), Time: ns})
-		sink.Push(nodePath.Join("temp"), sensor.Reading{Value: node.Temp(), Time: ns})
-		sink.Push(nodePath.Join("cycles-rate"), sensor.Reading{Value: (cycles - prevCycles) / interval.Seconds(), Time: ns})
-		sink.Push(nodePath.Join("instr-rate"), sensor.Reading{Value: (instr - prevInstr) / interval.Seconds(), Time: ns})
+		sink.PushBatch([]core.Output{
+			{Topic: nodePath.Join("power"), Reading: sensor.Reading{Value: node.Power(), Time: ns}},
+			{Topic: nodePath.Join("temp"), Reading: sensor.Reading{Value: node.Temp(), Time: ns}},
+			{Topic: nodePath.Join("cycles-rate"), Reading: sensor.Reading{Value: (cycles - prevCycles) / interval.Seconds(), Time: ns}},
+			{Topic: nodePath.Join("instr-rate"), Reading: sensor.Reading{Value: (instr - prevInstr) / interval.Seconds(), Time: ns}},
+		})
 		prevCycles, prevInstr = cycles, instr
 
 		// Record the realisation of the previous step's prediction.

@@ -187,11 +187,14 @@ func RunFig7(cfg Fig7Config) (*Fig7Result, error) {
 			go func(rt *nodeRT) {
 				defer wg.Done()
 				rt.node.Advance(ns)
+				outs := make([]core.Output, 0, 2*len(rt.cpus))
 				for c, cp := range rt.cpus {
 					cy, in, _, _, _ := rt.node.CoreCounters(c)
-					sink.Push(cp.Join("cpu-cycles"), sensor.Reading{Value: cy, Time: ns})
-					sink.Push(cp.Join("instructions"), sensor.Reading{Value: in, Time: ns})
+					outs = append(outs,
+						core.Output{Topic: cp.Join("cpu-cycles"), Reading: sensor.Reading{Value: cy, Time: ns}},
+						core.Output{Topic: cp.Join("instructions"), Reading: sensor.Reading{Value: in, Time: ns}})
 				}
+				sink.PushBatch(outs)
 			}(rt)
 		}
 		wg.Wait()

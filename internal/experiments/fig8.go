@@ -200,9 +200,11 @@ func RunFig8(cfg Fig8Config) (*Fig8Result, error) {
 		ns := int64(step) * int64(cfg.SampleInterval)
 		for _, rt := range rts {
 			rt.node.Advance(ns)
-			sink.Push(rt.path.Join("power"), sensor.Reading{Value: rt.node.Power(), Time: ns})
-			sink.Push(rt.path.Join("temp"), sensor.Reading{Value: rt.node.Temp(), Time: ns})
-			sink.Push(rt.path.Join("idle-time"), sensor.Reading{Value: rt.node.IdleSeconds(), Time: ns})
+			sink.PushBatch([]core.Output{
+				{Topic: rt.path.Join("power"), Reading: sensor.Reading{Value: rt.node.Power(), Time: ns}},
+				{Topic: rt.path.Join("temp"), Reading: sensor.Reading{Value: rt.node.Temp(), Time: ns}},
+				{Topic: rt.path.Join("idle-time"), Reading: sensor.Reading{Value: rt.node.IdleSeconds(), Time: ns}},
+			})
 		}
 	}
 

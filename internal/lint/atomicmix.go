@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix enforces the atomics-only field discipline: once any code in
+// the module passes a struct field's address to a sync/atomic function,
+// every other access to that field must go through sync/atomic too. A
+// plain read can observe a torn or stale value and a plain write races
+// the atomic users — exactly the discipline the tsdb head-stripe
+// counters (headN/headSince before they became atomic.Int64) rely on.
+//
+// Fields of the typed atomic kinds (atomic.Int64, atomic.Pointer, ...)
+// are safe by construction and need no analysis: their representation is
+// unexported, so a plain access does not compile. The analyzer exists
+// for the legacy pattern atomic.AddInt64(&s.n, 1), which the compiler
+// accepts alongside s.n++.
+//
+// The only exempt context is a composite-literal key (S{n: 0}): zero
+// initialization happens before the value is shared.
+func AtomicMix() *Analyzer {
+	return &Analyzer{
+		Name: "atomicmix",
+		Doc:  "fields passed to sync/atomic functions must never be plainly accessed",
+		Run:  runAtomicMix,
+	}
+}
+
+func runAtomicMix(m *Module) []Finding {
+	// Pass 1: collect the atomic-disciplined fields — struct fields whose
+	// address appears as an argument of a sync/atomic function — and the
+	// selector nodes that constitute those sanctioned accesses.
+	disciplined := map[*types.Var]token.Position{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, pkg := range m.Pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // methods of the typed atomics are safe
+				}
+				for _, arg := range call.Args {
+					unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || unary.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if f := selField(info, sel); f != nil {
+						if _, seen := disciplined[f]; !seen {
+							disciplined[f] = m.Fset.Position(call.Pos())
+						}
+						sanctioned[sel] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(disciplined) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other selector resolving to a disciplined field is a
+	// plain access. Composite-literal initialization (S{n: 0}) is exempt
+	// by construction: literal keys are plain identifiers, never
+	// selectors, so they cannot match here.
+	names := fieldNames(m)
+	var out []Finding
+	for _, pkg := range m.Pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				reportPlain(m, info, n, disciplined, sanctioned, names, &out)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// reportPlain appends a finding when n is a selector that plainly
+// accesses a disciplined field.
+func reportPlain(m *Module, info *types.Info, n ast.Node, disciplined map[*types.Var]token.Position,
+	sanctioned map[*ast.SelectorExpr]bool, names map[*types.Var]string, out *[]Finding) {
+	sel, ok := n.(*ast.SelectorExpr)
+	if !ok || sanctioned[sel] {
+		return
+	}
+	f := selField(info, sel)
+	if f == nil {
+		return
+	}
+	atomicAt, ok := disciplined[f]
+	if !ok {
+		return
+	}
+	name := names[f]
+	if name == "" {
+		name = f.Name()
+	}
+	*out = append(*out, Finding{
+		Pos:      m.Fset.Position(sel.Pos()),
+		Analyzer: "atomicmix",
+		Message: fmt.Sprintf("plain access to %s, which is accessed atomically at %s:%d; use sync/atomic for every access",
+			name, atomicAt.Filename, atomicAt.Line),
+	})
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// isNamed reports whether t (after pointer indirection) is the named
+// type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// selField resolves a selector expression to the struct field it
+// denotes, or nil when it is not a direct field selection.
+func selField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	obj := s.Obj()
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// pkgLevelVar resolves an identifier to the package-level variable it
+// uses, or nil.
+func pkgLevelVar(info *types.Info, id *ast.Ident) *types.Var {
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}
+
+// calleeFunc resolves a call expression to the static *types.Func it
+// invokes (package function or method), or nil for dynamic calls,
+// builtins and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// fieldNames maps every struct field object declared in the module to a
+// human-readable "pkg.Type.field" label for findings.
+func fieldNames(m *Module) map[*types.Var]string {
+	names := map[*types.Var]string{}
+	for _, pkg := range m.Pkgs {
+		scope := pkg.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				names[f] = pkg.Pkg.Name() + "." + name + "." + f.Name()
+			}
+		}
+	}
+	return names
+}
+
+// methodSetHas reports whether type t (or *t) has a method with the
+// given name.
+func methodSetHas(t types.Type, name string) bool {
+	for _, mt := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(mt)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcBodies maps every declared function and method of the module to
+// its body, for call-graph construction.
+func funcBodies(m *Module) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	walkFuncs(m, func(pkg *Package, decl *ast.FuncDecl) {
+		if f, ok := pkg.Info.Defs[decl.Name].(*types.Func); ok {
+			out[f] = decl
+		}
+	})
+	return out
+}

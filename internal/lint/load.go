@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module.
+type Package struct {
+	// Dir is the package directory (as given to Load).
+	Dir string
+	// ImportPath is the package's import path within the module.
+	ImportPath string
+	// Files are the package's non-test source files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the type-checker's resolution maps for Files.
+	Info *types.Info
+}
+
+// Module is the analysis unit handed to every analyzer: all requested
+// packages, type-checked against one shared FileSet so objects and
+// positions are comparable across packages.
+type Module struct {
+	// Root is the module root directory (where go.mod lives).
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset positions every file of every package.
+	Fset *token.FileSet
+	// Pkgs holds the loaded packages sorted by import path.
+	Pkgs []*Package
+
+	byPath map[string]*Package
+}
+
+// Load parses and type-checks the module rooted at root. With no dirs,
+// every package directory under root is loaded (testdata and hidden
+// directories are skipped, _test.go files are excluded — the analyzers
+// enforce invariants on shipped code). With dirs, only those directories
+// plus their intra-module dependencies are loaded.
+//
+// Type checking resolves module-internal imports from the loaded
+// packages and everything else (the standard library) through the
+// go/types source importer, keeping the loader free of external
+// dependencies and of compiled export data.
+func Load(root string, dirs []string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root:   root,
+		Path:   modPath,
+		Fset:   token.NewFileSet(),
+		byPath: map[string]*Package{},
+	}
+	if len(dirs) == 0 {
+		if dirs, err = packageDirs(root); err != nil {
+			return nil, err
+		}
+	}
+	// Parse the requested directories, then chase intra-module imports
+	// until the dependency closure is parsed too.
+	queue := append([]string(nil), dirs...)
+	seen := map[string]bool{}
+	for len(queue) > 0 {
+		dir := queue[0]
+		queue = queue[1:]
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, err
+		}
+		if seen[abs] {
+			continue
+		}
+		seen[abs] = true
+		pkg, err := m.parseDir(abs)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no non-test Go files
+		}
+		m.Pkgs = append(m.Pkgs, pkg)
+		m.byPath[pkg.ImportPath] = pkg
+		for _, imp := range moduleImports(pkg, modPath) {
+			queue = append(queue, filepath.Join(root, strings.TrimPrefix(strings.TrimPrefix(imp, modPath), "/")))
+		}
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].ImportPath < m.Pkgs[j].ImportPath })
+	ordered, err := m.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	imp := &moduleImporter{
+		mod: m,
+		std: importer.ForCompiler(m.Fset, "source", nil).(types.ImporterFrom),
+	}
+	for _, pkg := range ordered {
+		if err := m.check(pkg, imp); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// modulePath reads the module path from root's go.mod. A missing go.mod
+// degrades to the synthetic path "fixture", which lets the fixture
+// runner load bare testdata directories as single-package modules.
+func modulePath(root string) (string, error) {
+	raw, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "fixture", nil
+		}
+		return "", err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+// packageDirs returns every directory under root holding at least one
+// buildable non-test Go file.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// parseDir parses the buildable non-test Go files of one directory, or
+// returns nil when there are none.
+func (m *Module) parseDir(dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Respect build constraints (//go:build tags and GOOS/GOARCH file
+		// suffixes) so mutually-exclusive files such as
+		// tsdb/lockfile{,_other}.go never collide in one package.
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := m.Path
+	if rel != "." {
+		importPath = m.Path + "/" + filepath.ToSlash(rel)
+	}
+	return &Package{Dir: dir, ImportPath: importPath, Files: files}, nil
+}
+
+// moduleImports lists pkg's imports that resolve inside the module.
+func moduleImports(pkg *Package, modPath string) []string {
+	var out []string
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == modPath || strings.HasPrefix(path, modPath+"/") {
+				out = append(out, path)
+			}
+		}
+	}
+	return out
+}
+
+// topoOrder sorts packages so every package follows its intra-module
+// dependencies; import cycles are reported rather than looping.
+func (m *Module) topoOrder() ([]*Package, error) {
+	const (
+		white = iota // unvisited
+		grey         // on the visit stack
+		black        // done
+	)
+	state := map[*Package]int{}
+	var ordered []*Package
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p] {
+		case grey:
+			return fmt.Errorf("lint: import cycle through %s", p.ImportPath)
+		case black:
+			return nil
+		}
+		state[p] = grey
+		for _, imp := range moduleImports(p, m.Path) {
+			if dep, ok := m.byPath[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p] = black
+		ordered = append(ordered, p)
+		return nil
+	}
+	for _, p := range m.Pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+// check type-checks one parsed package.
+func (m *Module) check(pkg *Package, imp types.ImporterFrom) error {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkg.ImportPath, m.Fset, pkg.Files, info)
+	if err != nil {
+		return fmt.Errorf("lint: type-checking %s: %w", pkg.ImportPath, err)
+	}
+	pkg.Pkg = tpkg
+	pkg.Info = info
+	return nil
+}
+
+// moduleImporter resolves module-internal imports from the loaded
+// packages and delegates the rest to the stdlib source importer.
+type moduleImporter struct {
+	mod *Module
+	std types.ImporterFrom
+}
+
+// Import implements types.Importer.
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, im.mod.Root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (im *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := im.mod.byPath[path]; ok {
+		if p.Pkg == nil {
+			return nil, fmt.Errorf("lint: %s imported before it was checked", path)
+		}
+		return p.Pkg, nil
+	}
+	return im.std.ImportFrom(path, im.mod.Root, 0)
+}

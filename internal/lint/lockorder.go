@@ -1,0 +1,703 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockOrder enforces the module's declared mutex hierarchy and unlock
+// discipline:
+//
+//   - Directives of the form
+//
+//     //lint:lockorder DB.flushMu < DB.ingest < DB.mu < headShard.mu
+//
+//     declare a partial order over mutex classes of the directive's own
+//     package (a class is a named struct's mutex field, "Type.field", or
+//     a package-level mutex variable, "name"). Several directives merge;
+//     the order is closed transitively.
+//
+//   - An acquisition of class B while class A is held is an inversion
+//     when the declared order says B must come before A — the shape of
+//     deadlock PR 1 fixed by hand in Manager.Status. Pairs the order
+//     does not relate are not reported: the declaration is the contract.
+//
+//   - Acquiring a class already held is reported as a potential
+//     self-deadlock (two instances of one class are indistinguishable
+//     here; shared RLock-under-RLock is exempt).
+//
+//   - Every Lock must be released on every path: a return (or function
+//     end) with a tracked mutex still held — net of deferred unlocks —
+//     is reported, as is a branch merge where the two arms disagree
+//     about what is held.
+//
+// Checks run through the intra-package call graph: the transitive
+// acquire-set of every called function is tested against the caller's
+// held set, so an inversion hidden behind a helper is still found.
+// Function literals are analyzed as independent functions (they run on
+// their own goroutine or at an unknown call point).
+func LockOrder() *Analyzer {
+	return &Analyzer{
+		Name: "lockorder",
+		Doc:  "declared mutex partial order and unlock-on-every-path discipline",
+		Run:  runLockOrder,
+	}
+}
+
+// lockClass identifies a mutex class: the types.Var of a struct mutex
+// field or of a package-level mutex variable.
+type lockClass = *types.Var
+
+// lockEvent classifies what a call expression does to a tracked mutex.
+type lockEvent int
+
+const (
+	evNone lockEvent = iota
+	evLock
+	evRLock
+	evUnlock
+	evRUnlock
+)
+
+// runLockOrder drives the analyzer: resolve directives, build function
+// summaries, then walk every function body tracking the held set.
+func runLockOrder(m *Module) []Finding {
+	var out []Finding
+	order, names := resolveLockOrder(m, &out)
+	lo := &lockOrderPass{
+		m:       m,
+		order:   order,
+		names:   names,
+		bodies:  funcBodies(m),
+		summary: map[*types.Func]map[lockClass]bool{},
+	}
+	lo.buildSummaries()
+	walkFuncs(m, func(pkg *Package, decl *ast.FuncDecl) {
+		lo.checkFunc(pkg, decl.Body, &out)
+		// Function literals get their own empty-held analysis.
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				lo.checkFunc(pkg, lit.Body, &out)
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// resolveLockOrder parses every //lint:lockorder directive into ordered
+// class pairs and computes the transitive closure. Unresolvable
+// elements become findings rather than silently dropped contract.
+func resolveLockOrder(m *Module, out *[]Finding) (map[lockClass]map[lockClass]bool, map[*types.Var]string) {
+	names := fieldNames(m)
+	order := map[lockClass]map[lockClass]bool{}
+	addEdge := func(a, b lockClass) {
+		if order[a] == nil {
+			order[a] = map[lockClass]bool{}
+		}
+		order[a][b] = true
+	}
+	for _, pkg := range m.Pkgs {
+		for _, d := range packageDirectives(m, pkg, "lockorder") {
+			var chain []lockClass
+			ok := true
+			for _, elem := range strings.Split(d.args, "<") {
+				elem = strings.TrimSpace(elem)
+				cls := lookupLockClass(pkg, elem)
+				if cls == nil {
+					*out = append(*out, Finding{
+						Pos:      d.pos,
+						Analyzer: "lockorder",
+						Message:  fmt.Sprintf("lockorder directive names unknown mutex %q (want Type.field or a package-level var of package %s)", elem, pkg.Pkg.Name()),
+					})
+					ok = false
+					break
+				}
+				if names[cls] == "" {
+					names[cls] = pkg.Pkg.Name() + "." + cls.Name()
+				}
+				chain = append(chain, cls)
+			}
+			if !ok {
+				continue
+			}
+			for i := 0; i+1 < len(chain); i++ {
+				addEdge(chain[i], chain[i+1])
+			}
+		}
+	}
+	// Transitive closure (the graphs here are tiny).
+	for changed := true; changed; {
+		changed = false
+		for a, succ := range order {
+			for b := range succ {
+				for c := range order[b] {
+					if !order[a][c] {
+						addEdge(a, c)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return order, names
+}
+
+// packageDirectives returns the //lint:<verb> directives found in one
+// package's files.
+func packageDirectives(m *Module, pkg *Package, verb string) []directive {
+	prefix := "//lint:" + verb
+	var out []directive
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if rest, ok := strings.CutPrefix(c.Text, prefix); ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+					out = append(out, directive{pos: m.Fset.Position(c.Pos()), args: strings.TrimSpace(rest)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lookupLockClass resolves a directive element ("Type.field" or
+// "pkgVar") to its mutex object within pkg.
+func lookupLockClass(pkg *Package, elem string) lockClass {
+	scope := pkg.Pkg.Scope()
+	typeName, fieldName, isField := strings.Cut(elem, ".")
+	if !isField {
+		if v, ok := scope.Lookup(elem).(*types.Var); ok && isMutexType(v.Type()) {
+			return v
+		}
+		return nil
+	}
+	tn, ok := scope.Lookup(typeName).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == fieldName && isMutexType(f.Type()) {
+			return f
+		}
+	}
+	return nil
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	return isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex")
+}
+
+// lockOrderPass carries the analyzer state across functions.
+type lockOrderPass struct {
+	m      *Module
+	order  map[lockClass]map[lockClass]bool
+	names  map[*types.Var]string
+	bodies map[*types.Func]*ast.FuncDecl
+	// summary is each function's transitive acquire-set: every mutex
+	// class it may lock directly or through same-module callees.
+	summary map[*types.Func]map[lockClass]bool
+}
+
+// name renders a class for findings.
+func (lo *lockOrderPass) name(c lockClass) string {
+	if n := lo.names[c]; n != "" {
+		return n
+	}
+	return c.Name()
+}
+
+// lockCall classifies call as a mutex operation on a tracked class.
+func lockCall(pkg *Package, call *ast.CallExpr) (lockClass, lockEvent) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, evNone
+	}
+	var ev lockEvent
+	switch sel.Sel.Name {
+	case "Lock":
+		ev = evLock
+	case "RLock":
+		ev = evRLock
+	case "Unlock":
+		ev = evUnlock
+	case "RUnlock":
+		ev = evRUnlock
+	default:
+		return nil, evNone
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal || !isMutexType(s.Recv()) {
+		return nil, evNone
+	}
+	// Resolve the mutex expression to its class.
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if f := selField(pkg.Info, x); f != nil {
+			return f, ev
+		}
+	case *ast.Ident:
+		if v := pkgLevelVar(pkg.Info, x); v != nil && isMutexType(v.Type()) {
+			return v, ev
+		}
+	}
+	return nil, evNone
+}
+
+// buildSummaries computes every function's transitive acquire-set with
+// a fixpoint over the static same-module call graph.
+func (lo *lockOrderPass) buildSummaries() {
+	callees := map[*types.Func][]*types.Func{}
+	for fn, decl := range lo.bodies {
+		pkg := lo.pkgOf(fn)
+		acq := map[lockClass]bool{}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // literals run elsewhere
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if cls, ev := lockCall(pkg, call); cls != nil && (ev == evLock || ev == evRLock) {
+				acq[cls] = true
+			}
+			if callee := calleeFunc(pkg.Info, call); callee != nil {
+				if _, inModule := lo.bodies[callee]; inModule {
+					callees[fn] = append(callees[fn], callee)
+				}
+			}
+			return true
+		})
+		lo.summary[fn] = acq
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, cs := range callees {
+			dst := lo.summary[fn]
+			for _, c := range cs {
+				for cls := range lo.summary[c] {
+					if !dst[cls] {
+						dst[cls] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// pkgOf finds the loaded package owning fn.
+func (lo *lockOrderPass) pkgOf(fn *types.Func) *Package {
+	for _, p := range lo.m.Pkgs {
+		if p.Pkg == fn.Pkg() {
+			return p
+		}
+	}
+	return nil
+}
+
+// hold is one held mutex with its acquisition mode and position.
+type hold struct {
+	cls    lockClass
+	reader bool
+	pos    token.Pos
+}
+
+// lockState is the abstract state of the sequential walk: the held
+// stack and the unlocks registered by defer statements.
+type lockState struct {
+	held     []hold
+	deferred []lockClass
+}
+
+func (s lockState) clone() lockState {
+	return lockState{
+		held:     append([]hold(nil), s.held...),
+		deferred: append([]lockClass(nil), s.deferred...),
+	}
+}
+
+// heldClasses lists the classes currently held.
+func (s lockState) heldClasses() []hold { return s.held }
+
+// release removes the most recent hold of cls.
+func (s *lockState) release(cls lockClass) {
+	for i := len(s.held) - 1; i >= 0; i-- {
+		if s.held[i].cls == cls {
+			s.held = append(s.held[:i], s.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// outstanding returns the held locks not covered by deferred unlocks.
+func (s lockState) outstanding() []hold {
+	comp := map[lockClass]int{}
+	for _, c := range s.deferred {
+		comp[c]++
+	}
+	var out []hold
+	for _, h := range s.held {
+		if comp[h.cls] > 0 {
+			comp[h.cls]--
+			continue
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// sameHeld reports whether two states hold the same class multiset.
+func sameHeld(a, b lockState) bool {
+	if len(a.held) != len(b.held) {
+		return false
+	}
+	count := map[lockClass]int{}
+	for _, h := range a.held {
+		count[h.cls]++
+	}
+	for _, h := range b.held {
+		count[h.cls]--
+	}
+	for _, n := range count {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// funcCtx is the per-function walk context.
+type funcCtx struct {
+	lo  *lockOrderPass
+	pkg *Package
+	out *[]Finding
+}
+
+// checkFunc runs the sequential held-set walk over one function body.
+func (lo *lockOrderPass) checkFunc(pkg *Package, body *ast.BlockStmt, out *[]Finding) {
+	fc := &funcCtx{lo: lo, pkg: pkg, out: out}
+	end, terminated := fc.walkStmt(body, lockState{})
+	if terminated {
+		return
+	}
+	for _, h := range end.outstanding() {
+		fc.report(h.pos, "%s locked but not unlocked before the function ends", lo.name(h.cls))
+	}
+}
+
+func (fc *funcCtx) report(pos token.Pos, format string, args ...any) {
+	*fc.out = append(*fc.out, Finding{
+		Pos:      fc.lo.m.Fset.Position(pos),
+		Analyzer: "lockorder",
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// scanCalls processes the mutex and call events of an expression (or
+// statement fragment), outside any nested block or function literal.
+func (fc *funcCtx) scanCalls(n ast.Node, st *lockState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			// Visit arguments first: their calls happen before this one.
+			for _, arg := range c.Args {
+				fc.scanCalls(arg, st)
+			}
+			fc.handleCall(c, st)
+			return false
+		}
+		return true
+	})
+}
+
+// handleCall applies one call's effect on the lock state.
+func (fc *funcCtx) handleCall(call *ast.CallExpr, st *lockState) {
+	lo := fc.lo
+	if cls, ev := lockCall(fc.pkg, call); cls != nil {
+		switch ev {
+		case evLock, evRLock:
+			fc.checkAcquire(call.Pos(), cls, ev == evRLock, *st)
+			st.held = append(st.held, hold{cls: cls, reader: ev == evRLock, pos: call.Pos()})
+		case evUnlock, evRUnlock:
+			st.release(cls)
+		}
+		return
+	}
+	callee := calleeFunc(fc.pkg.Info, call)
+	if callee == nil {
+		return
+	}
+	if _, ok := lo.bodies[callee]; !ok {
+		return
+	}
+	if len(st.held) == 0 {
+		return
+	}
+	for cls := range lo.summary[callee] {
+		fc.checkAcquireVia(call.Pos(), cls, callee, *st)
+	}
+}
+
+// checkAcquire reports order inversions and same-class reacquisition
+// for a direct lock call.
+func (fc *funcCtx) checkAcquire(pos token.Pos, cls lockClass, reader bool, st lockState) {
+	lo := fc.lo
+	for _, h := range st.held {
+		if h.cls == cls {
+			if reader && h.reader {
+				continue // shared RLock-under-RLock
+			}
+			fc.report(pos, "acquiring %s while already holding it (potential self-deadlock)", lo.name(cls))
+			continue
+		}
+		if lo.order[cls][h.cls] {
+			fc.report(pos, "lock order inversion: acquiring %s while holding %s (declared order: %s before %s)",
+				lo.name(cls), lo.name(h.cls), lo.name(cls), lo.name(h.cls))
+		}
+	}
+}
+
+// checkAcquireVia reports inversions caused by a callee's transitive
+// acquisitions against the caller's held set.
+func (fc *funcCtx) checkAcquireVia(pos token.Pos, cls lockClass, callee *types.Func, st lockState) {
+	lo := fc.lo
+	for _, h := range st.held {
+		if lo.order[cls][h.cls] {
+			fc.report(pos, "lock order inversion: call to %s acquires %s while holding %s (declared order: %s before %s)",
+				callee.Name(), lo.name(cls), lo.name(h.cls), lo.name(cls), lo.name(h.cls))
+		}
+	}
+}
+
+// walkStmt interprets one statement, returning the resulting state and
+// whether every path through it terminates (returns).
+func (fc *funcCtx) walkStmt(stmt ast.Stmt, st lockState) (lockState, bool) {
+	switch s := stmt.(type) {
+	case nil:
+		return st, false
+	case *ast.BlockStmt:
+		for _, child := range s.List {
+			var term bool
+			st, term = fc.walkStmt(child, st)
+			if term {
+				return st, true
+			}
+		}
+		return st, false
+	case *ast.LabeledStmt:
+		return fc.walkStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		fc.scanCalls(s.Init, &st)
+		fc.scanCalls(s.Cond, &st)
+		thenSt, thenTerm := fc.walkStmt(s.Body, st.clone())
+		elseSt, elseTerm := st.clone(), false
+		if s.Else != nil {
+			elseSt, elseTerm = fc.walkStmt(s.Else, st.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return fc.merge(s.End(), thenSt, elseSt), false
+		}
+	case *ast.ForStmt:
+		fc.scanCalls(s.Init, &st)
+		fc.scanCalls(s.Cond, &st)
+		bodySt, bodyTerm := fc.walkStmt(s.Body, st.clone())
+		fc.scanCalls(s.Post, &bodySt)
+		if !bodyTerm && !sameHeld(st, bodySt) {
+			fc.reportLoopImbalance(s.Pos(), st, bodySt)
+		}
+		// A condition-less loop only exits via return or break; break is
+		// handled as a path terminator, so nothing falls through here.
+		return st, s.Cond == nil
+	case *ast.RangeStmt:
+		fc.scanCalls(s.X, &st)
+		bodySt, bodyTerm := fc.walkStmt(s.Body, st.clone())
+		if !bodyTerm && !sameHeld(st, bodySt) {
+			fc.reportLoopImbalance(s.Pos(), st, bodySt)
+		}
+		return st, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return fc.walkCases(stmt, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			fc.scanCalls(r, &st)
+		}
+		for _, h := range st.outstanding() {
+			fc.report(s.Pos(), "return while holding %s (locked at line %d; missing unlock on this path)",
+				fc.lo.name(h.cls), fc.lo.m.Fset.Position(h.pos).Line)
+		}
+		return st, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the enclosing construct; treat the
+		// path as ended here rather than merging imprecisely.
+		return st, true
+	case *ast.DeferStmt:
+		fc.walkDefer(s, &st)
+		return st, false
+	case *ast.GoStmt:
+		// The goroutine has its own held set; literals are analyzed
+		// separately. Only scan the call's operands evaluated here.
+		for _, arg := range s.Call.Args {
+			fc.scanCalls(arg, &st)
+		}
+		return st, false
+	default:
+		fc.scanCalls(stmt, &st)
+		return st, false
+	}
+}
+
+// walkCases handles switch/type-switch/select uniformly.
+func (fc *funcCtx) walkCases(stmt ast.Stmt, st lockState) (lockState, bool) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	exhaustive := false
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		fc.scanCalls(s.Init, &st)
+		fc.scanCalls(s.Tag, &st)
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		fc.scanCalls(s.Init, &st)
+		fc.scanCalls(s.Assign, &st)
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+		exhaustive = true // every select case is a real path; no fallthrough state
+	}
+	var live []lockState
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				fc.scanCalls(e, &st)
+			}
+			if c.List == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			fc.scanCalls(c.Comm, &st)
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		}
+		caseSt, term := fc.walkStmt(&ast.BlockStmt{List: stmts}, st.clone())
+		if !term {
+			live = append(live, caseSt)
+		}
+	}
+	if len(live) == 0 {
+		if exhaustive || hasDefault {
+			return st, true
+		}
+		return st, false // no case may match; fall through unchanged
+	}
+	merged := live[0]
+	for _, other := range live[1:] {
+		merged = fc.merge(stmt.End(), merged, other)
+	}
+	if !exhaustive && !hasDefault {
+		merged = fc.merge(stmt.End(), merged, st)
+	}
+	return merged, false
+}
+
+// merge reconciles two live branch states. Disagreement about what is
+// held is itself a finding (a lock released on one arm only); the walk
+// continues with the larger held set so later returns still report.
+func (fc *funcCtx) merge(pos token.Pos, a, b lockState) lockState {
+	if sameHeld(a, b) {
+		return a
+	}
+	count := map[lockClass]int{}
+	for _, h := range a.held {
+		count[h.cls]++
+	}
+	for _, h := range b.held {
+		count[h.cls]--
+	}
+	for cls, n := range count {
+		if n != 0 {
+			fc.report(pos, "%s is held on some paths but not others at this merge point", fc.lo.name(cls))
+		}
+	}
+	if len(b.held) > len(a.held) {
+		return b
+	}
+	return a
+}
+
+// reportLoopImbalance reports a loop body that exits with a different
+// held set than it entered with.
+func (fc *funcCtx) reportLoopImbalance(pos token.Pos, entry, exit lockState) {
+	count := map[lockClass]int{}
+	for _, h := range exit.held {
+		count[h.cls]++
+	}
+	for _, h := range entry.held {
+		count[h.cls]--
+	}
+	for cls, n := range count {
+		switch {
+		case n > 0:
+			fc.report(pos, "loop body acquires %s without releasing it before the next iteration", fc.lo.name(cls))
+		case n < 0:
+			fc.report(pos, "loop body releases %s it did not acquire this iteration", fc.lo.name(cls))
+		}
+	}
+}
+
+// walkDefer registers deferred unlocks as compensations and analyzes
+// deferred literals for their own unlock content.
+func (fc *funcCtx) walkDefer(s *ast.DeferStmt, st *lockState) {
+	if cls, ev := lockCall(fc.pkg, s.Call); cls != nil {
+		switch ev {
+		case evUnlock, evRUnlock:
+			st.deferred = append(st.deferred, cls)
+		case evLock, evRLock:
+			// defer mu.Lock() is almost certainly a typo'd unlock.
+			fc.report(s.Pos(), "deferred %s acquisition of %s (did you mean Unlock?)", map[lockEvent]string{evLock: "Lock", evRLock: "RLock"}[ev], fc.lo.name(cls))
+		}
+		return
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		// Unlocks inside a deferred closure compensate the enclosing
+		// function's holds (the common `defer func() { mu.Unlock() }()`).
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if cls, ev := lockCall(fc.pkg, call); cls != nil && (ev == evUnlock || ev == evRUnlock) {
+					st.deferred = append(st.deferred, cls)
+				}
+			}
+			return true
+		})
+		return
+	}
+	// Other deferred calls are evaluated for their argument effects only.
+	for _, arg := range s.Call.Args {
+		fc.scanCalls(arg, st)
+	}
+}

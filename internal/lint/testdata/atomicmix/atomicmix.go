@@ -1,0 +1,31 @@
+// Fixture for the atomicmix analyzer: counter.n is accessed through
+// sync/atomic in incr, so every plain access elsewhere is a finding;
+// counter.safe and the typed atomic.Int64 field are clean.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	safe  int64
+	typed atomic.Int64
+}
+
+func (c *counter) incr() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) bad() int64 {
+	c.n++      // want "plain access to fixture.counter.n"
+	return c.n // want "plain access to fixture.counter.n"
+}
+
+func (c *counter) badWrite() {
+	c.n = 0 // want "plain access to fixture.counter.n"
+}
+
+func (c *counter) good() int64 {
+	c.safe++ // clean: safe is never accessed atomically
+	c.typed.Add(1)
+	return atomic.LoadInt64(&c.n) + c.typed.Load()
+}

@@ -1,0 +1,35 @@
+// Fixture for the //lint:ignore machinery: a well-formed suppression
+// silences its finding, a malformed one (missing reason) suppresses
+// nothing and is itself reported.
+package fixture
+
+type db struct{}
+
+func (db) Insert(v int) {}
+
+func (d db) InsertBatch(vs []int) {
+	for _, v := range vs {
+		d.Insert(v)
+	}
+}
+
+func suppressed(d db, vs []int) {
+	for _, v := range vs {
+		//lint:ignore batchinsert fixture exercises a sanctioned suppression
+		d.Insert(v) // clean: suppressed by the directive above
+	}
+}
+
+func suppressedSameLine(d db, vs []int) {
+	for _, v := range vs {
+		d.Insert(v) //lint:ignore batchinsert same-line suppression form
+	}
+}
+
+func malformed(d db, vs []int) {
+	for _, v := range vs {
+		//lint:ignore batchinsert
+		// want-above "malformed //lint:ignore"
+		d.Insert(v) // want "per-element Insert call in a loop"
+	}
+}

@@ -1,0 +1,85 @@
+// Fixture for the lockorder analyzer: a three-level declared hierarchy
+// plus the unlock-on-every-path rules.
+package fixture
+
+import "sync"
+
+//lint:lockorder outer.mu < inner.mu < leaf.mu
+
+type outer struct{ mu sync.Mutex }
+type inner struct{ mu sync.Mutex }
+type leaf struct{ mu sync.Mutex }
+
+func ok(a *outer, b *inner) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func inverted(a *outer, b *inner) {
+	b.mu.Lock()
+	a.mu.Lock() // want "lock order inversion: acquiring fixture.outer.mu while holding fixture.inner.mu"
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func transitiveInverted(a *outer, c *leaf) {
+	c.mu.Lock()
+	a.mu.Lock() // want "lock order inversion: acquiring fixture.outer.mu while holding fixture.leaf.mu"
+	a.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func viaHelper(a *outer, b *inner) {
+	b.mu.Lock()
+	lockOuter(a) // want "call to lockOuter acquires fixture.outer.mu while holding fixture.inner.mu"
+	b.mu.Unlock()
+}
+
+func lockOuter(a *outer) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+func missingUnlockOnReturn(a *outer, cond bool) {
+	a.mu.Lock()
+	if cond {
+		return // want "return while holding fixture.outer.mu"
+	}
+	a.mu.Unlock()
+}
+
+func leaked(a *outer) {
+	a.mu.Lock() // want "locked but not unlocked before the function ends"
+}
+
+func deferred(a *outer) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return 1
+}
+
+func selfDeadlock(a *outer) {
+	a.mu.Lock()
+	a.mu.Lock() // want "acquiring fixture.outer.mu while already holding it"
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+type rw struct{ mu sync.RWMutex }
+
+func sharedReaders(r *rw) {
+	r.mu.RLock()
+	r.mu.RLock() // clean: shared read locks may nest
+	r.mu.RUnlock()
+	r.mu.RUnlock()
+}
+
+func unbalancedBranches(a *outer, cond bool) {
+	a.mu.Lock()
+	if cond {
+		a.mu.Unlock()
+	} // want "fixture.outer.mu is held on some paths but not others"
+	a.mu.Unlock()
+}

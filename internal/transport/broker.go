@@ -57,6 +57,11 @@ type netSub struct {
 // accepts Pusher connections, routes published reading batches to network
 // subscribers whose filters match, and delivers them to local handlers
 // registered in-process (the Collect Agent's storage path).
+//
+// Lock hierarchy, machine-checked by cmd/invlint: the broker lock is
+// taken before any per-connection write lock, never the reverse.
+//
+//lint:lockorder Broker.mu < brokerConn.writeMu
 type Broker struct {
 	ln net.Listener
 

@@ -86,6 +86,16 @@ func headShardIdx(topic sensor.Topic) uint32 {
 
 // DB is an embedded persistent time-series database implementing
 // store.Backend. All methods are safe for concurrent use.
+//
+// The package's lock hierarchy is declared below and machine-checked by
+// cmd/invlint (see docs/ANALYSIS.md): any function holding a lock may
+// only acquire locks that come later in a chain.
+//
+//lint:lockorder DB.flushMu < DB.ingest < DB.mu < headShard.mu < head.mu
+//lint:lockorder DB.mu < wal.mu
+//lint:lockorder DB.ingest < wal.mu
+//lint:lockorder DB.ingest < DB.legacyMu < headShard.mu
+//lint:lockorder DB.ingest < DB.walErrMu
 type DB struct {
 	dir  string
 	opts Options
