@@ -9,8 +9,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -25,6 +28,8 @@ import (
 	"github.com/dcdb/wintermute/internal/navigator"
 	"github.com/dcdb/wintermute/internal/plugins/aggregator"
 	"github.com/dcdb/wintermute/internal/plugins/tester"
+	"github.com/dcdb/wintermute/internal/resultcache"
+	"github.com/dcdb/wintermute/internal/rest"
 	"github.com/dcdb/wintermute/internal/sensor"
 	"github.com/dcdb/wintermute/internal/sim/cluster"
 	"github.com/dcdb/wintermute/internal/store"
@@ -1030,3 +1035,125 @@ func BenchmarkIngestConcurrentGrouped(b *testing.B) {
 		}
 	}
 }
+
+// --- PR7: dashboard read path — result cache + wildcard topic index ------
+
+// dashReadings sizes each sensor's history: a dashboard-scale window
+// (2000 points per sensor, 64 sensors) so the uncached side pays a
+// realistic recompute per request.
+const dashReadings = 2000
+
+// dashBenchStack builds a Collect-Agent-shaped serving stack: 64 sensors
+// x dashReadings readings in the in-memory backend, write-through invalidation
+// wired when a result cache is supplied, and the REST handler on top.
+func dashBenchStack(b *testing.B, rc *resultcache.Cache) (http.Handler, *core.CacheSink, []sensor.Topic) {
+	b.Helper()
+	nav := navigator.New()
+	caches := cache.NewSet()
+	st := store.New(0)
+	sink := core.NewCacheSink(caches, nav, 16, time.Second)
+	sink.Store = st
+	sink.Results = rc
+	rs := make([]sensor.Reading, dashReadings)
+	for i := range rs {
+		rs[i] = sensor.Reading{Value: float64(i), Time: int64(i) * sec}
+	}
+	topics := make([]sensor.Topic, 64)
+	for n := range topics {
+		topics[n] = sensor.Topic(fmt.Sprintf("/r%02d/n%02d/power", n/8, n%8))
+		sink.PushSeries(topics[n], rs)
+	}
+	qe := core.NewQueryEngine(nav, caches, st)
+	m := core.NewManager(qe, sink, core.Env{})
+	b.Cleanup(func() { m.Close() })
+	if rc != nil {
+		return rest.NewHandler(m, qe, rest.Options{ResultCache: rc}), sink, topics
+	}
+	return rest.NewHandler(m, qe), sink, topics
+}
+
+// benchDashboardQuery measures the dashboard steady state: one hot
+// wildcard aggregate (64 sensors, step-aligned absolute window) issued
+// repeatedly while a writer keeps ingesting in-order readings beyond
+// the window — the shape where the frontier shortcut keeps the memoized
+// entry valid. One op is one full HTTP round trip through the handler.
+func benchDashboardQuery(b *testing.B, rc *resultcache.Cache) {
+	h, sink, topics := dashBenchStack(b, rc)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for t := int64(dashReadings); ; t++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, tp := range topics {
+				sink.Push(tp, sensor.Reading{Value: 1, Time: t * sec})
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	target := "/query?op=avg&sensor=/%23&start=0&end=" + strconv.FormatInt((dashReadings-1)*sec, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("GET", target, nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != 200 {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
+// BenchmarkDashboardQueryUncached is the before side of the PR7 pair:
+// every request re-expands the wildcard and re-aggregates 64 windows.
+func BenchmarkDashboardQueryUncached(b *testing.B) { benchDashboardQuery(b, nil) }
+
+// BenchmarkDashboardQueryCached is the after side: the same requests
+// served from the memoized op-independent payload, revalidated against
+// the ingest frontier per lookup.
+func BenchmarkDashboardQueryCached(b *testing.B) {
+	benchDashboardQuery(b, resultcache.New(1024, 0))
+}
+
+// linearScanBackend hides the in-memory store's PrefixMatcher, forcing
+// the dispatcher's filter-everything fallback (the pre-PR7 cost shape).
+type linearScanBackend struct{ store.Backend }
+
+// benchWildcardExpand measures '#' expansion of one 8-sensor rack while
+// the namespace holds n topics: with the sorted prefix index the cost
+// tracks the match count, without it the full (re-sorted) topic listing.
+func benchWildcardExpand(b *testing.B, n int, indexed bool) {
+	st := store.New(0)
+	for i := 0; i < n; i++ {
+		st.Insert(sensor.Topic(fmt.Sprintf("/r%03d/n%d/power", i/8, i%8)),
+			sensor.Reading{Value: 1, Time: 1})
+	}
+	var be store.Backend = st
+	if !indexed {
+		be = linearScanBackend{st}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := store.TopicsPrefix(be, "/r000"); len(got) != 8 {
+			b.Fatalf("%d matches", len(got))
+		}
+	}
+}
+
+// BenchmarkWildcardExpandIndexed64 / ...4096 are the acceptance pair:
+// expansion cost must be independent of namespace size.
+func BenchmarkWildcardExpandIndexed64(b *testing.B)   { benchWildcardExpand(b, 64, true) }
+func BenchmarkWildcardExpandIndexed4096(b *testing.B) { benchWildcardExpand(b, 4096, true) }
+
+// BenchmarkWildcardExpandLinear64 / ...4096 show the fallback scaling
+// with namespace size instead.
+func BenchmarkWildcardExpandLinear64(b *testing.B)   { benchWildcardExpand(b, 64, false) }
+func BenchmarkWildcardExpandLinear4096(b *testing.B) { benchWildcardExpand(b, 4096, false) }

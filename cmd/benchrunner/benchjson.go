@@ -15,7 +15,9 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/http/httptest"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -28,6 +30,7 @@ import (
 	"github.com/dcdb/wintermute/internal/navigator"
 	"github.com/dcdb/wintermute/internal/plugins/aggregator"
 	"github.com/dcdb/wintermute/internal/rest"
+	"github.com/dcdb/wintermute/internal/resultcache"
 	"github.com/dcdb/wintermute/internal/sensor"
 	"github.com/dcdb/wintermute/internal/store"
 	"github.com/dcdb/wintermute/internal/tsdb"
@@ -84,6 +87,30 @@ type aggAcceptance struct {
 	Equivalent   bool    `json:"results_equivalent"`
 }
 
+// servingAcceptance is the PR7 acceptance scenario: a hot dashboard
+// wildcard aggregate (64 sensors, step-aligned absolute window) served
+// end to end through the REST handler while a writer keeps ingesting
+// in-order readings beyond the window — uncached recompute vs the
+// result cache revalidated against the ingest frontier (acceptance:
+// >=5x, responses byte-identical), plus '#' expansion of one 8-sensor
+// rack with the sorted prefix index vs the linear fallback at 64- and
+// 4096-topic namespaces (acceptance: indexed cost independent of
+// namespace size).
+type servingAcceptance struct {
+	Topics           int     `json:"topics"`
+	ReadingsPerTopic int     `json:"readings_per_topic"`
+	UncachedNsPerOp  float64 `json:"uncached_ns_per_op"`
+	CachedNsPerOp    float64 `json:"cached_ns_per_op"`
+	Speedup          float64 `json:"speedup"`
+	Equivalent       bool    `json:"responses_equivalent"`
+	Indexed64Ns      float64 `json:"wildcard_indexed_64_ns"`
+	Indexed4096Ns    float64 `json:"wildcard_indexed_4096_ns"`
+	IndexedRatio     float64 `json:"wildcard_indexed_ratio"`
+	Linear64Ns       float64 `json:"wildcard_linear_64_ns"`
+	Linear4096Ns     float64 `json:"wildcard_linear_4096_ns"`
+	LinearRatio      float64 `json:"wildcard_linear_ratio"`
+}
+
 type benchReport struct {
 	PR          int                `json:"pr"`
 	Note        string             `json:"note"`
@@ -91,6 +118,7 @@ type benchReport struct {
 	Storage     *storageAcceptance `json:"storage,omitempty"`
 	Aggregation *aggAcceptance     `json:"aggregation,omitempty"`
 	Ingest      *ingestAcceptance  `json:"ingest,omitempty"`
+	Serving     *servingAcceptance `json:"serving,omitempty"`
 }
 
 const benchSec = int64(time.Second)
@@ -145,6 +173,11 @@ func tickEnv(nodes int) (*core.QueryEngine, *aggregator.Operator, core.Sink, err
 // tick path onto the allocating Compute shim — the before side of the
 // scratch-arena pair.
 type legacyOnly struct{ core.Operator }
+
+// linearScanBackend hides the in-memory store's PrefixMatcher, forcing
+// the dispatcher onto the filter-everything fallback — the before side
+// of the wildcard-expansion pair.
+type linearScanBackend struct{ store.Backend }
 
 // queryProbeOp mirrors the repository bench suite's contention probe
 // without the fixed probe latency: per-unit cache queries against the
@@ -234,17 +267,20 @@ func contentionEnv(legacy bool) (*core.Manager, error) {
 
 func runBenchJSON(path string) error {
 	report := benchReport{
-		PR: 5,
+		PR: 7,
 		Note: "paired hot-path benchmarks: unbound vs bound QueryRelative, " +
 			"legacy Compute vs ComputeInto scratch arenas (64-unit aggregator tick), " +
 			"TickAll query contention (8 ops x 16 parallel units, 8-thread pool) legacy vs bound, " +
 			"the PR3 storage pairs (in-memory store vs tsdb insert/range, crash recovery, " +
 			"100k-reading/64-topic on-disk footprint), the PR4 aggregation pairs " +
 			"(naive Range+reduce vs the chunk-metadata aggregation engine, with the " +
-			"100k-reading/64-topic aggregate acceptance scenario) and the PR5 ingest " +
+			"100k-reading/64-topic aggregate acceptance scenario), the PR5 ingest " +
 			"pairs: pre-PR single-lock WAL (one fsync per batch) vs group-commit WAL + " +
 			"sharded heads at 8/16/32 concurrent writers, sync on and off, with the " +
-			"16-writer sync-enabled acceptance scenario",
+			"16-writer sync-enabled acceptance scenario, and the PR7 dashboard " +
+			"read-path pairs: uncached vs result-cached wildcard aggregates over a " +
+			"64-sensor/2000-reading corpus under live in-order ingest, and indexed vs " +
+			"linear '#' expansion at 64- and 4096-topic namespaces",
 	}
 	add := func(name string, fn func(b *testing.B)) benchResult {
 		r := testing.Benchmark(fn)
@@ -587,6 +623,133 @@ func runBenchJSON(path string) error {
 		ingestAcc.Speedup)
 	if ingestAcc.Speedup < 4 {
 		fmt.Printf("  WARNING: ingest acceptance bound missed (need >=4x at 16 writers with sync)\n")
+	}
+
+	fmt.Println("==> bench-json: dashboard read path (result cache + wildcard index)")
+	// Mirrors the DashboardQuery pair in bench_test.go: one serving stack
+	// (in-memory backend, write-through invalidation, REST handler) with
+	// a plain and a cached handler over the same corpus, a background
+	// writer appending in-order readings beyond the hot window, and one
+	// op = one full HTTP round trip.
+	const dashTopics, dashReadings = 64, 2000
+	dashNav := navigator.New()
+	dashCaches := cache.NewSet()
+	dashStore := store.New(0)
+	dashRC := resultcache.New(1024, 0)
+	dashSink := core.NewCacheSink(dashCaches, dashNav, 16, time.Second)
+	dashSink.Store = dashStore
+	dashSink.Results = dashRC
+	dashRS := make([]sensor.Reading, dashReadings)
+	for i := range dashRS {
+		dashRS[i] = sensor.Reading{Value: float64(i), Time: int64(i) * benchSec}
+	}
+	dashTopicList := make([]sensor.Topic, dashTopics)
+	for n := range dashTopicList {
+		dashTopicList[n] = sensor.Topic(fmt.Sprintf("/r%02d/n%02d/power", n/8, n%8))
+		dashSink.PushSeries(dashTopicList[n], dashRS)
+	}
+	dashQE := core.NewQueryEngine(dashNav, dashCaches, dashStore)
+	dashMgr := core.NewManager(dashQE, dashSink, core.Env{})
+	plainHandler := rest.NewHandler(dashMgr, dashQE)
+	cachedHandler := rest.NewHandler(dashMgr, dashQE, rest.Options{ResultCache: dashRC})
+	dashStop := make(chan struct{})
+	dashDone := make(chan struct{})
+	dashOuts := make([]core.Output, len(dashTopicList))
+	for n, tp := range dashTopicList {
+		dashOuts[n] = core.Output{Topic: tp, Reading: sensor.Reading{Value: 1}}
+	}
+	go func() {
+		defer close(dashDone)
+		for t := int64(dashReadings); ; t++ {
+			select {
+			case <-dashStop:
+				return
+			default:
+			}
+			for n := range dashOuts {
+				dashOuts[n].Reading.Time = t * benchSec
+			}
+			dashSink.PushBatch(dashOuts)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	dashTarget := "/query?op=avg&sensor=/%23&start=0&end=" +
+		strconv.FormatInt((dashReadings-1)*benchSec, 10)
+	dashServe := func(h http.Handler) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", dashTarget, nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w
+	}
+	dashBench := func(h http.Handler) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if w := dashServe(h); w.Code != http.StatusOK {
+					b.Fatalf("status %d: %s", w.Code, w.Body.String())
+				}
+			}
+		}
+	}
+	uncached := add("dashboard_query_uncached", dashBench(plainHandler))
+	cachedRes := add("dashboard_query_cached", dashBench(cachedHandler))
+	// The writer only appends in-order beyond the window, so a fresh
+	// recompute and the memoized entry must agree byte for byte.
+	dashEquivalent := dashServe(plainHandler).Body.String() == dashServe(cachedHandler).Body.String()
+	close(dashStop)
+	<-dashDone
+	dashMgr.Close()
+
+	expandEnv := func(n int, indexed bool) store.Backend {
+		st := store.New(0)
+		for i := 0; i < n; i++ {
+			//lint:ignore batchinsert one reading per distinct topic to populate the namespace; batches are per-topic, so no batch can form
+			st.Insert(sensor.Topic(fmt.Sprintf("/r%03d/n%d/power", i/8, i%8)),
+				sensor.Reading{Value: 1, Time: 1})
+		}
+		if indexed {
+			return st
+		}
+		return linearScanBackend{st}
+	}
+	expandBench := func(be store.Backend) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := store.TopicsPrefix(be, "/r000"); len(got) != 8 {
+					b.Fatalf("%d matches", len(got))
+				}
+			}
+		}
+	}
+	idx64 := add("wildcard_expand_indexed_64", expandBench(expandEnv(64, true)))
+	idx4096 := add("wildcard_expand_indexed_4096", expandBench(expandEnv(4096, true)))
+	lin64 := add("wildcard_expand_linear_64", expandBench(expandEnv(64, false)))
+	lin4096 := add("wildcard_expand_linear_4096", expandBench(expandEnv(4096, false)))
+	servingAcc := &servingAcceptance{
+		Topics:           dashTopics,
+		ReadingsPerTopic: dashReadings,
+		UncachedNsPerOp:  uncached.NsPerOp,
+		CachedNsPerOp:    cachedRes.NsPerOp,
+		Speedup:          uncached.NsPerOp / cachedRes.NsPerOp,
+		Equivalent:       dashEquivalent,
+		Indexed64Ns:      idx64.NsPerOp,
+		Indexed4096Ns:    idx4096.NsPerOp,
+		IndexedRatio:     idx4096.NsPerOp / idx64.NsPerOp,
+		Linear64Ns:       lin64.NsPerOp,
+		Linear4096Ns:     lin4096.NsPerOp,
+		LinearRatio:      lin4096.NsPerOp / lin64.NsPerOp,
+	}
+	report.Serving = servingAcc
+	fmt.Printf("  acceptance: cached dashboard query %.1fx faster, equivalent=%v; "+
+		"indexed expansion 64->4096 topics %.1fx (linear fallback %.0fx)\n",
+		servingAcc.Speedup, servingAcc.Equivalent, servingAcc.IndexedRatio, servingAcc.LinearRatio)
+	if servingAcc.Speedup < 5 || !servingAcc.Equivalent {
+		fmt.Printf("  WARNING: serving acceptance bounds missed (need >=5x cached speedup and byte-equivalent responses)\n")
+	}
+	if servingAcc.IndexedRatio > 4 {
+		fmt.Printf("  WARNING: indexed wildcard expansion not size-independent (64->4096 ratio %.1fx > 4x)\n",
+			servingAcc.IndexedRatio)
 	}
 
 	accept, err := runStorageAcceptance(tmp + "/accept")

@@ -48,6 +48,10 @@ func main() {
 		configPath = flag.String("config", "", "Wintermute plugin configuration (JSON)")
 		threads    = flag.Int("threads", 0, "Wintermute worker pool size (0: GOMAXPROCS)")
 		snapshot   = flag.String("snapshot", "", "in-memory store snapshot file: loaded at start, written at shutdown")
+		rcSize     = flag.Int("result-cache-size", 4096, "query result cache entries (0: disable memoization)")
+		rcTTL      = flag.Duration("result-cache-ttl", 0, "bounded staleness for memoized query results (0: strict)")
+		rateLimit  = flag.Float64("rate-limit", 0, "REST requests per second per client (0: unlimited)")
+		rateBurst  = flag.Int("rate-burst", 0, "REST per-client burst size (0: 2x rate-limit)")
 	)
 	flag.Parse()
 
@@ -60,6 +64,8 @@ func main() {
 		StoreWALGroupWindow: *storeWin,
 		IngestWorkers:       *ingestWrk,
 		StoreMax:            *storeMax,
+		ResultCacheSize:     *rcSize,
+		ResultCacheTTL:      *rcTTL,
 		Threads:             *threads,
 	})
 	if err != nil {
@@ -112,7 +118,11 @@ func main() {
 		})
 	}
 
-	srv, err := rest.Serve(*httpAddr, agent.Manager, agent.QE)
+	srv, err := rest.Serve(*httpAddr, agent.Manager, agent.QE, rest.Options{
+		ResultCache: agent.Results,
+		RateLimit:   *rateLimit,
+		RateBurst:   *rateBurst,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

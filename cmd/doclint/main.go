@@ -28,7 +28,9 @@ import (
 // surfaceDirs are the packages whose exported symbols must all carry
 // doc comments. internal/core/units rides along with core: operator
 // plugins program directly against it; cache and collect joined when
-// they became the sink and agent surfaces other components consume.
+// they became the sink and agent surfaces other components consume;
+// resultcache joined when the serving tier started programming against
+// its invalidation protocol.
 var surfaceDirs = []string{
 	"internal/cache",
 	"internal/collect",
@@ -36,6 +38,7 @@ var surfaceDirs = []string{
 	"internal/tsdb",
 	"internal/core",
 	"internal/core/units",
+	"internal/resultcache",
 	"internal/transport",
 }
 

@@ -19,6 +19,7 @@ import (
 	"github.com/dcdb/wintermute/internal/cache"
 	"github.com/dcdb/wintermute/internal/core"
 	"github.com/dcdb/wintermute/internal/navigator"
+	"github.com/dcdb/wintermute/internal/resultcache"
 	"github.com/dcdb/wintermute/internal/sensor"
 	"github.com/dcdb/wintermute/internal/store"
 	"github.com/dcdb/wintermute/internal/transport"
@@ -59,6 +60,14 @@ type Config struct {
 	// shared group commits. 0 picks a default (min(4, GOMAXPROCS));
 	// negative ingests synchronously on the delivering goroutine.
 	IngestWorkers int
+	// ResultCacheSize caps the serving tier's query result cache: the
+	// number of memoized hot-window aggregates/downsample/range results
+	// kept with write-through invalidation. 0 disables the cache.
+	ResultCacheSize int
+	// ResultCacheTTL bounds how stale a memoized result may be served
+	// after new data landed in its window. 0 is strict: cached answers
+	// are indistinguishable from uncached ones.
+	ResultCacheTTL time.Duration
 	// Threads sizes the Wintermute worker pool executing operator
 	// computations (0: runtime.GOMAXPROCS).
 	Threads int
@@ -78,6 +87,10 @@ type Agent struct {
 
 	// DB is the persistent backend, nil when the agent runs in-memory.
 	DB *tsdb.DB
+
+	// Results is the serving tier's query result cache, nil when
+	// disabled. Hand it to rest.Options so /query memoizes hot windows.
+	Results *resultcache.Cache
 
 	sink *core.CacheSink
 
@@ -105,6 +118,9 @@ func New(cfg Config) (*Agent, error) {
 	}
 	nav := navigator.New()
 	caches := cache.NewSet()
+	// The result cache exists before the backend opens so the janitor's
+	// very first retention pass can already invalidate through it.
+	rc := resultcache.New(cfg.ResultCacheSize, cfg.ResultCacheTTL)
 	var (
 		st store.Backend
 		db *tsdb.DB
@@ -115,6 +131,7 @@ func New(cfg Config) (*Agent, error) {
 			Retention:      cfg.StoreRetention,
 			WALSync:        cfg.StoreWALSync,
 			WALGroupWindow: cfg.StoreWALGroupWindow,
+			OnPrune:        func(int64, int) { rc.NotePrune() },
 		})
 		if err != nil {
 			return nil, fmt.Errorf("collect: opening storage backend: %w", err)
@@ -126,13 +143,15 @@ func New(cfg Config) (*Agent, error) {
 	qe := core.NewQueryEngine(nav, caches, st)
 	sink := core.NewCacheSink(caches, nav, int(cfg.CacheRetention/time.Second), time.Second)
 	sink.Store = st
+	sink.Results = rc
 	a := &Agent{
-		Nav:    nav,
-		Caches: caches,
-		Store:  st,
-		DB:     db,
-		QE:     qe,
-		sink:   sink,
+		Nav:     nav,
+		Caches:  caches,
+		Store:   st,
+		DB:      db,
+		QE:      qe,
+		Results: rc,
+		sink:    sink,
 	}
 	// A recovered backend already knows its sensors: rebuild the tree so
 	// pattern-based operator units bind immediately after a restart.

@@ -56,6 +56,22 @@ func (qe *QueryEngine) Store() store.Backend { return qe.store }
 // hierarchy.
 func (qe *QueryEngine) Navigator() *navigator.Navigator { return qe.nav }
 
+// TopicsPrefix resolves a '#'-style fan-out: the sorted sensors at or
+// below prefix (empty or root: all). Hosts with a Storage Backend
+// answer from its incrementally-maintained topic index in O(matches) —
+// and therefore reflect the topics actually holding data, so retention
+// leaves no ghost sensors in wildcard expansion. Cache-only hosts
+// (Pushers) fall back to walking the navigator tree.
+func (qe *QueryEngine) TopicsPrefix(prefix sensor.Topic) []sensor.Topic {
+	if qe.store != nil {
+		return store.TopicsPrefix(qe.store, prefix)
+	}
+	if prefix == "" || prefix == sensor.Root {
+		return qe.nav.AllSensors()
+	}
+	return qe.nav.SensorsBelow(prefix)
+}
+
 // lookup returns the cache for topic, or nil when absent.
 func (qe *QueryEngine) lookup(topic sensor.Topic) *cache.Cache {
 	if c, ok := qe.caches.Get(topic); ok {

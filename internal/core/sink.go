@@ -6,6 +6,7 @@ import (
 
 	"github.com/dcdb/wintermute/internal/cache"
 	"github.com/dcdb/wintermute/internal/navigator"
+	"github.com/dcdb/wintermute/internal/resultcache"
 	"github.com/dcdb/wintermute/internal/sensor"
 	"github.com/dcdb/wintermute/internal/store"
 )
@@ -72,6 +73,13 @@ type CacheSink struct {
 	Capacity int                  // cache capacity for new sensors
 	Interval time.Duration        // nominal interval for new sensors
 	Forward  Sink                 // optional: e.g. an MQTT publisher
+
+	// Results, when set, receives the write-through invalidation feed of
+	// the serving tier's query result cache: every delivered batch
+	// publishes its topic's new high-water mark AFTER the readings are
+	// visible in the store, so a reader observing the version bump also
+	// observes the data (a nil cache accepts and ignores the calls).
+	Results *resultcache.Cache
 }
 
 // NewCacheSink builds a sink with the given defaults for newly-created
@@ -93,6 +101,7 @@ func (s *CacheSink) Push(topic sensor.Topic, r sensor.Reading) {
 	if s.Store != nil {
 		s.Store.Insert(topic, r)
 	}
+	s.Results.Note(topic, r.Time, r.Time)
 	if s.Forward != nil {
 		s.Forward.Push(topic, r)
 	}
@@ -109,6 +118,18 @@ func (s *CacheSink) PushSeries(topic sensor.Topic, rs []sensor.Reading) {
 	c.StoreBatch(rs)
 	if s.Store != nil {
 		s.Store.InsertBatch(topic, rs)
+	}
+	if s.Results != nil {
+		minT, maxT := rs[0].Time, rs[0].Time
+		for _, r := range rs[1:] {
+			if r.Time < minT {
+				minT = r.Time
+			}
+			if r.Time > maxT {
+				maxT = r.Time
+			}
+		}
+		s.Results.Note(topic, minT, maxT)
 	}
 	if s.Forward != nil {
 		forwardSeries(s.Forward, topic, rs)

@@ -1,0 +1,50 @@
+// Fixture for a chained serving-cache hierarchy, modeled on
+// internal/resultcache: version registry < per-topic state < LRU
+// stripe, with the stripe as a leaf that must never wrap the version
+// locks (Get revalidates after releasing it).
+package fixture
+
+import "sync"
+
+//lint:lockorder registry.mu < topicVer.mu
+//lint:lockorder topicVer.mu < stripe.mu
+
+type registry struct{ mu sync.RWMutex }
+type topicVer struct{ mu sync.Mutex }
+type stripe struct{ mu sync.Mutex }
+
+// noteFeed is the write-through invalidation shape: the registry's
+// shared lock wraps the per-topic update. Clean.
+func noteFeed(r *registry, tv *topicVer) {
+	r.mu.RLock()
+	tv.mu.Lock()
+	tv.mu.Unlock()
+	r.mu.RUnlock()
+}
+
+// getRevalidate is the lookup discipline: the stripe lock is fully
+// released before the version locks are consulted. Clean.
+func getRevalidate(s *stripe, r *registry) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	r.mu.RLock()
+	r.mu.RUnlock()
+}
+
+// revalidateUnderStripe is the violation the lookup discipline exists
+// to rule out: per-topic state taken under the LRU stripe.
+func revalidateUnderStripe(s *stripe, tv *topicVer) {
+	s.mu.Lock()
+	tv.mu.Lock() // want "lock order inversion: acquiring fixture.topicVer.mu while holding fixture.stripe.mu"
+	tv.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// registryUnderStripe inverts the chain transitively: the registry sits
+// two levels above the stripe.
+func registryUnderStripe(s *stripe, r *registry) {
+	s.mu.Lock()
+	r.mu.Lock() // want "lock order inversion: acquiring fixture.registry.mu while holding fixture.stripe.mu"
+	r.mu.Unlock()
+	s.mu.Unlock()
+}

@@ -1,0 +1,108 @@
+package rest
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// limiter is a per-client token bucket: each client address accrues
+// rate tokens per second up to burst, and every request spends one.
+// Implemented by hand — the serving tier stays dependency-free — with
+// lazy refill (tokens are computed from the elapsed time on each
+// request, no background goroutine).
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket depth
+
+	mu      sync.Mutex
+	clients map[string]*tokenBucket
+}
+
+// tokenBucket is one client's refill state.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxLimiterClients bounds the client map; past it, idle full buckets
+// are discarded (they refill instantly on return, so dropping them is
+// lossless for well-behaved clients).
+const maxLimiterClients = 4096
+
+func newLimiter(rate float64, burst int) *limiter {
+	b := float64(burst)
+	if b <= 0 {
+		b = math.Max(1, 2*rate)
+	}
+	return &limiter{rate: rate, burst: b, clients: make(map[string]*tokenBucket)}
+}
+
+// allow spends one token for client, reporting whether the request may
+// proceed and, if not, how long until a token is available.
+func (l *limiter) allow(client string, now time.Time) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tb := l.clients[client]
+	if tb == nil {
+		if len(l.clients) >= maxLimiterClients {
+			l.evictIdle(now)
+		}
+		tb = &tokenBucket{tokens: l.burst, last: now}
+		l.clients[client] = tb
+	}
+	if dt := now.Sub(tb.last).Seconds(); dt > 0 {
+		tb.tokens = math.Min(l.burst, tb.tokens+dt*l.rate)
+		tb.last = now
+	}
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - tb.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// evictIdle drops buckets that have fully refilled (idle for at least
+// burst/rate seconds). Callers must hold l.mu.
+func (l *limiter) evictIdle(now time.Time) {
+	idle := time.Duration(l.burst / l.rate * float64(time.Second))
+	for c, tb := range l.clients {
+		if now.Sub(tb.last) >= idle {
+			delete(l.clients, c)
+		}
+	}
+}
+
+// clientKey extracts the per-client limiter key: the remote host
+// without the ephemeral port, so one dashboard's connections share a
+// budget.
+func clientKey(r *http.Request) string {
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// withRateLimit wraps next with the token-bucket gate: over-budget
+// requests receive 429 with a Retry-After hint instead of queueing
+// behind the query engine.
+func withRateLimit(l *limiter, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ok, wait := l.allow(clientKey(r), time.Now())
+		if !ok {
+			secs := int(math.Ceil(wait.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusTooManyRequests,
+				map[string]string{"error": "rate limit exceeded"})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/dcdb/wintermute/internal/core"
+	"github.com/dcdb/wintermute/internal/resultcache"
 	"github.com/dcdb/wintermute/internal/sensor"
 	"github.com/dcdb/wintermute/internal/store"
 )
@@ -24,11 +25,36 @@ import (
 type API struct {
 	m  *core.Manager
 	qe *core.QueryEngine
+	rc *resultcache.Cache
 }
 
-// NewHandler builds the HTTP handler tree for one DCDB component.
-func NewHandler(m *core.Manager, qe *core.QueryEngine) http.Handler {
-	api := &API{m: m, qe: qe}
+// Options tunes the serving tier of one API instance. The zero value —
+// and calling NewHandler/Serve without options — serves every request
+// uncached and unthrottled, exactly as before.
+type Options struct {
+	// ResultCache memoizes absolute-window /query responses (aggregates,
+	// downsamples, raw ranges) with write-through invalidation; nil
+	// disables memoization.
+	ResultCache *resultcache.Cache
+	// RateLimit is the sustained per-client request budget in requests
+	// per second; over-budget requests receive 429 with a Retry-After
+	// hint. 0 disables limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket depth per client (how many requests
+	// may arrive back-to-back before the sustained rate applies).
+	// 0 derives 2×RateLimit, minimum 1.
+	RateBurst int
+}
+
+// NewHandler builds the HTTP handler tree for one DCDB component. At
+// most one Options value applies; omitting it keeps the pre-hardening
+// behavior.
+func NewHandler(m *core.Manager, qe *core.QueryEngine, opts ...Options) http.Handler {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	api := &API{m: m, qe: qe, rc: o.ResultCache}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /plugins", api.plugins)
 	mux.HandleFunc("GET /status", api.status)
@@ -43,7 +69,11 @@ func NewHandler(m *core.Manager, qe *core.QueryEngine) http.Handler {
 	mux.HandleFunc("POST /compute", api.compute)
 	mux.HandleFunc("POST /plugins/load", api.load)
 	mux.HandleFunc("POST /plugins/unload", api.unload)
-	return mux
+	var h http.Handler = mux
+	if o.RateLimit > 0 {
+		h = withRateLimit(newLimiter(o.RateLimit, o.RateBurst), h)
+	}
+	return h
 }
 
 // Server is a running REST endpoint.
@@ -53,12 +83,12 @@ type Server struct {
 }
 
 // Serve starts the API on addr (e.g. "127.0.0.1:0").
-func Serve(addr string, m *core.Manager, qe *core.QueryEngine) (*Server, error) {
+func Serve(addr string, m *core.Manager, qe *core.QueryEngine, opts ...Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: NewHandler(m, qe)}
+	srv := &http.Server{Handler: NewHandler(m, qe, opts...)}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{http: ln, srv: srv}, nil
 }
@@ -198,13 +228,54 @@ func (a *API) query(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("from/to must be nanosecond timestamps"))
 			return
 		}
+		// Absolute ranges are what dashboards re-request: memoize them.
+		if a.rc != nil {
+			topics := []sensor.Topic{topic}
+			key := resultcache.Key{
+				Digest: resultcache.DigestTopics(topics),
+				Kind:   resultcache.KindRange,
+				Start:  from, End: to,
+			}
+			if v, ok := a.rc.Get(key, topics); ok {
+				writeReadings(w, topic, v.([]sensor.Reading))
+				return
+			}
+			stamp := a.rc.Begin(topics)
+			readings = a.qe.QueryAbsolute(topic, from, to, nil)
+			if len(readings) <= maxCachedRange {
+				a.rc.Put(key, stamp, readings)
+			}
+			writeReadings(w, topic, readings)
+			return
+		}
 		readings = a.qe.QueryAbsolute(topic, from, to, nil)
 	default:
 		if latest, ok := a.qe.Latest(topic); ok {
 			readings = []sensor.Reading{latest}
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"sensor": topic, "readings": readings, "count": len(readings)})
+	writeReadings(w, topic, readings)
+}
+
+// maxCachedRange bounds the raw-readings payloads admitted to the
+// result cache; larger windows stream straight from the engine instead
+// of pinning megabytes per LRU slot.
+const maxCachedRange = 65536
+
+// writeReadings streams a raw-readings response element by element, so
+// a large Range answer leaves in chunks instead of one giant buffer.
+func writeReadings(w http.ResponseWriter, topic sensor.Topic, readings []sensor.Reading) {
+	s := startStream(w, http.StatusOK)
+	s.raw(`{"sensor":`)
+	s.value(topic)
+	s.raw(`,"count":`)
+	s.int64(int64(len(readings)))
+	s.raw(`,"readings":[`)
+	for i := range readings {
+		s.element(i, readings[i])
+	}
+	s.raw(`]}`)
+	s.done()
 }
 
 // maxQueryBuckets bounds a downsampling response across the whole
@@ -231,7 +302,58 @@ type aggBucketJSON struct {
 	Value float64 `json:"value"`
 }
 
-// queryAggregate answers GET /query with op set.
+// aggEntry is one sensor's slot in a memoized aggregation result. It
+// carries the full moment set (store.AggResult holds count/sum/min/max
+// at once), NOT the rendered value — so one cached window answers
+// avg, min, max, sum and count queries alike; the op applies at render
+// time. Buckets is non-nil exactly on downsampling results.
+type aggEntry struct {
+	topic   sensor.Topic
+	res     store.AggResult
+	buckets []store.Bucket
+}
+
+// aggPayload is the op-independent memoized form of one absolute
+// aggregation response.
+type aggPayload struct {
+	entries  []aggEntry
+	combined store.AggResult
+}
+
+// renderEntry projects one cached/computed entry through op into its
+// response shape.
+func renderEntry(e aggEntry, op store.AggOp) aggSensorJSON {
+	js := aggSensorJSON{Sensor: e.topic, Count: e.res.Count}
+	if e.buckets != nil {
+		out := make([]aggBucketJSON, 0, len(e.buckets))
+		for _, b := range e.buckets {
+			v, _ := b.Value(op)
+			out = append(out, aggBucketJSON{Start: b.Start, Count: b.Count, Value: v})
+		}
+		js.Buckets = out
+		return js
+	}
+	if v, ok := e.res.Value(op); ok {
+		js.Value = &v
+	}
+	return js
+}
+
+// renderCombined projects the cross-sensor merge through op.
+func renderCombined(res store.AggResult, op store.AggOp) aggSensorJSON {
+	js := aggSensorJSON{Sensor: "", Count: res.Count}
+	if v, ok := res.Value(op); ok {
+		js.Value = &v
+	}
+	return js
+}
+
+// queryAggregate answers GET /query with op set. Responses stream: the
+// per-sensor array is emitted element by element (with periodic chunk
+// flushes), so wildcard fan-outs over thousands of sensors never
+// materialize one giant response value. Absolute windows whose start is
+// step-aligned — the shape dashboards poll — are memoized in the result
+// cache under an op-independent key.
 func (a *API) queryAggregate(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	op, err := store.ParseAggOp(q.Get("op"))
@@ -245,16 +367,9 @@ func (a *API) queryAggregate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp := map[string]any{"op": op.String()}
-	val := func(res store.AggResult) *float64 {
-		if v, ok := res.Value(op); ok {
-			return &v
-		}
-		return nil
-	}
-
 	// Relative window: one lookback aggregate per sensor, each anchored
-	// at that sensor's latest reading. Bucketing needs an absolute
+	// at that sensor's latest reading — inherently uncacheable (the
+	// window moves with every insert). Bucketing needs an absolute
 	// window to align to.
 	if lb := q.Get("lookback"); lb != "" {
 		if q.Get("step") != "" {
@@ -266,17 +381,22 @@ func (a *API) queryAggregate(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		resp["lookback"] = lookback.String()
-		sensors := make([]aggSensorJSON, 0, len(topics))
+		s := startStream(w, http.StatusOK)
+		s.raw(`{"op":`)
+		s.value(op.String())
+		s.raw(`,"lookback":`)
+		s.value(lookback.String())
+		s.raw(`,"sensors":[`)
 		var combined store.AggResult
-		for _, tp := range topics {
+		for i, tp := range topics {
 			res := a.qe.AggregateRelative(tp, lookback)
 			combined.Merge(res)
-			sensors = append(sensors, aggSensorJSON{Sensor: tp, Count: res.Count, Value: val(res)})
+			s.element(i, renderEntry(aggEntry{topic: tp, res: res}, op))
 		}
-		resp["sensors"] = sensors
-		resp["combined"] = aggSensorJSON{Sensor: "", Count: combined.Count, Value: val(combined)}
-		writeJSON(w, http.StatusOK, resp)
+		s.raw(`],"combined":`)
+		s.value(renderCombined(combined, op))
+		s.raw(`}`)
+		s.done()
 		return
 	}
 
@@ -287,9 +407,9 @@ func (a *API) queryAggregate(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("aggregation needs start/end nanosecond timestamps or a lookback duration"))
 		return
 	}
-	resp["start"], resp["end"] = start, end
 
 	var step int64
+	var stepStr string
 	if s := q.Get("step"); s != "" {
 		d, err := parseWindow(s, 0)
 		if err != nil {
@@ -307,39 +427,114 @@ func (a *API) queryAggregate(w http.ResponseWriter, r *http.Request) {
 					maxQueryBuckets, len(topics)))
 			return
 		}
-		resp["step"] = d.String()
+		stepStr = d.String()
 	}
 
-	sensors := make([]aggSensorJSON, 0, len(topics))
+	// Memoize step-aligned absolute windows only: dashboards poll those
+	// repeatedly, while arbitrary offsets would just churn the LRU. The
+	// op is deliberately not part of the key (see aggEntry).
+	kind := resultcache.KindAggregate
+	if step > 0 {
+		kind = resultcache.KindDownsample
+	}
+	var key resultcache.Key
+	var stamp resultcache.Stamp
+	var payload *aggPayload
+	if a.rc != nil && (step == 0 || start%step == 0) {
+		key = resultcache.Key{
+			Digest: resultcache.DigestTopics(topics),
+			Kind:   kind,
+			Start:  start, End: end, Step: step,
+		}
+		if v, ok := a.rc.Get(key, topics); ok {
+			a.streamAggAbsolute(w, op, start, end, stepStr, v.(*aggPayload))
+			return
+		}
+		// The stamp must predate the compute: readings landing during it
+		// then invalidate the entry instead of being missed.
+		stamp = a.rc.Begin(topics)
+		payload = &aggPayload{entries: make([]aggEntry, 0, len(topics))}
+	}
+
+	s := startStream(w, http.StatusOK)
+	s.raw(`{"op":`)
+	s.value(op.String())
+	s.raw(`,"start":`)
+	s.int64(start)
+	s.raw(`,"end":`)
+	s.int64(end)
+	if stepStr != "" {
+		s.raw(`,"step":`)
+		s.value(stepStr)
+	}
+	s.raw(`,"sensors":[`)
 	var combined store.AggResult
 	var buckets []store.Bucket
-	for _, tp := range topics {
+	for i, tp := range topics {
+		e := aggEntry{topic: tp}
 		if step > 0 {
 			buckets = a.qe.Downsample(tp, start, end, step, buckets[:0])
-			out := make([]aggBucketJSON, 0, len(buckets))
-			var total store.AggResult
 			for _, b := range buckets {
-				v, _ := b.Value(op)
-				out = append(out, aggBucketJSON{Start: b.Start, Count: b.Count, Value: v})
-				total.Merge(b.AggResult)
+				e.res.Merge(b.AggResult)
 			}
-			combined.Merge(total)
-			sensors = append(sensors, aggSensorJSON{Sensor: tp, Count: total.Count, Buckets: out})
-			continue
+			if payload != nil {
+				// Copy: buckets is reused for the next sensor.
+				e.buckets = append(make([]store.Bucket, 0, len(buckets)), buckets...)
+			} else {
+				e.buckets = buckets
+			}
+			if e.buckets == nil {
+				e.buckets = []store.Bucket{}
+			}
+		} else {
+			e.res = a.qe.AggregateAbsolute(tp, start, end)
 		}
-		res := a.qe.AggregateAbsolute(tp, start, end)
-		combined.Merge(res)
-		sensors = append(sensors, aggSensorJSON{Sensor: tp, Count: res.Count, Value: val(res)})
+		combined.Merge(e.res)
+		s.element(i, renderEntry(e, op))
+		if payload != nil {
+			payload.entries = append(payload.entries, e)
+		}
 	}
-	resp["sensors"] = sensors
-	resp["combined"] = aggSensorJSON{Sensor: "", Count: combined.Count, Value: val(combined)}
-	writeJSON(w, http.StatusOK, resp)
+	s.raw(`],"combined":`)
+	s.value(renderCombined(combined, op))
+	s.raw(`}`)
+	s.done()
+	if payload != nil {
+		payload.combined = combined
+		a.rc.Put(key, stamp, payload)
+	}
+}
+
+// streamAggAbsolute renders a cached absolute aggregation payload,
+// byte-identical to the uncached stream for the same op and window.
+func (a *API) streamAggAbsolute(w http.ResponseWriter, op store.AggOp, start, end int64, stepStr string, p *aggPayload) {
+	s := startStream(w, http.StatusOK)
+	s.raw(`{"op":`)
+	s.value(op.String())
+	s.raw(`,"start":`)
+	s.int64(start)
+	s.raw(`,"end":`)
+	s.int64(end)
+	if stepStr != "" {
+		s.raw(`,"step":`)
+		s.value(stepStr)
+	}
+	s.raw(`,"sensors":[`)
+	for i, e := range p.entries {
+		s.element(i, renderEntry(e, op))
+	}
+	s.raw(`],"combined":`)
+	s.value(renderCombined(p.combined, op))
+	s.raw(`}`)
+	s.done()
 }
 
 // expandTopics resolves the sensor parameter of an aggregation query:
-// a plain topic names itself; a topic ending in the '#' multi-level
-// wildcard (MQTT-style, as in the push transport) expands to every
-// sensor at or below the prefix, resolved through the navigator.
+// a plain topic names itself (no namespace walk, no allocation beyond
+// the one-element slice); a topic ending in the '#' multi-level
+// wildcard (MQTT-style, as in the push transport) expands through the
+// backend's sorted prefix index in O(matches) — or the navigator tree
+// on cache-only hosts — instead of filtering the full topic list.
 func (a *API) expandTopics(spec string) ([]sensor.Topic, error) {
 	if spec == "" {
 		return nil, fmt.Errorf("missing sensor parameter")
@@ -348,13 +543,7 @@ func (a *API) expandTopics(spec string) ([]sensor.Topic, error) {
 		return []sensor.Topic{sensor.Topic(spec)}, nil
 	}
 	prefix := strings.TrimSuffix(strings.TrimSuffix(spec, "#"), "/")
-	nav := a.qe.Navigator()
-	var topics []sensor.Topic
-	if prefix == "" {
-		topics = nav.AllSensors()
-	} else {
-		topics = nav.SensorsBelow(sensor.Topic(prefix))
-	}
+	topics := a.qe.TopicsPrefix(sensor.Topic(prefix))
 	if len(topics) == 0 {
 		return nil, fmt.Errorf("no sensors match %q", spec)
 	}

@@ -432,22 +432,22 @@ func TestQueryAggregateGolden(t *testing.T) {
 		{
 			name: "wildcard_avg",
 			path: "/query?op=avg&sensor=/r1/%23&start=0&end=9000000000",
-			want: `{"combined":{"sensor":"","count":20,"value":21.75},"end":9000000000,"op":"avg","sensors":[{"sensor":"/r1/n0/power","count":10,"value":14.5},{"sensor":"/r1/n1/power","count":10,"value":29}],"start":0}` + "\n",
+			want: `{"op":"avg","start":0,"end":9000000000,"sensors":[{"sensor":"/r1/n0/power","count":10,"value":14.5},{"sensor":"/r1/n1/power","count":10,"value":29}],"combined":{"sensor":"","count":20,"value":21.75}}` + "\n",
 		},
 		{
 			name: "downsample_max",
 			path: "/query?op=max&sensor=/r1/n0/power&start=0&end=9000000000&step=5s",
-			want: `{"combined":{"sensor":"","count":10,"value":19},"end":9000000000,"op":"max","sensors":[{"sensor":"/r1/n0/power","count":10,"buckets":[{"start":0,"count":5,"value":14},{"start":5000000000,"count":5,"value":19}]}],"start":0,"step":"5s"}` + "\n",
+			want: `{"op":"max","start":0,"end":9000000000,"step":"5s","sensors":[{"sensor":"/r1/n0/power","count":10,"buckets":[{"start":0,"count":5,"value":14},{"start":5000000000,"count":5,"value":19}]}],"combined":{"sensor":"","count":10,"value":19}}` + "\n",
 		},
 		{
 			name: "lookback_count",
 			path: "/query?op=count&sensor=/r1/n0/power&lookback=5s",
-			want: `{"combined":{"sensor":"","count":6,"value":6},"lookback":"5s","op":"count","sensors":[{"sensor":"/r1/n0/power","count":6,"value":6}]}` + "\n",
+			want: `{"op":"count","lookback":"5s","sensors":[{"sensor":"/r1/n0/power","count":6,"value":6}],"combined":{"sensor":"","count":6,"value":6}}` + "\n",
 		},
 		{
 			name: "sum_from_to_aliases",
 			path: "/query?op=sum&sensor=/r2/n0/power&from=0&to=2000000000",
-			want: `{"combined":{"sensor":"","count":3,"value":15},"end":2000000000,"op":"sum","sensors":[{"sensor":"/r2/n0/power","count":3,"value":15}],"start":0}` + "\n",
+			want: `{"op":"sum","start":0,"end":2000000000,"sensors":[{"sensor":"/r2/n0/power","count":3,"value":15}],"combined":{"sensor":"","count":3,"value":15}}` + "\n",
 		},
 	} {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,79 @@
+package rest
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// streamFlushEvery is the element interval between explicit flushes of
+// a streamed response: large Range/wildcard answers leave the process
+// in chunks as they are computed instead of materializing one giant
+// response buffer.
+const streamFlushEvery = 256
+
+// jsonStream writes one JSON response incrementally: structural tokens
+// go out raw, values through the standard encoder, and every
+// streamFlushEvery elements the buffer is pushed to the client (chunked
+// transfer — the status line is long gone by then, which is why every
+// request validation error must be raised before the stream starts).
+type jsonStream struct {
+	w  http.ResponseWriter
+	bw *bufio.Writer
+	n  int
+}
+
+// startStream opens a streamed JSON response with the given status.
+func startStream(w http.ResponseWriter, status int) *jsonStream {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	return &jsonStream{w: w, bw: bufio.NewWriterSize(w, 8<<10)}
+}
+
+// raw emits structural JSON (braces, brackets, pre-escaped field names).
+func (s *jsonStream) raw(tok string) { s.bw.WriteString(tok) }
+
+// value emits one JSON-encoded value.
+func (s *jsonStream) value(v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Unreachable for the plain structs streamed here; keep the
+		// document well-formed regardless.
+		b = []byte("null")
+	}
+	s.bw.Write(b)
+}
+
+// int64 emits one integer without the reflection round-trip.
+func (s *jsonStream) int64(v int64) {
+	s.bw.WriteString(strconv.FormatInt(v, 10))
+}
+
+// element emits one array element, comma-separating after the first and
+// flushing the chunk window as it fills. i is the element's index.
+func (s *jsonStream) element(i int, v any) {
+	if i > 0 {
+		s.bw.WriteByte(',')
+	}
+	s.value(v)
+	s.n++
+	if s.n%streamFlushEvery == 0 {
+		s.flush()
+	}
+}
+
+// flush pushes buffered bytes to the client immediately.
+func (s *jsonStream) flush() {
+	s.bw.Flush()
+	if f, ok := s.w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// done terminates the response (trailing newline matching writeJSON's
+// encoder) and flushes the final chunk.
+func (s *jsonStream) done() {
+	s.bw.WriteByte('\n')
+	s.bw.Flush()
+}

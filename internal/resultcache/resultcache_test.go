@@ -1,0 +1,221 @@
+package resultcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+var topicsA = []sensor.Topic{"/r1/n0/power"}
+
+func fill(c *Cache, key Key, topics []sensor.Topic, v any) {
+	st := c.Begin(topics)
+	c.Put(key, st, v)
+}
+
+func TestDigestTopics(t *testing.T) {
+	a := DigestTopics([]sensor.Topic{"/a", "/b"})
+	if a != DigestTopics([]sensor.Topic{"/a", "/b"}) {
+		t.Fatal("digest not deterministic")
+	}
+	if a == DigestTopics([]sensor.Topic{"/b", "/a"}) {
+		t.Fatal("digest ignores order")
+	}
+	if a == DigestTopics([]sensor.Topic{"/a/b"}) {
+		t.Fatal("digest misses the topic separator")
+	}
+	if DigestTopics(nil) == a {
+		t.Fatal("empty set collides")
+	}
+}
+
+func TestNilCache(t *testing.T) {
+	var c *Cache
+	if c2 := New(0, 0); c2 != nil {
+		t.Fatal("size 0 should return nil")
+	}
+	c.Note("/a", 1, 1)
+	c.NotePrune()
+	key := Key{Digest: 1, Kind: KindAggregate, Start: 0, End: 10}
+	c.Put(key, c.Begin(topicsA), "v")
+	if _, ok := c.Get(key, topicsA); ok {
+		t.Fatal("nil cache served a value")
+	}
+	if c.Len() != 0 || c.Stats() != (Stats{}) {
+		t.Fatal("nil cache has state")
+	}
+}
+
+func TestExactHit(t *testing.T) {
+	c := New(64, 0)
+	c.Note("/r1/n0/power", 0, 10)
+	key := Key{Digest: DigestTopics(topicsA), Kind: KindAggregate, Start: 0, End: 10}
+	fill(c, key, topicsA, "result")
+	v, ok := c.Get(key, topicsA)
+	if !ok || v != "result" {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	if _, ok := c.Get(Key{Digest: key.Digest, Kind: KindDownsample, Start: 0, End: 10}, topicsA); ok {
+		t.Fatal("kind is not part of the key")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestWriteInvalidates: a write into a cached window must invalidate
+// the entry (strict mode), and the entry is evicted on the failed Get.
+func TestWriteInvalidates(t *testing.T) {
+	c := New(64, 0)
+	c.Note("/r1/n0/power", 0, 10)
+	key := Key{Digest: DigestTopics(topicsA), Kind: KindAggregate, Start: 0, End: 10}
+	fill(c, key, topicsA, "stale")
+	c.Note("/r1/n0/power", 5, 5) // out-of-order write inside the window
+	if _, ok := c.Get(key, topicsA); ok {
+		t.Fatal("served a result invalidated by an in-window write")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("invalid entry not evicted: Len = %d", c.Len())
+	}
+}
+
+// TestFrontierShortcut: in-order writes strictly beyond the window end
+// cannot change the result, so the entry stays servable — but only when
+// the frontier had already reached the window end at fill time.
+func TestFrontierShortcut(t *testing.T) {
+	c := New(64, 0)
+	c.Note("/r1/n0/power", 0, 10)
+	key := Key{Digest: DigestTopics(topicsA), Kind: KindAggregate, Start: 0, End: 10}
+	fill(c, key, topicsA, "v")
+
+	c.Note("/r1/n0/power", 11, 20) // in-order, beyond End
+	c.Note("/r1/n0/power", 21, 30)
+	if _, ok := c.Get(key, topicsA); !ok {
+		t.Fatal("beyond-window in-order writes invalidated the entry")
+	}
+
+	// An out-of-order write anywhere kills the shortcut.
+	c.Note("/r1/n0/power", 15, 15)
+	if _, ok := c.Get(key, topicsA); ok {
+		t.Fatal("out-of-order write did not invalidate")
+	}
+}
+
+// TestFrontierShortRead: when the frontier had NOT reached the window
+// end at fill time, later in-order writes may land inside the window —
+// the shortcut must not apply.
+func TestFrontierShortRead(t *testing.T) {
+	c := New(64, 0)
+	c.Note("/r1/n0/power", 0, 5) // frontier at 5, window ends at 10
+	key := Key{Digest: DigestTopics(topicsA), Kind: KindAggregate, Start: 0, End: 10}
+	fill(c, key, topicsA, "v")
+	c.Note("/r1/n0/power", 6, 8) // in-order, but inside the window
+	if _, ok := c.Get(key, topicsA); ok {
+		t.Fatal("served a result missing an in-window write")
+	}
+}
+
+// TestNeverNotedTopic: a topic with no ingest history disables the
+// frontier shortcut for its whole set (there is no frontier to trust).
+func TestNeverNotedTopic(t *testing.T) {
+	c := New(64, 0)
+	topics := []sensor.Topic{"/r1/n0/power", "/r1/n1/power"}
+	c.Note("/r1/n0/power", 0, 100)
+	key := Key{Digest: DigestTopics(topics), Kind: KindAggregate, Start: 0, End: 10}
+	fill(c, key, topics, "v")
+	if _, ok := c.Get(key, topics); !ok {
+		t.Fatal("unchanged version sums must still hit")
+	}
+	c.Note("/r1/n0/power", 101, 110) // in-order for n0, but n1 has no frontier
+	if _, ok := c.Get(key, topics); ok {
+		t.Fatal("shortcut applied with a never-noted topic in the set")
+	}
+}
+
+func TestNotePrune(t *testing.T) {
+	c := New(64, 0)
+	c.Note("/r1/n0/power", 0, 10)
+	key := Key{Digest: DigestTopics(topicsA), Kind: KindAggregate, Start: 0, End: 10}
+	fill(c, key, topicsA, "v")
+	c.NotePrune()
+	if _, ok := c.Get(key, topicsA); ok {
+		t.Fatal("prune did not invalidate")
+	}
+}
+
+func TestTTLStaleness(t *testing.T) {
+	c := New(64, 300*time.Millisecond)
+	c.Note("/r1/n0/power", 0, 10)
+	key := Key{Digest: DigestTopics(topicsA), Kind: KindAggregate, Start: 0, End: 10}
+	fill(c, key, topicsA, "old")
+	c.Note("/r1/n0/power", 5, 5) // invalidating write
+	if v, ok := c.Get(key, topicsA); !ok || v != "old" {
+		t.Fatalf("within TTL: Get = %v, %v (want stale hit)", v, ok)
+	}
+	if st := c.Stats(); st.Stale != 1 {
+		t.Fatalf("stats = %+v, want one stale", st)
+	}
+	time.Sleep(400 * time.Millisecond)
+	if _, ok := c.Get(key, topicsA); ok {
+		t.Fatal("served past the staleness bound")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(64, 0) // one entry per shard
+	for i := 0; i < 256; i++ {
+		key := Key{Digest: uint64(i), Kind: KindRange, Start: int64(i), End: int64(i + 1)}
+		fill(c, key, topicsA, i)
+	}
+	if n := c.Len(); n == 0 || n > 64 {
+		t.Fatalf("Len = %d, want (0, 64]", n)
+	}
+}
+
+// TestConcurrency drives Note/Begin/Put/Get from many goroutines; under
+// -race this validates the locking, and every served value must be
+// consistent with strict mode (a hit after the final quiesce is exact).
+func TestConcurrency(t *testing.T) {
+	c := New(128, 0)
+	topics := make([]sensor.Topic, 8)
+	for i := range topics {
+		topics[i] = sensor.Topic(fmt.Sprintf("/r%d/power", i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tp := topics[g]
+			for i := 0; i < 500; i++ {
+				c.Note(tp, int64(i), int64(i))
+				if i%100 == 0 {
+					c.NotePrune()
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			set := topics[g : g+2]
+			key := Key{Digest: DigestTopics(set), Kind: KindAggregate, Start: 0, End: 1 << 40}
+			for i := 0; i < 300; i++ {
+				if v, ok := c.Get(key, set); ok {
+					if v.(int) < 0 {
+						t.Error("corrupt value")
+						return
+					}
+				} else {
+					fill(c, key, set, i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -67,6 +67,7 @@ type StatsProvider interface {
 
 var _ Backend = (*Store)(nil)
 var _ StatsProvider = (*Store)(nil)
+var _ PrefixMatcher = (*Store)(nil)
 
 // Stats implements StatsProvider for the in-memory store.
 func (s *Store) Stats() BackendStats {

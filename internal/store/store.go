@@ -18,10 +18,16 @@ import (
 
 // Store holds one ordered reading series per sensor topic. The zero value
 // is not usable; construct with New.
+//
+//lint:lockorder Store.mu < series.mu
 type Store struct {
 	mu           sync.RWMutex
 	series       map[sensor.Topic]*series
 	maxPerSeries int // readings retained per sensor; 0 means unlimited
+	// idx mirrors the series map as a sorted prefix table so wildcard
+	// fan-out resolves in O(matches); maintained under s.mu on series
+	// creation and prune (lock order: Store.mu < TopicIndex.mu).
+	idx *TopicIndex
 }
 
 type series struct {
@@ -39,6 +45,7 @@ func New(maxPerSeries int) *Store {
 	return &Store{
 		series:       make(map[sensor.Topic]*series),
 		maxPerSeries: maxPerSeries,
+		idx:          NewTopicIndex(),
 	}
 }
 
@@ -54,6 +61,7 @@ func (s *Store) get(topic sensor.Topic, create bool) *series {
 	if se = s.series[topic]; se == nil {
 		se = &series{}
 		s.series[topic] = se
+		s.idx.Add(topic)
 	}
 	return se
 }
@@ -197,10 +205,23 @@ func (s *Store) Prune(cutoff int64) int {
 		if len(se.data) == 0 {
 			se.dead = true // a racing Insert re-resolves via the tombstone
 			delete(s.series, topic)
+			se.mu.Unlock()
+			// Evict the topic from the prefix index too, so retention
+			// leaves no ghost topics behind in wildcard expansion. Still
+			// under s.mu: a racing Insert re-creates both entries.
+			s.idx.Remove(topic)
+			continue
 		}
 		se.mu.Unlock()
 	}
 	return removed
+}
+
+// TopicsPrefix implements PrefixMatcher: the sorted topics at or below
+// prefix, answered from the incrementally-maintained prefix index in
+// O(log n + matches).
+func (s *Store) TopicsPrefix(prefix sensor.Topic) []sensor.Topic {
+	return s.idx.Prefix(prefix, nil)
 }
 
 // TotalReadings returns the number of readings across all series.

@@ -51,6 +51,13 @@ type Options struct {
 	// ingest_concurrent benchmarks can measure the before side; never
 	// set it in production.
 	LegacyIngest bool
+	// OnPrune, when set, runs after every retention pass that hid or
+	// removed data, with the cutoff and the count of readings removed.
+	// The serving tier hooks result-cache invalidation here (janitor
+	// prunes change query answers without any insert). The callback runs
+	// while the prune cycle still holds its serialisation mutex: it must
+	// not call Flush, Prune or Close on this DB.
+	OnPrune func(cutoff int64, removed int)
 }
 
 func (o Options) withDefaults() Options {
@@ -153,6 +160,15 @@ type DB struct {
 	// Options.LegacyIngest is set (paired benchmarks only).
 	legacyMu sync.Mutex
 
+	// idx is the sorted prefix table over live topics answering wildcard
+	// expansion in O(matches): built from the recovered topic set at
+	// Open, extended by InsertBatch on first sight of a topic, and
+	// reconciled by Prune (ResetWith) so retention leaves no ghosts.
+	// Its mutex slots between DB.ingest and DB.mu in the cross-package
+	// lock order (inserts hold ingest when adding; the prune rebuild's
+	// snapshot callback takes db.mu under it) — see docs/ANALYSIS.md.
+	idx *store.TopicIndex
+
 	lock *os.File // exclusive directory lock (LOCK file)
 
 	janitorStop chan struct{}
@@ -163,6 +179,7 @@ type DB struct {
 
 var _ store.Backend = (*DB)(nil)
 var _ store.StatsProvider = (*DB)(nil)
+var _ store.PrefixMatcher = (*DB)(nil)
 
 // Open creates or recovers a database in dir. Recovery loads every
 // segment index, discards WAL files already covered by segments (a crash
@@ -192,6 +209,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		segs:  segs,
 		floor: loadFloor(dir),
 		lock:  lock,
+		idx:   store.NewTopicIndex(),
 	}
 	for i := range db.shards {
 		db.shards[i].heads = make(map[sensor.Topic]*head)
@@ -257,6 +275,9 @@ func Open(dir string, opts Options) (*DB, error) {
 	if db.headN.Load() > 0 {
 		db.headSince.Store(time.Now().UnixNano())
 	}
+	// Recovery: seed the prefix index with every live topic (segments +
+	// replayed heads), so wildcard expansion answers right after restart.
+	db.idx.ResetWith(db.Topics)
 	db.wal, err = newWAL(walDir, maxWALSeq+1, opts.WALSync)
 	if err != nil {
 		lock.Close()
@@ -340,12 +361,17 @@ func (db *DB) InsertBatch(topic sensor.Topic, rs []sensor.Reading) {
 		db.headSince.CompareAndSwap(0, time.Now().UnixNano())
 		db.legacyMu.Unlock()
 		h.insert(rs)
+		db.idx.Add(topic)
 		return
 	}
 	h := db.headFor(topic)
 	h.insert(rs)
 	db.headN.Add(int64(len(rs)))
 	db.headSince.CompareAndSwap(0, time.Now().UnixNano())
+	// Index after the data is live: should this Add serialise after a
+	// concurrent prune rebuild, the rebuild's snapshot already saw the
+	// readings, and either ordering leaves the topic indexed.
+	db.idx.Add(topic)
 }
 
 func (db *DB) noteWALError(err error) {
@@ -871,8 +897,26 @@ func (db *DB) Prune(cutoff int64) int {
 	// something: a janitor pass on an idle window then costs no write.
 	if changed {
 		saveFloor(db.dir, cutoff)
+		// Reconcile the prefix index against the surviving topic set so
+		// wildcard expansion stops listing fully-expired sensors. The
+		// snapshot runs under the index lock: an insert reviving a topic
+		// either lands before the snapshot (and is seen) or re-adds
+		// itself right after — never lost, never a ghost.
+		db.idx.ResetWith(db.Topics)
+		if db.opts.OnPrune != nil {
+			db.opts.OnPrune(cutoff, removed)
+		}
 	}
 	return removed
+}
+
+// TopicsPrefix implements store.PrefixMatcher: the sorted live topics at
+// or below prefix, answered from the incrementally-maintained prefix
+// index in O(log n + matches). Between retention passes the index may
+// briefly retain a topic whose last readings the watermark already
+// hides; the next Prune reconciles it away.
+func (db *DB) TopicsPrefix(prefix sensor.Topic) []sensor.Topic {
+	return db.idx.Prefix(prefix, nil)
 }
 
 // Stats implements store.StatsProvider.
