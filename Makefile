@@ -39,12 +39,13 @@ race:
 # micro-benches, the storage backend pairs (in-memory store vs tsdb
 # insert/range plus crash recovery), the aggregation pairs (naive
 # Range+reduce vs the chunk-metadata engine), the concurrent-ingest
-# pairs (single-lock WAL vs group commit) and the dashboard read-path
+# pairs (single-lock WAL vs group commit), the dashboard read-path
 # pairs (uncached vs result-cached queries, linear vs indexed wildcard
-# expansion).
+# expansion) and the telemetry overhead pairs (instrumented ingest and
+# dashboard hot paths with the switch off vs on).
 # Full suite: go test -bench=. -benchmem .
 bench:
-	$(GO) test -run '^$$' -bench 'TickAllContention|QueryContention|CacheView|BackendInsertBatch|BackendRange|TSDBRecovery|Aggregate|Downsample|IngestConcurrent|DashboardQuery|WildcardExpand' -benchtime 10x -benchmem .
+	$(GO) test -run '^$$' -bench 'TickAllContention|QueryContention|CacheView|BackendInsertBatch|BackendRange|TSDBRecovery|Aggregate|Downsample|IngestConcurrent|DashboardQuery|WildcardExpand|Telemetry' -benchtime 10x -benchmem .
 
 # One-iteration smoke over the ENTIRE benchmark suite: every benchmark
 # must still compile and execute, so the paired before/after workloads
@@ -53,12 +54,14 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
 # Machine-readable hot-path results for the per-PR perf trajectory,
-# including the storage, aggregation, concurrent-ingest and dashboard
-# read-path acceptance scenarios (on-disk bytes per reading,
-# crash-recovery parity, aggregate speedup vs naive Range+reduce,
-# 16-writer ingest speedup vs the pre-group-commit path, cached
-# dashboard-query speedup and wildcard-expansion scaling).
+# including the storage, aggregation, concurrent-ingest, dashboard
+# read-path and telemetry-overhead acceptance scenarios (on-disk bytes
+# per reading, crash-recovery parity, aggregate speedup vs naive
+# Range+reduce, 16-writer ingest speedup vs the pre-group-commit path,
+# cached dashboard-query speedup and wildcard-expansion scaling, and
+# the <=2% telemetry overhead bound on the ingest and dashboard hot
+# paths).
 bench-json:
-	$(GO) run ./cmd/benchrunner -bench-json BENCH_PR7.json
+	$(GO) run ./cmd/benchrunner -bench-json BENCH_PR8.json
 
 ci: build vet doclint lint test race bench-smoke bench

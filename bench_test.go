@@ -28,11 +28,12 @@ import (
 	"github.com/dcdb/wintermute/internal/navigator"
 	"github.com/dcdb/wintermute/internal/plugins/aggregator"
 	"github.com/dcdb/wintermute/internal/plugins/tester"
-	"github.com/dcdb/wintermute/internal/resultcache"
 	"github.com/dcdb/wintermute/internal/rest"
+	"github.com/dcdb/wintermute/internal/resultcache"
 	"github.com/dcdb/wintermute/internal/sensor"
 	"github.com/dcdb/wintermute/internal/sim/cluster"
 	"github.com/dcdb/wintermute/internal/store"
+	"github.com/dcdb/wintermute/internal/telemetry"
 	"github.com/dcdb/wintermute/internal/transport"
 	"github.com/dcdb/wintermute/internal/tsdb"
 
@@ -968,11 +969,12 @@ func BenchmarkDownsampleEngine(b *testing.B) {
 // per-batch cost across the whole writer cohort. legacy selects the
 // pre-PR5 path (WAL encode+write+fsync under one lock, global head
 // resolution); grouped is the group-commit WAL + sharded head map.
-func benchIngestConcurrent(b *testing.B, writers int, walSync, legacy bool) {
+func benchIngestConcurrent(b *testing.B, writers int, walSync, legacy bool, reg *telemetry.Registry) {
 	db, err := tsdb.Open(b.TempDir(), tsdb.Options{
 		FlushEvery:   -1,
 		WALSync:      walSync,
 		LegacyIngest: legacy,
+		Metrics:      reg,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -1017,7 +1019,7 @@ func BenchmarkIngestConcurrentLegacy(b *testing.B) {
 	for _, writers := range []int{8, 16, 32} {
 		for _, walSync := range []bool{false, true} {
 			b.Run(fmt.Sprintf("writers=%d/sync=%v", writers, walSync), func(b *testing.B) {
-				benchIngestConcurrent(b, writers, walSync, true)
+				benchIngestConcurrent(b, writers, walSync, true, nil)
 			})
 		}
 	}
@@ -1030,7 +1032,7 @@ func BenchmarkIngestConcurrentGrouped(b *testing.B) {
 	for _, writers := range []int{8, 16, 32} {
 		for _, walSync := range []bool{false, true} {
 			b.Run(fmt.Sprintf("writers=%d/sync=%v", writers, walSync), func(b *testing.B) {
-				benchIngestConcurrent(b, writers, walSync, false)
+				benchIngestConcurrent(b, writers, walSync, false, nil)
 			})
 		}
 	}
@@ -1046,7 +1048,7 @@ const dashReadings = 2000
 // dashBenchStack builds a Collect-Agent-shaped serving stack: 64 sensors
 // x dashReadings readings in the in-memory backend, write-through invalidation
 // wired when a result cache is supplied, and the REST handler on top.
-func dashBenchStack(b *testing.B, rc *resultcache.Cache) (http.Handler, *core.CacheSink, []sensor.Topic) {
+func dashBenchStack(b *testing.B, rc *resultcache.Cache, reg *telemetry.Registry) (http.Handler, *core.CacheSink, []sensor.Topic) {
 	b.Helper()
 	nav := navigator.New()
 	caches := cache.NewSet()
@@ -1066,6 +1068,16 @@ func dashBenchStack(b *testing.B, rc *resultcache.Cache) (http.Handler, *core.Ca
 	qe := core.NewQueryEngine(nav, caches, st)
 	m := core.NewManager(qe, sink, core.Env{})
 	b.Cleanup(func() { m.Close() })
+	if reg != nil {
+		// Full production instrumentation: backend gauges, result-cache
+		// counters, scheduler gauges, per-route HTTP metrics and traces.
+		store.RegisterBackendMetrics(reg, st)
+		if rc != nil {
+			rc.RegisterMetrics(reg)
+		}
+		m.EnableTelemetry(reg)
+		return rest.NewHandler(m, qe, rest.Options{ResultCache: rc, Metrics: reg}), sink, topics
+	}
 	if rc != nil {
 		return rest.NewHandler(m, qe, rest.Options{ResultCache: rc}), sink, topics
 	}
@@ -1077,8 +1089,8 @@ func dashBenchStack(b *testing.B, rc *resultcache.Cache) (http.Handler, *core.Ca
 // repeatedly while a writer keeps ingesting in-order readings beyond
 // the window — the shape where the frontier shortcut keeps the memoized
 // entry valid. One op is one full HTTP round trip through the handler.
-func benchDashboardQuery(b *testing.B, rc *resultcache.Cache) {
-	h, sink, topics := dashBenchStack(b, rc)
+func benchDashboardQuery(b *testing.B, rc *resultcache.Cache, reg *telemetry.Registry) {
+	h, sink, topics := dashBenchStack(b, rc, reg)
 	stop := make(chan struct{})
 	done := make(chan struct{})
 	go func() {
@@ -1113,14 +1125,44 @@ func benchDashboardQuery(b *testing.B, rc *resultcache.Cache) {
 
 // BenchmarkDashboardQueryUncached is the before side of the PR7 pair:
 // every request re-expands the wildcard and re-aggregates 64 windows.
-func BenchmarkDashboardQueryUncached(b *testing.B) { benchDashboardQuery(b, nil) }
+func BenchmarkDashboardQueryUncached(b *testing.B) { benchDashboardQuery(b, nil, nil) }
 
 // BenchmarkDashboardQueryCached is the after side: the same requests
 // served from the memoized op-independent payload, revalidated against
 // the ingest frontier per lookup.
 func BenchmarkDashboardQueryCached(b *testing.B) {
-	benchDashboardQuery(b, resultcache.New(1024, 0))
+	benchDashboardQuery(b, resultcache.New(1024, 0), nil)
 }
+
+// --- PR8: telemetry overhead — instrumented hot paths, switch on vs off --
+
+// benchIngestTelemetry re-runs the PR5 grouped-ingest shape (16 writers,
+// no WAL sync — the configuration where fixed per-batch cost is smallest
+// and instrumentation overhead proportionally largest) with a registry
+// attached to the engine. `on` toggles the global telemetry switch: the
+// off side still executes every instrumented call site and pays exactly
+// the one-atomic-load gate the disabled path promises.
+func benchIngestTelemetry(b *testing.B, on bool) {
+	telemetry.SetEnabled(on)
+	b.Cleanup(func() { telemetry.SetEnabled(true) })
+	benchIngestConcurrent(b, 16, false, false, telemetry.NewRegistry())
+}
+
+func BenchmarkIngestTelemetryOff(b *testing.B) { benchIngestTelemetry(b, false) }
+func BenchmarkIngestTelemetryOn(b *testing.B)  { benchIngestTelemetry(b, true) }
+
+// benchDashboardTelemetry re-runs the PR7 cached dashboard scenario with
+// the serving tier fully instrumented: per-route counters and latency
+// histogram, in-flight gauge, request traces, result-cache and backend
+// series. One op remains one HTTP round trip.
+func benchDashboardTelemetry(b *testing.B, on bool) {
+	telemetry.SetEnabled(on)
+	b.Cleanup(func() { telemetry.SetEnabled(true) })
+	benchDashboardQuery(b, resultcache.New(1024, 0), telemetry.NewRegistry())
+}
+
+func BenchmarkDashboardTelemetryOff(b *testing.B) { benchDashboardTelemetry(b, false) }
+func BenchmarkDashboardTelemetryOn(b *testing.B)  { benchDashboardTelemetry(b, true) }
 
 // linearScanBackend hides the in-memory store's PrefixMatcher, forcing
 // the dispatcher's filter-everything fallback (the pre-PR7 cost shape).

@@ -33,6 +33,7 @@ import (
 	"github.com/dcdb/wintermute/internal/resultcache"
 	"github.com/dcdb/wintermute/internal/sensor"
 	"github.com/dcdb/wintermute/internal/store"
+	"github.com/dcdb/wintermute/internal/telemetry"
 	"github.com/dcdb/wintermute/internal/tsdb"
 )
 
@@ -111,14 +112,29 @@ type servingAcceptance struct {
 	LinearRatio      float64 `json:"wildcard_linear_ratio"`
 }
 
+// telemetryAcceptance pins the PR8 self-telemetry overhead bound: the
+// instrumented hot paths (the PR5 grouped-ingest shape and the PR7
+// cached dashboard round trip) re-run with a registry attached, once
+// with the global telemetry switch off and once on. Acceptance: the on
+// side within 2% of the off side on both scenarios.
+type telemetryAcceptance struct {
+	IngestOffNsPerOp     float64 `json:"ingest_off_ns_per_op"`
+	IngestOnNsPerOp      float64 `json:"ingest_on_ns_per_op"`
+	IngestOverheadPct    float64 `json:"ingest_overhead_pct"`
+	DashboardOffNsPerOp  float64 `json:"dashboard_off_ns_per_op"`
+	DashboardOnNsPerOp   float64 `json:"dashboard_on_ns_per_op"`
+	DashboardOverheadPct float64 `json:"dashboard_overhead_pct"`
+}
+
 type benchReport struct {
-	PR          int                `json:"pr"`
-	Note        string             `json:"note"`
-	Benchmarks  []benchResult      `json:"benchmarks"`
-	Storage     *storageAcceptance `json:"storage,omitempty"`
-	Aggregation *aggAcceptance     `json:"aggregation,omitempty"`
-	Ingest      *ingestAcceptance  `json:"ingest,omitempty"`
-	Serving     *servingAcceptance `json:"serving,omitempty"`
+	PR          int                  `json:"pr"`
+	Note        string               `json:"note"`
+	Benchmarks  []benchResult        `json:"benchmarks"`
+	Storage     *storageAcceptance   `json:"storage,omitempty"`
+	Aggregation *aggAcceptance       `json:"aggregation,omitempty"`
+	Ingest      *ingestAcceptance    `json:"ingest,omitempty"`
+	Serving     *servingAcceptance   `json:"serving,omitempty"`
+	Telemetry   *telemetryAcceptance `json:"telemetry,omitempty"`
 }
 
 const benchSec = int64(time.Second)
@@ -267,7 +283,7 @@ func contentionEnv(legacy bool) (*core.Manager, error) {
 
 func runBenchJSON(path string) error {
 	report := benchReport{
-		PR: 7,
+		PR: 8,
 		Note: "paired hot-path benchmarks: unbound vs bound QueryRelative, " +
 			"legacy Compute vs ComputeInto scratch arenas (64-unit aggregator tick), " +
 			"TickAll query contention (8 ops x 16 parallel units, 8-thread pool) legacy vs bound, " +
@@ -279,8 +295,10 @@ func runBenchJSON(path string) error {
 			"sharded heads at 8/16/32 concurrent writers, sync on and off, with the " +
 			"16-writer sync-enabled acceptance scenario, and the PR7 dashboard " +
 			"read-path pairs: uncached vs result-cached wildcard aggregates over a " +
-			"64-sensor/2000-reading corpus under live in-order ingest, and indexed vs " +
-			"linear '#' expansion at 64- and 4096-topic namespaces",
+			"64-sensor/2000-reading corpus under live in-order ingest, indexed vs " +
+			"linear '#' expansion at 64- and 4096-topic namespaces, and the PR8 " +
+			"telemetry overhead pairs: the ingest and cached-dashboard scenarios " +
+			"re-run fully instrumented with the global telemetry switch off vs on",
 	}
 	add := func(name string, fn func(b *testing.B)) benchResult {
 		r := testing.Benchmark(fn)
@@ -550,13 +568,14 @@ func runBenchJSON(path string) error {
 
 	fmt.Println("==> bench-json: concurrent ingest (single-lock WAL vs group commit)")
 	ingestDir := 0
-	benchIngest := func(writers int, walSync, legacy bool) func(b *testing.B) {
+	benchIngest := func(writers int, walSync, legacy bool, reg *telemetry.Registry) func(b *testing.B) {
 		return func(b *testing.B) {
 			ingestDir++
 			db, err := tsdb.Open(fmt.Sprintf("%s/ingest%d", tmp, ingestDir), tsdb.Options{
 				FlushEvery:   -1,
 				WALSync:      walSync,
 				LegacyIngest: legacy,
+				Metrics:      reg,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -602,9 +621,9 @@ func runBenchJSON(path string) error {
 				tag = "sync"
 			}
 			l := add(fmt.Sprintf("ingest_concurrent_legacy_%dw_%s", writers, tag),
-				benchIngest(writers, walSync, true))
+				benchIngest(writers, walSync, true, nil))
 			g := add(fmt.Sprintf("ingest_concurrent_grouped_%dw_%s", writers, tag),
-				benchIngest(writers, walSync, false))
+				benchIngest(writers, walSync, false, nil))
 			if writers == 16 && walSync {
 				legacy16, grouped16 = l, g
 			}
@@ -750,6 +769,69 @@ func runBenchJSON(path string) error {
 	if servingAcc.IndexedRatio > 4 {
 		fmt.Printf("  WARNING: indexed wildcard expansion not size-independent (64->4096 ratio %.1fx > 4x)\n",
 			servingAcc.IndexedRatio)
+	}
+
+	fmt.Println("==> bench-json: telemetry overhead (instrumented hot paths, switch off vs on)")
+	// Both scenarios run with the registry fully attached so the off side
+	// executes every instrumented call site and pays exactly the
+	// one-atomic-load gate the disabled path promises. Ingest uses the
+	// grouped 16-writer no-sync shape — the configuration with the
+	// smallest fixed per-batch cost, where instrumentation overhead is
+	// proportionally largest.
+	telemetry.SetEnabled(false)
+	ingestOff := add("ingest_telemetry_off", benchIngest(16, false, false, telemetry.NewRegistry()))
+	telemetry.SetEnabled(true)
+	ingestOn := add("ingest_telemetry_on", benchIngest(16, false, false, telemetry.NewRegistry()))
+	// The dashboard pair re-runs the PR7 cached round trip through a
+	// serving stack with per-route HTTP metrics, request traces and
+	// result-cache/backend/scheduler series registered. No background
+	// writer here: a steady corpus keeps the off/on delta clean.
+	dashTelemetry := func(on bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			telemetry.SetEnabled(on)
+			defer telemetry.SetEnabled(true)
+			reg := telemetry.NewRegistry()
+			nav := navigator.New()
+			caches := cache.NewSet()
+			st := store.New(0)
+			rc := resultcache.New(1024, 0)
+			sink := core.NewCacheSink(caches, nav, 16, time.Second)
+			sink.Store = st
+			sink.Results = rc
+			for n := 0; n < dashTopics; n++ {
+				sink.PushSeries(sensor.Topic(fmt.Sprintf("/r%02d/n%02d/power", n/8, n%8)), dashRS)
+			}
+			qe := core.NewQueryEngine(nav, caches, st)
+			m := core.NewManager(qe, sink, core.Env{})
+			defer m.Close()
+			store.RegisterBackendMetrics(reg, st)
+			rc.RegisterMetrics(reg)
+			m.EnableTelemetry(reg)
+			h := rest.NewHandler(m, qe, rest.Options{ResultCache: rc, Metrics: reg})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if w := dashServe(h); w.Code != http.StatusOK {
+					b.Fatalf("status %d: %s", w.Code, w.Body.String())
+				}
+			}
+		}
+	}
+	dashOff := add("dashboard_telemetry_off", dashTelemetry(false))
+	dashOn := add("dashboard_telemetry_on", dashTelemetry(true))
+	telemetryAcc := &telemetryAcceptance{
+		IngestOffNsPerOp:     ingestOff.NsPerOp,
+		IngestOnNsPerOp:      ingestOn.NsPerOp,
+		IngestOverheadPct:    (ingestOn.NsPerOp - ingestOff.NsPerOp) / ingestOff.NsPerOp * 100,
+		DashboardOffNsPerOp:  dashOff.NsPerOp,
+		DashboardOnNsPerOp:   dashOn.NsPerOp,
+		DashboardOverheadPct: (dashOn.NsPerOp - dashOff.NsPerOp) / dashOff.NsPerOp * 100,
+	}
+	report.Telemetry = telemetryAcc
+	fmt.Printf("  acceptance: telemetry overhead ingest %+.2f%%, dashboard %+.2f%%\n",
+		telemetryAcc.IngestOverheadPct, telemetryAcc.DashboardOverheadPct)
+	if telemetryAcc.IngestOverheadPct > 2 || telemetryAcc.DashboardOverheadPct > 2 {
+		fmt.Printf("  WARNING: telemetry acceptance bound missed (need <=2%% overhead on both scenarios)\n")
 	}
 
 	accept, err := runStorageAcceptance(tmp + "/accept")

@@ -30,6 +30,7 @@ import (
 	_ "github.com/dcdb/wintermute/internal/plugins/all"
 	"github.com/dcdb/wintermute/internal/rest"
 	"github.com/dcdb/wintermute/internal/store"
+	"github.com/dcdb/wintermute/internal/telemetry"
 )
 
 func main() {
@@ -52,6 +53,9 @@ func main() {
 		rcTTL      = flag.Duration("result-cache-ttl", 0, "bounded staleness for memoized query results (0: strict)")
 		rateLimit  = flag.Float64("rate-limit", 0, "REST requests per second per client (0: unlimited)")
 		rateBurst  = flag.Int("rate-burst", 0, "REST per-client burst size (0: 2x rate-limit)")
+		debugAddr  = flag.String("debug-addr", "", "diagnostics listen address (pprof + /metrics; keep off the public port)")
+		slowQuery  = flag.Duration("slow-query", 0, "log REST requests running at or over this duration (0: off)")
+		selfMon    = flag.Duration("self-monitor", 0, "republish telemetry as /telemetry/# sensors at this interval (0: off)")
 	)
 	flag.Parse()
 
@@ -67,6 +71,8 @@ func main() {
 		ResultCacheSize:     *rcSize,
 		ResultCacheTTL:      *rcTTL,
 		Threads:             *threads,
+		Metrics:             telemetry.Default,
+		SelfMonitorEvery:    *selfMon,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -122,9 +128,19 @@ func main() {
 		ResultCache: agent.Results,
 		RateLimit:   *rateLimit,
 		RateBurst:   *rateBurst,
+		Metrics:     telemetry.Default,
+		SlowQuery:   *slowQuery,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	var dbg *rest.DebugServer
+	if *debugAddr != "" {
+		dbg, err = rest.ServeDebug(*debugAddr, telemetry.Default)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("diagnostics (pprof + /metrics) on http://%s", dbg.Addr())
 	}
 	agent.Start()
 	log.Printf("broker on %s; REST on http://%s; %d wintermute threads",
@@ -135,6 +151,9 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
+	if dbg != nil {
+		_ = dbg.Close()
+	}
 	_ = srv.Close()
 	_ = agent.Close() // flushes and closes the tsdb backend, if any
 	if *snapshot != "" {

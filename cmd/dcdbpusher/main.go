@@ -31,6 +31,7 @@ import (
 	"github.com/dcdb/wintermute/internal/sensor"
 	"github.com/dcdb/wintermute/internal/sim/hardware"
 	"github.com/dcdb/wintermute/internal/sim/workload"
+	"github.com/dcdb/wintermute/internal/telemetry"
 )
 
 func main() {
@@ -48,6 +49,8 @@ func main() {
 		testers    = flag.Int("testers", 0, "additional tester sensors (monotonic counters)")
 		threads    = flag.Int("threads", 0, "Wintermute worker pool size (0: GOMAXPROCS)")
 		seed       = flag.Int64("seed", 1, "simulation seed")
+		debugAddr  = flag.String("debug-addr", "", "diagnostics listen address (pprof + /metrics; keep off the public port)")
+		slowQuery  = flag.Duration("slow-query", 0, "log REST requests running at or over this duration (0: off)")
 	)
 	flag.Parse()
 
@@ -60,6 +63,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	p.Manager.EnableTelemetry(telemetry.Default)
 
 	node := hardware.NewNode(hardware.Config{Cores: *cores, Seed: *seed})
 	node.SetApp(workload.MustNew(*app, *seed, 1e9), time.Now().UnixNano())
@@ -99,9 +103,20 @@ func main() {
 		})
 	}
 
-	srv, err := rest.Serve(*httpAddr, p.Manager, p.QE)
+	srv, err := rest.Serve(*httpAddr, p.Manager, p.QE, rest.Options{
+		Metrics:   telemetry.Default,
+		SlowQuery: *slowQuery,
+	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	var dbg *rest.DebugServer
+	if *debugAddr != "" {
+		dbg, err = rest.ServeDebug(*debugAddr, telemetry.Default)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("diagnostics (pprof + /metrics) on http://%s", dbg.Addr())
 	}
 	p.Start()
 	log.Printf("node %s running %s on %d cores; REST on http://%s; %d sensors; %d wintermute threads",
@@ -113,5 +128,8 @@ func main() {
 	<-sig
 	log.Printf("shutting down")
 	p.Stop()
+	if dbg != nil {
+		_ = dbg.Close()
+	}
 	_ = srv.Close()
 }

@@ -39,6 +39,7 @@ var surfaceDirs = []string{
 	"internal/core",
 	"internal/core/units",
 	"internal/resultcache",
+	"internal/telemetry",
 	"internal/transport",
 }
 

@@ -22,6 +22,7 @@ import (
 	"github.com/dcdb/wintermute/internal/resultcache"
 	"github.com/dcdb/wintermute/internal/sensor"
 	"github.com/dcdb/wintermute/internal/store"
+	"github.com/dcdb/wintermute/internal/telemetry"
 	"github.com/dcdb/wintermute/internal/transport"
 	"github.com/dcdb/wintermute/internal/tsdb"
 )
@@ -74,6 +75,16 @@ type Config struct {
 	// Env is handed to Wintermute plugin configurators (job providers
 	// attach here).
 	Env core.Env
+	// Metrics, when set, instruments every subsystem the agent wires
+	// together (broker, ingest fan-in, tsdb, result cache, scheduler,
+	// storage stats) into the given telemetry registry. The daemons pass
+	// telemetry.Default; tests pass a private registry or nil.
+	Metrics *telemetry.Registry
+	// SelfMonitorEvery, when positive (and Metrics is set), republishes
+	// the registry into the agent's own sensor pipeline under
+	// /telemetry/# at this interval — the monitoring system monitoring
+	// itself, queryable and cacheable like any sensor.
+	SelfMonitorEvery time.Duration
 }
 
 // Agent is a running Collect Agent.
@@ -92,7 +103,17 @@ type Agent struct {
 	// disabled. Hand it to rest.Options so /query memoizes hot windows.
 	Results *resultcache.Cache
 
-	sink *core.CacheSink
+	// SelfMon republishes the telemetry registry as /telemetry/# sensor
+	// topics; nil unless Config.SelfMonitorEvery was set. Tests can call
+	// its PublishOnce to force a pass.
+	SelfMon *telemetry.SelfMonitor
+
+	sink    *core.CacheSink
+	metrics *agentMetrics
+	// metricHandles collects the callback-metric registrations made on
+	// behalf of subsystems without their own Close (storage stats,
+	// result cache); released in Close.
+	metricHandles []*telemetry.FuncHandle
 
 	// Ingest fan-in between the broker and the sink: one bounded queue
 	// per worker, messages sharded by topic so per-topic batch order is
@@ -105,10 +126,12 @@ type Agent struct {
 }
 
 // ingestBatch is one queued topic batch; buf returns to the pool after
-// the worker pushed it.
+// the worker pushed it. enq stamps the enqueue time for the drain
+// latency histogram (zero when telemetry is disabled).
 type ingestBatch struct {
 	topic sensor.Topic
 	buf   *[]sensor.Reading
+	enq   time.Time
 }
 
 // New creates a Collect Agent and, when configured, starts its broker.
@@ -132,6 +155,7 @@ func New(cfg Config) (*Agent, error) {
 			WALSync:        cfg.StoreWALSync,
 			WALGroupWindow: cfg.StoreWALGroupWindow,
 			OnPrune:        func(int64, int) { rc.NotePrune() },
+			Metrics:        cfg.Metrics,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("collect: opening storage backend: %w", err)
@@ -160,13 +184,35 @@ func New(cfg Config) (*Agent, error) {
 			_ = nav.AddSensor(topic)
 		}
 	}
+	a.metrics = newAgentMetrics(cfg.Metrics, a)
+	a.metricHandles = append(a.metricHandles,
+		store.RegisterBackendMetrics(cfg.Metrics, st)...)
+	a.metricHandles = append(a.metricHandles,
+		rc.RegisterMetrics(cfg.Metrics)...)
 	a.Manager = core.NewManager(qe, sink, cfg.Env)
+	a.Manager.EnableTelemetry(cfg.Metrics)
 	if cfg.Threads > 0 {
 		a.Manager.SetThreads(cfg.Threads)
 	}
+	if cfg.SelfMonitorEvery > 0 && cfg.Metrics != nil {
+		// The publish closure feeds the sink directly (not the broker):
+		// telemetry readings take the same cache+store path as any
+		// sensor, so /telemetry/# is queryable via GET /query and
+		// aggregatable by operators.
+		a.SelfMon = telemetry.NewSelfMonitor(cfg.Metrics, "/telemetry",
+			cfg.SelfMonitorEvery, func(topic string, v float64, ts int64) {
+				sink.Push(sensor.Topic(topic), sensor.Reading{Value: v, Time: ts})
+			})
+		a.SelfMon.Start()
+	}
 	if cfg.ListenMQTT != "" {
-		b, err := transport.NewBroker(cfg.ListenMQTT)
+		b, err := transport.NewBroker(cfg.ListenMQTT, cfg.Metrics)
 		if err != nil {
+			if a.SelfMon != nil {
+				a.SelfMon.Close()
+			}
+			a.closeMetricHandles()
+			a.Manager.Close()
 			if db != nil {
 				db.Close() // release the janitor and directory lock
 			}
@@ -225,7 +271,11 @@ func (a *Agent) startIngestWorkers(n int) {
 		go func() {
 			defer a.ingestWG.Done()
 			for m := range q {
+				a.metrics.drainSec.ObserveSince(m.enq)
 				a.sink.PushSeries(m.topic, *m.buf)
+				a.metrics.batches.Inc()
+				a.metrics.readings.Add(uint64(len(*m.buf)))
+				a.metrics.batchSize.Observe(float64(len(*m.buf)))
 				*m.buf = (*m.buf)[:0]
 				a.batchPool.Put(m.buf)
 			}
@@ -242,7 +292,7 @@ func (a *Agent) enqueueIngest(topic sensor.Topic, rs []sensor.Reading) {
 	// batches are always ingested in arrival order.
 	//
 	//lint:ignore poolescape ownership transfer by design: exactly one ingest worker receives buf and returns it to batchPool after PushSeries
-	a.ingestQs[topic.Hash()%uint32(len(a.ingestQs))] <- ingestBatch{topic: topic, buf: buf}
+	a.ingestQs[topic.Hash()%uint32(len(a.ingestQs))] <- ingestBatch{topic: topic, buf: buf, enq: telemetry.Clock()}
 }
 
 // Addr returns the broker address, or "" when no broker is running.
@@ -282,6 +332,11 @@ func (a *Agent) Start() { a.Manager.Start() }
 // every batch the broker acknowledged reaches the backend before its
 // final flush.
 func (a *Agent) Close() error {
+	// Self-monitoring stops first: its publishes go through the sink, so
+	// it must not race the drain/close sequence below.
+	if a.SelfMon != nil {
+		a.SelfMon.Close()
+	}
 	a.Manager.Close()
 	var err error
 	if a.Broker != nil {
@@ -297,10 +352,23 @@ func (a *Agent) Close() error {
 		}
 		a.ingestWG.Wait()
 	})
+	// Callback metrics read agent state (queue depths, backend stats);
+	// unregister them before the backend goes away.
+	a.closeMetricHandles()
 	if a.DB != nil {
 		if derr := a.DB.Close(); err == nil {
 			err = derr
 		}
 	}
 	return err
+}
+
+// closeMetricHandles unregisters every callback metric the agent
+// registered on behalf of its subsystems; idempotent.
+func (a *Agent) closeMetricHandles() {
+	for _, h := range a.metricHandles {
+		h.Close()
+	}
+	a.metricHandles = nil
+	a.metrics.closeMetrics()
 }

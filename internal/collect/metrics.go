@@ -1,0 +1,50 @@
+package collect
+
+import (
+	"github.com/dcdb/wintermute/internal/telemetry"
+)
+
+// agentMetrics instruments the broker-to-storage ingest fan-in. Always
+// non-nil on an Agent; without a registry the metrics are unattached
+// and the enqueue/drain hot paths stay unconditional.
+type agentMetrics struct {
+	batches   *telemetry.Counter   // batches drained by ingest workers
+	readings  *telemetry.Counter   // readings carried by drained batches
+	batchSize *telemetry.Histogram // readings per drained batch
+	drainSec  *telemetry.Histogram // enqueue-to-worker-pickup latency
+
+	handles []*telemetry.FuncHandle
+}
+
+func newAgentMetrics(reg *telemetry.Registry, a *Agent) *agentMetrics {
+	m := &agentMetrics{
+		batches: reg.Counter("dcdb_ingest_batches_total",
+			"Reading batches drained by the ingest workers."),
+		readings: reg.Counter("dcdb_ingest_readings_total",
+			"Readings ingested into the sink by the ingest workers."),
+		batchSize: reg.Histogram("dcdb_ingest_batch_readings",
+			"Readings per ingested batch.", telemetry.DefSizeBuckets),
+		drainSec: reg.Histogram("dcdb_ingest_drain_seconds",
+			"Latency from broker enqueue to ingest-worker pickup.",
+			telemetry.DefDurationBuckets),
+	}
+	if reg != nil && a != nil {
+		m.handles = append(m.handles, reg.GaugeFunc("dcdb_ingest_queue_depth",
+			"Batches waiting in the ingest fan-in queues.",
+			func() float64 {
+				n := 0
+				for _, q := range a.ingestQs {
+					n += len(q)
+				}
+				return float64(n)
+			}))
+	}
+	return m
+}
+
+func (m *agentMetrics) closeMetrics() {
+	for _, h := range m.handles {
+		h.Close()
+	}
+	m.handles = nil
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/telemetry"
 )
 
 // Job is the job-related data made available to job operator plugins
@@ -137,6 +138,11 @@ type Manager struct {
 	mu    sync.Mutex
 	ops   map[string]*opRuntime // by operator name
 	sched *Scheduler
+
+	// tickHist observes per-operator tick latency; never nil (an
+	// unattached histogram until EnableTelemetry registers a real one).
+	tickHist         *telemetry.Histogram
+	telemetryHandles []*telemetry.FuncHandle
 }
 
 // NewManager creates a manager computing against qe and emitting operator
@@ -145,11 +151,12 @@ type Manager struct {
 // Config resize it.
 func NewManager(qe *QueryEngine, sink Sink, env Env) *Manager {
 	return &Manager{
-		qe:    qe,
-		sink:  sink,
-		env:   env,
-		ops:   make(map[string]*opRuntime),
-		sched: NewScheduler(0),
+		qe:       qe,
+		sink:     sink,
+		env:      env,
+		ops:      make(map[string]*opRuntime),
+		sched:    NewScheduler(0),
+		tickHist: (*telemetry.Registry)(nil).Histogram("", "", telemetry.DefDurationBuckets),
 	}
 }
 
@@ -317,6 +324,7 @@ func (m *Manager) Stop() {
 // use Stop for a restartable halt.
 func (m *Manager) Close() {
 	m.Stop()
+	m.closeTelemetry()
 	m.scheduler().Close()
 }
 
@@ -384,18 +392,22 @@ func (m *Manager) runLoop(rt *opRuntime, stop <-chan struct{}) {
 // operator never overlap (a tick outlasting its interval delays the next
 // one instead of racing it).
 func (m *Manager) tickRuntime(rt *opRuntime, now time.Time) error {
-	// Resolve the scheduler before taking tickMu: m.scheduler() acquires
-	// m.mu, which the lock hierarchy places before tickMu, so taking it
+	// Resolve the scheduler (and tick histogram) before taking tickMu:
+	// m.mu comes before tickMu in the lock hierarchy, so taking it
 	// under tickMu would invert the declared order (invlint: lockorder).
-	sched := m.scheduler()
+	m.mu.Lock()
+	sched, tickHist := m.sched, m.tickHist
+	m.mu.Unlock()
 	rt.tickMu.Lock()
 	defer rt.tickMu.Unlock()
 	start := time.Now()
 	err := TickScheduled(rt.op, m.qe, m.sink, now, sched)
+	dur := time.Since(start)
+	tickHist.Observe(dur.Seconds())
 	rt.mu.Lock()
 	rt.ticks++
 	rt.lastErr = err
-	rt.lastDur = time.Since(start)
+	rt.lastDur = dur
 	rt.mu.Unlock()
 	return err
 }

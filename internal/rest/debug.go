@@ -1,0 +1,46 @@
+package rest
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"github.com/dcdb/wintermute/internal/telemetry"
+)
+
+// DebugServer is a running diagnostics endpoint.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts the diagnostics endpoint on addr: the net/http/pprof
+// handler tree under /debug/pprof/ plus /metrics for reg. It builds its
+// own mux on its own listener — the daemons bind it to a loopback or
+// management address via -debug-addr, never the public API port, so
+// profiling and introspection stay off the serving surface.
+func ServeDebug(addr string, reg *telemetry.Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", telemetry.ContentType)
+		_ = reg.WritePrometheus(w)
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address.
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the diagnostics endpoint down.
+func (s *DebugServer) Close() error { return s.srv.Close() }

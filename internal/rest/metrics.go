@@ -1,0 +1,128 @@
+package rest
+
+import (
+	"net/http"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/store"
+	"github.com/dcdb/wintermute/internal/telemetry"
+)
+
+// restMetrics instruments the serving tier. Always non-nil on an API;
+// without a registry the metrics are unattached, so handlers stay
+// unconditional.
+type restMetrics struct {
+	requests  *telemetry.CounterVec   // dcdb_http_requests_total{route}
+	latency   *telemetry.HistogramVec // dcdb_http_request_seconds{route}
+	inflight  *telemetry.Gauge        // requests currently being served
+	throttled *telemetry.Counter      // 429s from the rate limiter
+
+	// Per-status-class response counters, resolved once so the request
+	// path never touches the vec's child map.
+	c2xx, c3xx, c4xx, c5xx *telemetry.Counter
+}
+
+func newRESTMetrics(reg *telemetry.Registry) *restMetrics {
+	responses := reg.NewCounterVec("dcdb_http_responses_total",
+		"HTTP responses by status class.", "class")
+	return &restMetrics{
+		requests: reg.NewCounterVec("dcdb_http_requests_total",
+			"HTTP requests by route.", "route"),
+		latency: reg.NewHistogramVec("dcdb_http_request_seconds",
+			"HTTP request latency by route.",
+			telemetry.DefDurationBuckets, "route"),
+		inflight: reg.Gauge("dcdb_http_inflight_requests",
+			"Requests currently being served."),
+		throttled: reg.Counter("dcdb_http_throttled_total",
+			"Requests rejected by the rate limiter (HTTP 429)."),
+		c2xx: responses.With("2xx"),
+		c3xx: responses.With("3xx"),
+		c4xx: responses.With("4xx"),
+		c5xx: responses.With("5xx"),
+	}
+}
+
+// classCounter maps an HTTP status to its response-class counter.
+func (m *restMetrics) classCounter(status int) *telemetry.Counter {
+	switch {
+	case status >= 500:
+		return m.c5xx
+	case status >= 400:
+		return m.c4xx
+	case status >= 300:
+		return m.c3xx
+	default:
+		return m.c2xx
+	}
+}
+
+// statusWriter captures the response status for the per-class counters
+// and the slow-query log. It forwards Flush so streamed responses keep
+// their chunked behavior through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrumented wraps one route handler with the serving-tier telemetry:
+// per-route request counter and latency histogram, the in-flight gauge,
+// response-class counters, a request-scoped trace (returned to the
+// client as X-Trace-Id and threaded through the query path via the
+// request context) and the slow-query log. The per-route metric
+// children are resolved here, once, at handler-wiring time.
+func (a *API) instrumented(route string, h http.HandlerFunc) http.HandlerFunc {
+	requests := a.mx.requests.With(route)
+	latency := a.mx.latency.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		a.mx.inflight.Add(1)
+		defer a.mx.inflight.Add(-1)
+		start := time.Now()
+		tr := telemetry.NewTrace()
+		if id := tr.ID(); id != "" {
+			w.Header().Set("X-Trace-Id", id)
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+
+		// Attribute storage chunk decodes to this request by sampling the
+		// backend's decode counter around the handler. Concurrent requests
+		// share the counter, so the attribution is an upper bound — which
+		// is the useful direction for a slow-query log.
+		var sp store.DecodeStatsProvider
+		var decodesBefore uint64
+		if backend := a.qe.Store(); backend != nil {
+			if p, ok := backend.(store.DecodeStatsProvider); ok {
+				sp = p
+				decodesBefore = sp.ChunksDecoded()
+			}
+		}
+
+		h(sw, r.WithContext(telemetry.WithTrace(r.Context(), tr)))
+
+		if sp != nil {
+			tr.AddChunksDecoded(sp.ChunksDecoded() - decodesBefore)
+		}
+		dur := time.Since(start)
+		latency.Observe(dur.Seconds())
+		a.mx.classCounter(sw.status).Inc()
+		a.slow.Record(tr, route, sw.status, dur)
+	}
+}
+
+// metrics serves GET /metrics: the Prometheus text exposition of the
+// registry handed to NewHandler.
+func (a *API) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	_ = a.reg.WritePrometheus(w)
+}

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"github.com/dcdb/wintermute/internal/telemetry"
 )
 
 // limiter is a per-client token bucket: each client address accrues
@@ -89,11 +91,12 @@ func clientKey(r *http.Request) string {
 
 // withRateLimit wraps next with the token-bucket gate: over-budget
 // requests receive 429 with a Retry-After hint instead of queueing
-// behind the query engine.
-func withRateLimit(l *limiter, next http.Handler) http.Handler {
+// behind the query engine. throttled counts the rejections.
+func withRateLimit(l *limiter, next http.Handler, throttled *telemetry.Counter) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ok, wait := l.allow(clientKey(r), time.Now())
 		if !ok {
+			throttled.Inc()
 			secs := int(math.Ceil(wait.Seconds()))
 			if secs < 1 {
 				secs = 1

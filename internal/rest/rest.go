@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -19,13 +20,17 @@ import (
 	"github.com/dcdb/wintermute/internal/resultcache"
 	"github.com/dcdb/wintermute/internal/sensor"
 	"github.com/dcdb/wintermute/internal/store"
+	"github.com/dcdb/wintermute/internal/telemetry"
 )
 
 // API wraps a Wintermute manager and query engine with HTTP handlers.
 type API struct {
-	m  *core.Manager
-	qe *core.QueryEngine
-	rc *resultcache.Cache
+	m    *core.Manager
+	qe   *core.QueryEngine
+	rc   *resultcache.Cache
+	reg  *telemetry.Registry
+	mx   *restMetrics
+	slow *telemetry.SlowQueryLog
 }
 
 // Options tunes the serving tier of one API instance. The zero value —
@@ -44,6 +49,22 @@ type Options struct {
 	// may arrive back-to-back before the sustained rate applies).
 	// 0 derives 2×RateLimit, minimum 1.
 	RateBurst int
+	// Metrics instruments the serving tier into the given registry
+	// (per-route request counters and latency histograms, in-flight
+	// gauge, response classes, 429s) and exposes GET /metrics with the
+	// registry's Prometheus rendition. It also re-sources GET /status
+	// and GET /storage from the registry, so those endpoints cannot
+	// disagree with /metrics. nil leaves the API un-instrumented and
+	// /metrics unrouted.
+	Metrics *telemetry.Registry
+	// SlowQuery enables the structured slow-query log: requests running
+	// at or over this threshold emit one JSON line (trace ID, route,
+	// status, duration, and the query annotations — op, sensor, cache
+	// verdict, wildcard fan-out, chunks decoded). 0 disables it.
+	SlowQuery time.Duration
+	// SlowQueryOut receives the slow-query log lines; nil with SlowQuery
+	// set defaults to os.Stderr.
+	SlowQueryOut io.Writer
 }
 
 // NewHandler builds the HTTP handler tree for one DCDB component. At
@@ -54,24 +75,54 @@ func NewHandler(m *core.Manager, qe *core.QueryEngine, opts ...Options) http.Han
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	api := &API{m: m, qe: qe, rc: o.ResultCache}
+	if o.SlowQuery > 0 && o.SlowQueryOut == nil {
+		o.SlowQueryOut = os.Stderr
+	}
+	api := &API{
+		m: m, qe: qe, rc: o.ResultCache,
+		reg:  o.Metrics,
+		mx:   newRESTMetrics(o.Metrics),
+		slow: telemetry.NewSlowQueryLog(o.SlowQueryOut, o.SlowQuery),
+	}
+	if o.Metrics != nil && api.slow != nil {
+		// The handle is never closed: the registry and the handler share
+		// the process lifetime.
+		slow := api.slow
+		o.Metrics.CounterFunc("dcdb_http_slow_queries_total",
+			"Requests logged by the slow-query log.",
+			func() float64 { return float64(slow.Logged()) })
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /plugins", api.plugins)
-	mux.HandleFunc("GET /status", api.status)
-	mux.HandleFunc("GET /storage", api.storage)
-	mux.HandleFunc("GET /operators", api.operators)
-	mux.HandleFunc("GET /units", api.units)
-	mux.HandleFunc("GET /sensors", api.sensors)
-	mux.HandleFunc("GET /average", api.average)
-	mux.HandleFunc("GET /query", api.query)
-	mux.HandleFunc("POST /operators/start", api.start)
-	mux.HandleFunc("POST /operators/stop", api.stop)
-	mux.HandleFunc("POST /compute", api.compute)
-	mux.HandleFunc("POST /plugins/load", api.load)
-	mux.HandleFunc("POST /plugins/unload", api.unload)
+	// Instrumentation wraps each route only when something observes it
+	// (a registry or a slow-query log); the zero-Options handler tree is
+	// byte-identical to the un-instrumented one.
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		if o.Metrics != nil || api.slow != nil {
+			h = api.instrumented(route, h)
+		}
+		mux.HandleFunc(pattern, h)
+	}
+	handle("GET /plugins", "/plugins", api.plugins)
+	handle("GET /status", "/status", api.status)
+	handle("GET /storage", "/storage", api.storage)
+	handle("GET /operators", "/operators", api.operators)
+	handle("GET /units", "/units", api.units)
+	handle("GET /sensors", "/sensors", api.sensors)
+	handle("GET /average", "/average", api.average)
+	handle("GET /query", "/query", api.query)
+	handle("POST /operators/start", "/operators/start", api.start)
+	handle("POST /operators/stop", "/operators/stop", api.stop)
+	handle("POST /compute", "/compute", api.compute)
+	handle("POST /plugins/load", "/plugins/load", api.load)
+	handle("POST /plugins/unload", "/plugins/unload", api.unload)
+	if o.Metrics != nil {
+		// /metrics itself stays un-instrumented: a scrape should not
+		// perturb the request series it reads.
+		mux.HandleFunc("GET /metrics", api.metrics)
+	}
 	var h http.Handler = mux
 	if o.RateLimit > 0 {
-		h = withRateLimit(newLimiter(o.RateLimit, o.RateBurst), h)
+		h = withRateLimit(newLimiter(o.RateLimit, o.RateBurst), h, api.mx.throttled)
 	}
 	return h
 }
@@ -122,9 +173,28 @@ func (a *API) operators(w http.ResponseWriter, r *http.Request) {
 // per-operator last tick durations.
 func (a *API) status(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"scheduler": a.m.SchedulerStats(),
+		"scheduler": a.schedulerStats(),
 		"operators": a.m.Status(),
 	})
+}
+
+// schedulerStats sources the pool numbers for /status. With a registry
+// attached (and the manager's telemetry enabled on it) the values come
+// from the same dcdb_scheduler_* series /metrics exposes, so the two
+// endpoints cannot disagree; otherwise it asks the manager directly.
+func (a *API) schedulerStats() core.SchedulerStats {
+	if threads, ok := a.reg.Value("dcdb_scheduler_threads"); ok {
+		queued, _ := a.reg.Value("dcdb_scheduler_queued")
+		active, _ := a.reg.Value("dcdb_scheduler_active")
+		completed, _ := a.reg.Value("dcdb_scheduler_tasks_completed_total")
+		return core.SchedulerStats{
+			Threads:   int(threads),
+			Queued:    int(queued),
+			Active:    int(active),
+			Completed: uint64(completed),
+		}
+	}
+	return a.m.SchedulerStats()
 }
 
 // storage reports the component's Storage Backend: its kind, series and
@@ -138,6 +208,16 @@ func (a *API) storage(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if sp, ok := backend.(store.StatsProvider); ok {
+		// With a registry attached, refresh it (one snapshot runs the
+		// storage updater) and serve the exact BackendStats that snapshot
+		// captured — the numbers a concurrent /metrics scrape would show.
+		if a.reg != nil {
+			a.reg.Snapshot(func(*telemetry.Sample) {})
+			if st, ok := store.LastBackendStats(a.reg); ok {
+				writeJSON(w, http.StatusOK, st)
+				return
+			}
+		}
 		writeJSON(w, http.StatusOK, sp.Stats())
 		return
 	}
@@ -212,9 +292,11 @@ func (a *API) query(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	topic := sensor.Topic(q.Get("sensor"))
+	tr := telemetry.TraceFrom(r.Context())
 	var readings []sensor.Reading
 	switch {
 	case q.Get("lookback") != "":
+		tr.SetQuery("relative", string(topic))
 		lookback, err := parseWindow(q.Get("lookback"), 0)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
@@ -222,6 +304,7 @@ func (a *API) query(w http.ResponseWriter, r *http.Request) {
 		}
 		readings = a.qe.QueryRelative(topic, lookback, nil)
 	case q.Get("from") != "" || q.Get("to") != "":
+		tr.SetQuery("range", string(topic))
 		from, err1 := strconv.ParseInt(q.Get("from"), 10, 64)
 		to, err2 := strconv.ParseInt(q.Get("to"), 10, 64)
 		if err1 != nil || err2 != nil {
@@ -237,9 +320,11 @@ func (a *API) query(w http.ResponseWriter, r *http.Request) {
 				Start:  from, End: to,
 			}
 			if v, ok := a.rc.Get(key, topics); ok {
+				tr.SetCacheVerdict("hit")
 				writeReadings(w, topic, v.([]sensor.Reading))
 				return
 			}
+			tr.SetCacheVerdict("miss")
 			stamp := a.rc.Begin(topics)
 			readings = a.qe.QueryAbsolute(topic, from, to, nil)
 			if len(readings) <= maxCachedRange {
@@ -250,6 +335,7 @@ func (a *API) query(w http.ResponseWriter, r *http.Request) {
 		}
 		readings = a.qe.QueryAbsolute(topic, from, to, nil)
 	default:
+		tr.SetQuery("latest", string(topic))
 		if latest, ok := a.qe.Latest(topic); ok {
 			readings = []sensor.Reading{latest}
 		}
@@ -366,6 +452,9 @@ func (a *API) queryAggregate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	tr := telemetry.TraceFrom(r.Context())
+	tr.SetQuery(op.String(), q.Get("sensor"))
+	tr.SetFanout(len(topics))
 
 	// Relative window: one lookback aggregate per sensor, each anchored
 	// at that sensor's latest reading — inherently uncacheable (the
@@ -447,9 +536,11 @@ func (a *API) queryAggregate(w http.ResponseWriter, r *http.Request) {
 			Start:  start, End: end, Step: step,
 		}
 		if v, ok := a.rc.Get(key, topics); ok {
+			tr.SetCacheVerdict("hit")
 			a.streamAggAbsolute(w, op, start, end, stepStr, v.(*aggPayload))
 			return
 		}
+		tr.SetCacheVerdict("miss")
 		// The stamp must predate the compute: readings landing during it
 		// then invalidate the entry instead of being missed.
 		stamp = a.rc.Begin(topics)

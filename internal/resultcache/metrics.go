@@ -1,0 +1,31 @@
+package resultcache
+
+import (
+	"github.com/dcdb/wintermute/internal/telemetry"
+)
+
+// RegisterMetrics exposes the cache's hit/stale/miss counters and
+// entry count through the registry as callback metrics reading the
+// same atomics Stats reports, so /metrics can never disagree with the
+// Stats endpoint. It returns the handles; the owner must Close them
+// before discarding the cache. A nil cache or registry registers
+// nothing.
+func (c *Cache) RegisterMetrics(reg *telemetry.Registry) []*telemetry.FuncHandle {
+	if c == nil || reg == nil {
+		return nil
+	}
+	return []*telemetry.FuncHandle{
+		reg.CounterFunc("dcdb_resultcache_hits_total",
+			"Result-cache lookups served exactly (entry provably current).",
+			func() float64 { return float64(c.hits.Load()) }),
+		reg.CounterFunc("dcdb_resultcache_stale_total",
+			"Result-cache lookups served within the bounded-staleness TTL.",
+			func() float64 { return float64(c.stale.Load()) }),
+		reg.CounterFunc("dcdb_resultcache_misses_total",
+			"Result-cache lookups that found nothing servable.",
+			func() float64 { return float64(c.misses.Load()) }),
+		reg.GaugeFunc("dcdb_resultcache_entries",
+			"Memoized query results currently cached.",
+			func() float64 { return float64(c.Len()) }),
+	}
+}

@@ -155,7 +155,7 @@ func TestTopicIndexConcurrency(t *testing.T) {
 // linear-scan fallback is exercised.
 type plainBackend struct{ s *Store }
 
-func (p plainBackend) Insert(topic sensor.Topic, r sensor.Reading)     { p.s.Insert(topic, r) }
+func (p plainBackend) Insert(topic sensor.Topic, r sensor.Reading) { p.s.Insert(topic, r) }
 func (p plainBackend) InsertBatch(topic sensor.Topic, rs []sensor.Reading) {
 	p.s.InsertBatch(topic, rs)
 }

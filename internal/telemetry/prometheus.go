@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type header value for the Prometheus text
+// exposition format produced by WritePrometheus.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): one # HELP and # TYPE header per
+// family, cumulative le-labelled buckets plus _sum and _count for
+// histograms.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var lastFamily string
+	r.Snapshot(func(s *Sample) {
+		if s.Name != lastFamily {
+			bw.WriteString("# HELP ")
+			bw.WriteString(s.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(s.Help))
+			bw.WriteString("\n# TYPE ")
+			bw.WriteString(s.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(s.Type.String())
+			bw.WriteByte('\n')
+			lastFamily = s.Name
+		}
+		switch s.Type {
+		case TypeHistogram:
+			for _, b := range s.Buckets {
+				writeSeries(bw, s.Name+"_bucket", s.Labels, "le", formatFloat(b.Le), float64(b.Count))
+			}
+			writeSeries(bw, s.Name+"_bucket", s.Labels, "le", "+Inf", float64(s.Count))
+			writeSeries(bw, s.Name+"_sum", s.Labels, "", "", s.Sum)
+			writeSeries(bw, s.Name+"_count", s.Labels, "", "", float64(s.Count))
+		default:
+			writeSeries(bw, s.Name, s.Labels, "", "", s.Value)
+		}
+	})
+	return bw.Flush()
+}
+
+// writeSeries emits one sample line, appending the optional extra
+// label (used for histogram le) after the sample's own labels.
+func writeSeries(bw *bufio.Writer, name string, labels []Label, extraKey, extraVal string, v float64) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extraKey != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l.Key)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(l.Value))
+			bw.WriteByte('"')
+		}
+		if extraKey != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraKey)
+			bw.WriteString(`="`)
+			bw.WriteString(extraVal)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders v the way Prometheus clients expect: integral
+// values without an exponent or trailing .0, +Inf spelled literally.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }

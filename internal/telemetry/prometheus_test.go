@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite prometheus exposition golden file")
+
+// TestWritePrometheusGolden locks the exposition byte-for-byte against
+// testdata/metrics.golden: family ordering, HELP/TYPE headers,
+// histogram le buckets with +Inf, label escaping, float formatting.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dcdb_test_events_total", "Events observed by the test fixture.").Add(42)
+	r.Gauge("dcdb_test_depth", "Current queue depth.").Set(3.5)
+	v := r.NewCounterVec("dcdb_test_requests_total", "Requests by route.", "route")
+	v.With("/query").Add(7)
+	v.With("/status").Add(2)
+	r.GaugeFunc("dcdb_test_conns", "Open connections.", func() float64 { return 4 })
+	r.NewCounterVec("dcdb_test_escape_total", `Tricky "help" with \backslash`, "path").
+		With("a\\b\"c\nd").Inc()
+	h := r.Histogram("dcdb_test_latency_seconds", "Request latency.", []float64{0.001, 0.01, 0.1})
+	for _, x := range []float64{0.0005, 0.002, 0.05, 0.5} {
+		h.Observe(x)
+	}
+	hv := r.NewHistogramVec("dcdb_test_size", "Batch size.", []float64{1, 10}, "kind")
+	hv.With("batch").Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusValid does structural checks independent of the
+// golden bytes: every series line parses, histograms are cumulative
+// and end at +Inf == _count.
+func TestWritePrometheusValid(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("v_seconds", "x", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	mustContain := []string{
+		"# TYPE v_seconds histogram",
+		`v_seconds_bucket{le="1"} 1`,
+		`v_seconds_bucket{le="2"} 2`,
+		`v_seconds_bucket{le="+Inf"} 3`,
+		"v_seconds_sum 101",
+		"v_seconds_count 3",
+	}
+	for _, m := range mustContain {
+		if !strings.Contains(out, m) {
+			t.Fatalf("exposition missing %q:\n%s", m, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, " ") {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		42:      "42",
+		3.5:     "3.5",
+		0.001:   "0.001",
+		1e16:    "1e+16",
+		-7:      "-7",
+		0.0001:  "0.0001",
+		1e21:    "1e+21",
+		1.0 / 3: "0.3333333333333333",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

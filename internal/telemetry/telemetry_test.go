@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "events")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(10)
+	g.Add(-2.5)
+	if got := g.Value(); got != 7.5 {
+		t.Fatalf("gauge = %v, want 7.5", got)
+	}
+}
+
+func TestDuplicateRegistrationSharesMetric(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "x")
+	b := r.Counter("dup_total", "x")
+	if a != b {
+		t.Fatal("duplicate registration returned a different counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("shared counter did not share state")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("shape_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("shape_total", "x")
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("n", "n")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("nil-registry counter is not live")
+	}
+	r.Gauge("g", "g").Set(1)
+	r.Histogram("h", "h", []float64{1}).Observe(0.5)
+	r.NewCounterVec("cv", "cv", "k").With("v").Inc()
+	r.NewHistogramVec("hv", "hv", []float64{1}, "k").With("v").Observe(2)
+	r.GaugeFunc("gf", "gf", func() float64 { return 1 }).Close()
+	r.AddUpdater(func() {}).Close()
+	r.Snapshot(func(*Sample) { t.Fatal("nil registry snapshot visited a sample") })
+	if _, ok := r.Value("n"); ok {
+		t.Fatal("nil registry Value reported a series")
+	}
+}
+
+func TestEnabledGate(t *testing.T) {
+	defer SetEnabled(true)
+	r := NewRegistry()
+	c := r.Counter("gate_total", "x")
+	h := r.Histogram("gate_seconds", "x", []float64{1, 2})
+	SetEnabled(false)
+	if Enabled() {
+		t.Fatal("Enabled() = true after SetEnabled(false)")
+	}
+	c.Inc()
+	h.Observe(1)
+	start := Clock()
+	if !start.IsZero() {
+		t.Fatal("Clock() should be zero while disabled")
+	}
+	h.ObserveSince(start)
+	SetEnabled(true)
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled metrics mutated: counter=%d hist=%d", c.Value(), h.Count())
+	}
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("re-enabled counter did not count")
+	}
+}
+
+func TestGaugeFuncSumsAcrossInstances(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.GaugeFunc("inst_depth", "x", func() float64 { return 3 })
+	h2 := r.GaugeFunc("inst_depth", "x", func() float64 { return 4 })
+	if v, ok := r.Value("inst_depth"); !ok || v != 7 {
+		t.Fatalf("summed gauge funcs = %v,%v, want 7,true", v, ok)
+	}
+	h1.Close()
+	if v, _ := r.Value("inst_depth"); v != 4 {
+		t.Fatalf("after closing one handle = %v, want 4", v)
+	}
+	h2.Close()
+	h2.Close() // double close is a no-op
+	if v, ok := r.Value("inst_depth"); ok || v != 0 {
+		t.Fatalf("after closing all handles = %v,%v, want 0,false", v, ok)
+	}
+}
+
+func TestUpdaterRunsBeforeSnapshot(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("u_depth", "x")
+	n := 0
+	h := r.AddUpdater(func() { n++; g.Set(float64(n)) })
+	var got float64
+	r.Snapshot(func(s *Sample) {
+		if s.Name == "u_depth" {
+			got = s.Value
+		}
+	})
+	if got != 1 {
+		t.Fatalf("snapshot saw %v, want updater-written 1", got)
+	}
+	h.Close()
+	r.Snapshot(func(*Sample) {})
+	if n != 1 {
+		t.Fatalf("closed updater still ran: n=%d", n)
+	}
+}
+
+func TestVecChildrenAndValue(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("route_total", "by route", "route")
+	v.With("/query").Add(3)
+	v.With("/status").Inc()
+	if x, ok := r.Value("route_total", "/query"); !ok || x != 3 {
+		t.Fatalf("Value(/query) = %v,%v", x, ok)
+	}
+	if v.With("/query") != v.With("/query") {
+		t.Fatal("With is not stable for one label set")
+	}
+	var names []string
+	r.Snapshot(func(s *Sample) {
+		if len(s.Labels) != 1 || s.Labels[0].Key != "route" {
+			t.Fatalf("bad labels: %+v", s.Labels)
+		}
+		names = append(names, s.Labels[0].Value)
+	})
+	if strings.Join(names, ",") != "/query,/status" {
+		t.Fatalf("snapshot order = %v, want sorted label values", names)
+	}
+}
+
+func TestSnapshotSortedByFamily(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zzz_total", "z").Inc()
+	r.Counter("aaa_total", "a").Inc()
+	var names []string
+	r.Snapshot(func(s *Sample) { names = append(names, s.Name) })
+	if strings.Join(names, ",") != "aaa_total,zzz_total" {
+		t.Fatalf("snapshot order = %v", names)
+	}
+}
+
+// TestConcurrentIncrements is the concurrent-increment race suite: a
+// pile of goroutines hammering one counter, one gauge, one histogram
+// and one vec while a reader snapshots, with exact final counts.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total", "x")
+	g := r.Gauge("race_gauge", "x")
+	h := r.Histogram("race_seconds", "x", []float64{0.25, 0.5, 0.75})
+	v := r.NewCounterVec("race_vec_total", "x", "k")
+
+	const goroutines = 16
+	const iters = 2000
+	var workers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	reader.Add(1)
+	go func() { // concurrent snapshotter
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Snapshot(func(*Sample) {})
+			}
+		}
+	}()
+	for i := 0; i < goroutines; i++ {
+		workers.Add(1)
+		go func(i int) {
+			defer workers.Done()
+			lbl := string(rune('a' + i%4))
+			for j := 0; j < iters; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j%4) / 4)
+				v.With(lbl).Inc()
+			}
+		}(i)
+	}
+	workers.Wait()
+	close(stop)
+	reader.Wait()
+
+	const want = goroutines * iters
+	if c.Value() != want {
+		t.Fatalf("counter = %d, want %d", c.Value(), want)
+	}
+	if g.Value() != want {
+		t.Fatalf("gauge = %v, want %d", g.Value(), want)
+	}
+	if h.Count() != want {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), want)
+	}
+	var vecSum uint64
+	r.Snapshot(func(s *Sample) {
+		if s.Name == "race_vec_total" {
+			vecSum += uint64(s.Value)
+		}
+	})
+	if vecSum != want {
+		t.Fatalf("vec sum = %d, want %d", vecSum, want)
+	}
+}

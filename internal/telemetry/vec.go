@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"sort"
+	"strings"
+)
+
+// CounterVec is a counter family partitioned by labels. With resolves
+// one label combination to its child Counter; resolve once at
+// construction and keep the child, never call With on a hot path.
+type CounterVec struct {
+	f *family
+}
+
+// NewCounterVec registers (or finds) a labelled counter family.
+func (r *Registry) NewCounterVec(name, help string, labelKeys ...string) *CounterVec {
+	if r == nil {
+		return &CounterVec{}
+	}
+	return &CounterVec{f: r.lookup(name, help, TypeCounter, labelKeys, nil)}
+}
+
+// With returns the child counter for the given label values (one per
+// label key, in key order), creating it on first use.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	if v.f == nil {
+		return &Counter{}
+	}
+	c, _ := v.f.child(labelValues, func() any { return &Counter{} })
+	return c.(*Counter)
+}
+
+// GaugeVec is a gauge family partitioned by labels.
+type GaugeVec struct {
+	f *family
+}
+
+// NewGaugeVec registers (or finds) a labelled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labelKeys ...string) *GaugeVec {
+	if r == nil {
+		return &GaugeVec{}
+	}
+	return &GaugeVec{f: r.lookup(name, help, TypeGauge, labelKeys, nil)}
+}
+
+// With returns the child gauge for the given label values, creating it
+// on first use.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	if v.f == nil {
+		return &Gauge{}
+	}
+	g, _ := v.f.child(labelValues, func() any { return &Gauge{} })
+	return g.(*Gauge)
+}
+
+// HistogramVec is a histogram family partitioned by labels; every
+// child shares the family's bucket bounds.
+type HistogramVec struct {
+	f      *family
+	bounds []float64
+}
+
+// NewHistogramVec registers (or finds) a labelled histogram family
+// with the given bucket upper bounds.
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labelKeys ...string) *HistogramVec {
+	if r == nil {
+		return &HistogramVec{bounds: checkBounds(bounds)}
+	}
+	return &HistogramVec{f: r.lookup(name, help, TypeHistogram, labelKeys, checkBounds(bounds)), bounds: bounds}
+}
+
+// With returns the child histogram for the given label values,
+// creating it on first use.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	if v.f == nil {
+		return newHistogram(v.bounds)
+	}
+	h, _ := v.f.child(labelValues, func() any { return newHistogram(v.f.bounds) })
+	return h.(*Histogram)
+}
+
+// child finds or creates the child for one label-value combination.
+func (f *family) child(vals []string, mk func() any) (any, string) {
+	if len(vals) != len(f.keys) {
+		panic("telemetry: " + f.name + ": wrong number of label values")
+	}
+	key := strings.Join(vals, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.children == nil {
+		f.children = make(map[string]any)
+	}
+	c, ok := f.children[key]
+	if !ok {
+		c = mk()
+		f.children[key] = c
+		f.childKey = append(f.childKey, key)
+		sort.Strings(f.childKey)
+	}
+	return c, key
+}

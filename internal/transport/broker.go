@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/telemetry"
 )
 
 // Handler consumes published messages delivered to a subscription.
@@ -78,6 +79,10 @@ type Broker struct {
 	wg sync.WaitGroup
 	// published counts all messages routed, for the footprint experiment.
 	published atomic.Uint64
+
+	// metrics is never nil on a running broker; without a registry the
+	// counters are unattached, so route stays unconditional.
+	metrics *brokerMetrics
 }
 
 type localSub struct {
@@ -86,12 +91,19 @@ type localSub struct {
 }
 
 // NewBroker starts a broker listening on addr (e.g. "127.0.0.1:0").
-func NewBroker(addr string) (*Broker, error) {
+// An optional telemetry registry instruments the broker (frame/byte
+// counters, connection gauge); at most one may be given.
+func NewBroker(addr string, reg ...*telemetry.Registry) (*Broker, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	b := &Broker{ln: ln, conns: make(map[*brokerConn]struct{})}
+	var r *telemetry.Registry
+	if len(reg) > 0 {
+		r = reg[0]
+	}
+	b.metrics = newBrokerMetrics(r, b)
 	b.wg.Add(1)
 	go b.acceptLoop()
 	return b, nil
@@ -150,6 +162,7 @@ func (b *Broker) Close() error {
 		c.conn.Close()
 	}
 	b.wg.Wait()
+	b.metrics.closeMetrics()
 	return err
 }
 
@@ -161,6 +174,7 @@ func (b *Broker) acceptLoop() {
 			return // listener closed
 		}
 		bc := &brokerConn{conn: conn, bw: bufio.NewWriterSize(conn, 4<<10)}
+		b.metrics.connsTotal.Inc()
 		b.mu.Lock()
 		if b.closed {
 			b.mu.Unlock()
@@ -200,12 +214,15 @@ func (b *Broker) serveConn(bc *brokerConn) {
 		if err != nil {
 			return
 		}
+		b.metrics.frames.Inc()
+		b.metrics.bytesIn.Add(uint64(len(payload)))
 		switch typ {
 		case frameConnect:
 			err = bc.writeFrame(frameConnAck, nil)
 		case framePublish:
 			msg, derr := decodePublishInto(payload, readings[:0], topics)
 			if derr != nil {
+				b.metrics.dropped.Inc()
 				log.Printf("transport: broker: dropping bad publish: %v", derr)
 				continue
 			}
@@ -238,6 +255,8 @@ func (b *Broker) serveConn(bc *brokerConn) {
 // steady-state routing path takes no lock and performs no allocation.
 func (b *Broker) route(msg Message, payload []byte) {
 	b.published.Add(1)
+	b.metrics.routed.Inc()
+	b.metrics.readings.Add(uint64(len(msg.Readings)))
 	if locals := b.locals.Load(); locals != nil {
 		for _, ls := range *locals {
 			if sensor.MatchFilter(ls.filter, msg.Topic) {
@@ -258,7 +277,11 @@ func (b *Broker) route(msg Message, payload []byte) {
 			// routing for others; errors surface as connection teardown
 			// on read.
 			if err := s.c.writeFrame(framePublish, payload); err != nil {
+				b.metrics.writeFails.Inc()
 				s.c.conn.Close()
+			} else {
+				b.metrics.forwarded.Inc()
+				b.metrics.bytesOut.Add(uint64(len(payload)))
 			}
 			break
 		}

@@ -98,6 +98,7 @@ func TestSubscriberFramesNeverInterleave(t *testing.T) {
 // batch shape have been seen.
 func TestRouteSteadyStateAllocFree(t *testing.T) {
 	b := &Broker{conns: make(map[*brokerConn]struct{})}
+	b.metrics = newBrokerMetrics(nil, nil)
 	b.SubscribeLocal("/a/#", func(Message) {})
 	payload := EncodePublish(Message{
 		Topic:    "/a/n1/power",

@@ -1,0 +1,65 @@
+package transport
+
+import (
+	"github.com/dcdb/wintermute/internal/telemetry"
+)
+
+// brokerMetrics is the broker's telemetry bundle. Always non-nil on a
+// running broker: with no registry the metrics are minted from a nil
+// *telemetry.Registry and count into nowhere, so the per-frame route
+// path stays branch-free. Connection count is a callback gauge over
+// the conns map, closed when the broker closes.
+type brokerMetrics struct {
+	frames     *telemetry.Counter // frames read off client connections
+	routed     *telemetry.Counter // publish messages routed
+	readings   *telemetry.Counter // readings carried by routed messages
+	dropped    *telemetry.Counter // malformed publishes dropped
+	forwarded  *telemetry.Counter // publishes forwarded to network subscribers
+	writeFails *telemetry.Counter // subscriber write failures (connection torn down)
+	bytesIn    *telemetry.Counter // payload bytes received
+	bytesOut   *telemetry.Counter // payload bytes forwarded to subscribers
+	connsTotal *telemetry.Counter // connections accepted since start
+
+	handles []*telemetry.FuncHandle
+}
+
+func newBrokerMetrics(reg *telemetry.Registry, b *Broker) *brokerMetrics {
+	m := &brokerMetrics{
+		frames: reg.Counter("dcdb_broker_frames_total",
+			"Frames read from client connections."),
+		routed: reg.Counter("dcdb_broker_messages_routed_total",
+			"Publish messages routed to local handlers and subscribers."),
+		readings: reg.Counter("dcdb_broker_readings_total",
+			"Sensor readings carried by routed publish messages."),
+		dropped: reg.Counter("dcdb_broker_publishes_dropped_total",
+			"Malformed publish frames dropped before routing."),
+		forwarded: reg.Counter("dcdb_broker_messages_forwarded_total",
+			"Publish messages forwarded to matching network subscribers."),
+		writeFails: reg.Counter("dcdb_broker_subscriber_write_failures_total",
+			"Forwarding write errors that tore down a subscriber connection."),
+		bytesIn: reg.Counter("dcdb_broker_bytes_received_total",
+			"Frame payload bytes received from clients."),
+		bytesOut: reg.Counter("dcdb_broker_bytes_forwarded_total",
+			"Frame payload bytes forwarded to network subscribers."),
+		connsTotal: reg.Counter("dcdb_broker_connections_total",
+			"Client connections accepted since start."),
+	}
+	if reg != nil && b != nil {
+		m.handles = append(m.handles, reg.GaugeFunc("dcdb_broker_connections",
+			"Currently open client connections.",
+			func() float64 {
+				b.mu.Lock()
+				n := len(b.conns)
+				b.mu.Unlock()
+				return float64(n)
+			}))
+	}
+	return m
+}
+
+func (m *brokerMetrics) closeMetrics() {
+	for _, h := range m.handles {
+		h.Close()
+	}
+	m.handles = nil
+}

@@ -13,6 +13,7 @@ import (
 
 	"github.com/dcdb/wintermute/internal/sensor"
 	"github.com/dcdb/wintermute/internal/store"
+	"github.com/dcdb/wintermute/internal/telemetry"
 )
 
 // Options configures a DB. The zero value enables the janitor with
@@ -58,6 +59,12 @@ type Options struct {
 	// while the prune cycle still holds its serialisation mutex: it must
 	// not call Flush, Prune or Close on this DB.
 	OnPrune func(cutoff int64, removed int)
+	// Metrics, when set, registers the DB's telemetry families (WAL
+	// cohort/commit histograms, flush/prune/janitor durations,
+	// head/segment gauges, chunk-decode counter) in the given registry.
+	// Nil leaves the DB uninstrumented at near-zero cost: hot paths
+	// still run their metric calls, against unattached metrics.
+	Metrics *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -175,6 +182,11 @@ type DB struct {
 	janitorDone chan struct{}
 	closeOnce   sync.Once
 	closeErr    error
+
+	// metrics is never nil on an opened DB; without Options.Metrics it
+	// holds unattached metrics so instrumentation sites stay
+	// unconditional.
+	metrics *dbMetrics
 }
 
 var _ store.Backend = (*DB)(nil)
@@ -187,6 +199,7 @@ var _ store.PrefixMatcher = (*DB)(nil)
 // fresh heads — after which queries answer exactly as before the crash.
 func Open(dir string, opts Options) (*DB, error) {
 	opts = opts.withDefaults()
+	openStart := time.Now()
 	walDir := filepath.Join(dir, "wal")
 	segDir := filepath.Join(dir, "seg")
 	for _, d := range []string{dir, walDir, segDir} {
@@ -214,6 +227,10 @@ func Open(dir string, opts Options) (*DB, error) {
 	for i := range db.shards {
 		db.shards[i].heads = make(map[sensor.Topic]*head)
 	}
+	db.metrics = newDBMetrics(opts.Metrics, db)
+	for _, s := range segs {
+		s.decodes = db.metrics.chunkDecodes
+	}
 	// Re-derive the per-segment prune bookkeeping the persisted
 	// watermark implies, so post-restart Prune calls report accurate
 	// removal counts.
@@ -237,6 +254,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	walFiles, err := listWAL(walDir)
 	if err != nil {
+		db.metrics.closeMetrics()
 		lock.Close()
 		return nil, err
 	}
@@ -265,6 +283,7 @@ func Open(dir string, opts Options) (*DB, error) {
 			db.headFor(topic).insert(rs)
 			db.headN.Add(int64(len(rs)))
 		}); err != nil {
+			db.metrics.closeMetrics()
 			lock.Close()
 			return nil, fmt.Errorf("tsdb: replaying %s: %w", wf.path, err)
 		}
@@ -280,11 +299,14 @@ func Open(dir string, opts Options) (*DB, error) {
 	db.idx.ResetWith(db.Topics)
 	db.wal, err = newWAL(walDir, maxWALSeq+1, opts.WALSync)
 	if err != nil {
+		db.metrics.closeMetrics()
 		lock.Close()
 		return nil, err
 	}
 	db.wal.groupWindow = opts.WALGroupWindow
 	db.wal.legacy = opts.LegacyIngest
+	db.wal.m = db.metrics
+	db.metrics.recoverySec.Set(time.Since(openStart).Seconds())
 	if opts.FlushEvery > 0 {
 		db.janitorStop = make(chan struct{})
 		db.janitorDone = make(chan struct{})
@@ -708,6 +730,9 @@ func (db *DB) TotalReadings() int {
 func (db *DB) Flush() error {
 	db.flushMu.Lock()
 	defer db.flushMu.Unlock()
+	flushStart := telemetry.Clock()
+	defer db.metrics.flushSeconds.ObserveSince(flushStart)
+	db.metrics.flushes.Inc()
 	db.ingest.Lock()
 	// Atomically: detach head data into the flushing stage, rotate the
 	// WAL. Inserts resume into fresh heads + the new WAL file while the
@@ -777,6 +802,12 @@ func (db *DB) Flush() error {
 		}
 		return fmt.Errorf("tsdb: writing segment: %w", err)
 	}
+	seg.decodes = db.metrics.chunkDecodes
+	flushed := 0
+	for _, rs := range data {
+		flushed += len(rs)
+	}
+	db.metrics.flushedRead.Add(uint64(flushed))
 	db.mu.Lock()
 	db.segs = append(db.segs, seg)
 	db.flushing = nil
@@ -828,6 +859,8 @@ func (db *DB) removeWALThrough(walDir string, maxSeq uint64) {
 func (db *DB) Prune(cutoff int64) int {
 	db.flushMu.Lock() // serialise against Flush: segs/head bookkeeping
 	defer db.flushMu.Unlock()
+	pruneStart := telemetry.Clock()
+	defer db.metrics.pruneSeconds.ObserveSince(pruneStart)
 	db.mu.Lock()
 	if cutoff <= db.floor {
 		db.mu.Unlock()
@@ -907,6 +940,9 @@ func (db *DB) Prune(cutoff int64) int {
 			db.opts.OnPrune(cutoff, removed)
 		}
 	}
+	if removed > 0 {
+		db.metrics.prunedReadings.Add(uint64(removed))
+	}
 	return removed
 }
 
@@ -985,6 +1021,7 @@ func (db *DB) Close() error {
 		if db.lock != nil {
 			db.lock.Close()
 		}
+		db.metrics.closeMetrics()
 		db.closeErr = err
 	})
 	return db.closeErr
@@ -1012,6 +1049,7 @@ func (db *DB) Abandon() {
 		if db.lock != nil {
 			db.lock.Close()
 		}
+		db.metrics.closeMetrics()
 		db.closeErr = fmt.Errorf("tsdb: database was abandoned")
 	})
 }

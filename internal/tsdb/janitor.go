@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"github.com/dcdb/wintermute/internal/telemetry"
 )
 
 // The janitor is the database's single background goroutine. Each pass it
@@ -31,6 +33,8 @@ func (db *DB) janitor() {
 // Exposed to tests through Tick-like manual invocation via Flush/Prune;
 // the daemon path only reaches it from the janitor goroutine.
 func (db *DB) janitorPass(now time.Time) {
+	passStart := telemetry.Clock()
+	defer db.metrics.janitorSeconds.ObserveSince(passStart)
 	headN := int(db.headN.Load())
 	since := db.headSince.Load()
 	if headN >= db.opts.MaxHeadReadings ||

@@ -1,0 +1,111 @@
+package tsdb
+
+import (
+	"github.com/dcdb/wintermute/internal/telemetry"
+)
+
+// dbMetrics bundles every telemetry handle a DB touches. It is always
+// non-nil on an opened DB: with no registry configured the metrics are
+// minted from a nil *telemetry.Registry, so they count into nowhere and
+// the instrumentation call sites stay unconditional. Hot-path members
+// (WAL counters/histograms, chunk decodes) are plain atomics; the
+// derived sizes (head readings, segment count) are callback gauges
+// evaluated only at scrape time.
+type dbMetrics struct {
+	walAppends *telemetry.Counter   // records staged through Append
+	walBytes   *telemetry.Counter   // bytes written to the active WAL file
+	walCommits *telemetry.Counter   // physical write (+sync) operations
+	walCohort  *telemetry.Histogram // records persisted per commit cohort
+	walCommitS *telemetry.Histogram // seconds per commit write (+fsync)
+
+	flushes        *telemetry.Counter
+	flushSeconds   *telemetry.Histogram
+	flushedRead    *telemetry.Counter
+	pruneSeconds   *telemetry.Histogram
+	prunedReadings *telemetry.Counter
+	janitorSeconds *telemetry.Histogram
+	recoverySec    *telemetry.Gauge
+
+	chunkDecodes *telemetry.Counter
+
+	handles []*telemetry.FuncHandle
+}
+
+// walCohortBuckets sizes the cohort histogram: group commit coalesces
+// from 1 (uncontended) to hundreds of records per fsync under load.
+var walCohortBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// newDBMetrics registers the DB's metric families in reg (which may be
+// nil) and returns the bundle. Callback gauges read db state and are
+// closed by closeMetrics before the DB tears that state down.
+func newDBMetrics(reg *telemetry.Registry, db *DB) *dbMetrics {
+	m := &dbMetrics{
+		walAppends: reg.Counter("dcdb_tsdb_wal_appends_total",
+			"WAL records staged through the group committer."),
+		walBytes: reg.Counter("dcdb_tsdb_wal_bytes_total",
+			"Bytes written to the write-ahead log."),
+		walCommits: reg.Counter("dcdb_tsdb_wal_commits_total",
+			"Physical WAL commit operations (one write, plus one fsync in sync mode)."),
+		walCohort: reg.Histogram("dcdb_tsdb_wal_cohort_records",
+			"Records persisted per group-commit cohort.", walCohortBuckets),
+		walCommitS: reg.Histogram("dcdb_tsdb_wal_commit_seconds",
+			"Seconds per WAL commit write (includes the fsync in sync mode).",
+			telemetry.DefDurationBuckets),
+		flushes: reg.Counter("dcdb_tsdb_flushes_total",
+			"Head-to-segment flush cycles."),
+		flushSeconds: reg.Histogram("dcdb_tsdb_flush_seconds",
+			"Seconds per flush cycle (detach, segment write, WAL retirement).",
+			telemetry.DefDurationBuckets),
+		flushedRead: reg.Counter("dcdb_tsdb_flushed_readings_total",
+			"Readings moved from heads into segments by flushes."),
+		pruneSeconds: reg.Histogram("dcdb_tsdb_prune_seconds",
+			"Seconds per retention prune pass.", telemetry.DefDurationBuckets),
+		prunedReadings: reg.Counter("dcdb_tsdb_pruned_readings_total",
+			"Readings removed or hidden by retention pruning."),
+		janitorSeconds: reg.Histogram("dcdb_tsdb_janitor_pass_seconds",
+			"Seconds per janitor pass (flush/prune decisions included).",
+			telemetry.DefDurationBuckets),
+		recoverySec: reg.Gauge("dcdb_tsdb_recovery_seconds",
+			"Duration of the last Open recovery (segment load + WAL replay)."),
+		chunkDecodes: reg.Counter("dcdb_tsdb_chunk_decodes_total",
+			"Segment chunks decoded on behalf of queries and prunes."),
+	}
+	if reg != nil && db != nil {
+		m.handles = append(m.handles,
+			reg.GaugeFunc("dcdb_tsdb_head_readings",
+				"Readings buffered in mutable heads (flushing stage excluded).",
+				func() float64 { return float64(db.headN.Load()) }),
+			reg.GaugeFunc("dcdb_tsdb_segments",
+				"Open immutable segment files.",
+				func() float64 {
+					db.mu.RLock()
+					n := len(db.segs)
+					db.mu.RUnlock()
+					return float64(n)
+				}),
+			reg.GaugeFunc("dcdb_tsdb_wal_degraded",
+				"1 when the WAL has a sticky append failure, else 0.",
+				func() float64 {
+					if db.walDegraded.Load() {
+						return 1
+					}
+					return 0
+				}),
+		)
+	}
+	return m
+}
+
+// closeMetrics unregisters the DB's callback gauges; called from Close
+// and Abandon before file handles go away.
+func (m *dbMetrics) closeMetrics() {
+	for _, h := range m.handles {
+		h.Close()
+	}
+	m.handles = nil
+}
+
+// ChunksDecoded returns the number of segment chunks this DB has
+// decoded since Open, the currency of the slow-query log's
+// chunks_decoded field. Counting follows the telemetry enable switch.
+func (db *DB) ChunksDecoded() uint64 { return db.metrics.chunkDecodes.Value() }

@@ -13,6 +13,7 @@ import (
 
 	"github.com/dcdb/wintermute/internal/sensor"
 	"github.com/dcdb/wintermute/internal/store"
+	"github.com/dcdb/wintermute/internal/telemetry"
 )
 
 // Segment files are immutable and time-partitioned: each one holds every
@@ -75,6 +76,10 @@ type segment struct {
 	// prunedCount is the number of readings in this segment already
 	// counted as removed by DB.Prune (retention watermark bookkeeping).
 	prunedCount int
+
+	// decodes, when set by the owning DB, counts chunk decodes into the
+	// DB's telemetry (queries, counts and prune bookkeeping all pay it).
+	decodes *telemetry.Counter
 }
 
 func segPath(dir string, seq uint64) string {
@@ -351,6 +356,9 @@ func openSegment(path string, seq uint64) (*segment, error) {
 
 // readChunk loads and parses one series' chunk.
 func (s *segment) readChunk(ss segSeries) (*Iter, error) {
+	if s.decodes != nil {
+		s.decodes.Inc()
+	}
 	chunk := make([]byte, ss.length)
 	if _, err := s.f.ReadAt(chunk, ss.off); err != nil {
 		return nil, err

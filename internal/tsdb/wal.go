@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/telemetry"
 )
 
 // The write-ahead log is shared by every series: one record per ingest
@@ -91,6 +92,10 @@ type wal struct {
 	groupWindow time.Duration
 	legacy      bool // pre-group-commit append path, kept for the paired bench
 
+	// m is the owning DB's telemetry bundle, set by Open before any
+	// Append can run; nil only when a wal is constructed bare in tests.
+	m *dbMetrics
+
 	mu         sync.Mutex
 	drained    *sync.Cond // signalled when committing falls back to false
 	staging    *walGroup  // cohort accepting writers, nil when empty
@@ -150,6 +155,12 @@ func (w *wal) Append(topic sensor.Topic, rs []sensor.Reading) error {
 		}
 		w.mu.Unlock()
 		walRecPool.Put(rec)
+		if m := w.m; m != nil && err == nil {
+			m.walAppends.Inc()
+			m.walCommits.Inc()
+			m.walBytes.Add(uint64(n))
+			m.walCohort.Observe(1)
+		}
 		return err
 	}
 	g := w.staging
@@ -197,12 +208,20 @@ func (w *wal) Append(topic sensor.Topic, rs []sensor.Reading) error {
 		cur := w.staging
 		w.staging = nil
 		w.mu.Unlock()
+		commitStart := telemetry.Clock()
 		n, err := w.f.Write(cur.buf)
 		if err == nil && w.syncEach {
 			err = w.f.Sync()
 		}
 		if err != nil {
 			err = fmt.Errorf("tsdb: wal append: %w", err)
+		}
+		if m := w.m; m != nil && err == nil {
+			m.walCommitS.ObserveSince(commitStart)
+			m.walCommits.Inc()
+			m.walAppends.Add(uint64(cur.n))
+			m.walBytes.Add(uint64(n))
+			m.walCohort.Observe(float64(cur.n))
 		}
 		w.mu.Lock()
 		w.size += int64(n)
@@ -236,6 +255,7 @@ func (w *wal) appendLegacy(topic sensor.Topic, rs []sensor.Reading) error {
 		return w.err
 	}
 	w.buf = appendWALRecord(w.buf[:0], topic, rs)
+	commitStart := telemetry.Clock()
 	n, err := w.f.Write(w.buf)
 	w.size += int64(n)
 	if err != nil {
@@ -248,6 +268,13 @@ func (w *wal) appendLegacy(topic sensor.Topic, rs []sensor.Reading) error {
 			w.err = err
 			return err
 		}
+	}
+	if m := w.m; m != nil {
+		m.walCommitS.ObserveSince(commitStart)
+		m.walCommits.Inc()
+		m.walAppends.Inc()
+		m.walBytes.Add(uint64(n))
+		m.walCohort.Observe(1)
 	}
 	return nil
 }
