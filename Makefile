@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet doclint lint test race bench bench-smoke bench-json ci
+.PHONY: all build vet doclint lint test race bench bench-smoke bench-json chaos chaos-smoke ci
 
 all: build vet doclint lint test
 
@@ -64,4 +64,20 @@ bench-smoke:
 bench-json:
 	$(GO) run ./cmd/benchrunner -bench-json BENCH_PR8.json
 
-ci: build vet doclint lint test race bench-smoke bench
+# Seeded chaos smoke (~10s): the fault-injected end-to-end scenario and
+# the integration-tier recovery case, both under the race detector. A
+# fixed WINTERMUTE_TEST_SEED keeps CI deterministic; drop the variable to
+# explore fresh seeds locally (failures log their replay incantation).
+# See docs/TESTING.md for the harness design and verdict format.
+chaos-smoke:
+	WINTERMUTE_TEST_SEED=42 $(GO) test -race -count=1 \
+		-run 'TestScenarioSmoke|TestChaosSmokeRecovery' \
+		./internal/chaos/ ./internal/integration/
+
+# Full chaos run: 1000 simulated pushers, 30s of scheduled faults,
+# zero-loss accounting and query latency under chaos, written as a JSON
+# verdict. Pre-merge gate for storage/transport/ingest changes.
+chaos:
+	$(GO) run ./cmd/chaosrunner -seed 42 -out BENCH_PR9.json
+
+ci: build vet doclint lint test race bench-smoke bench chaos-smoke

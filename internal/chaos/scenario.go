@@ -1,0 +1,765 @@
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/collect"
+	"github.com/dcdb/wintermute/internal/rest"
+	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/sim/cluster"
+	"github.com/dcdb/wintermute/internal/sim/hardware"
+	"github.com/dcdb/wintermute/internal/sim/jobs"
+	"github.com/dcdb/wintermute/internal/sim/workload"
+	"github.com/dcdb/wintermute/internal/telemetry"
+	"github.com/dcdb/wintermute/internal/transport"
+	"github.com/dcdb/wintermute/internal/tsdb"
+)
+
+// FaultKind names one injectable fault class in a scenario schedule.
+type FaultKind string
+
+// The fault classes a scenario can schedule. Backpressure is not
+// scheduled — it is the standing IngestQueueCap configuration — but is
+// reported as an active class in the verdict when the cap is tiny.
+const (
+	// FaultConnKill abruptly closes live pusher connections.
+	FaultConnKill FaultKind = "conn-kill"
+	// FaultFsyncStall makes WAL fsyncs hang mid-group-commit.
+	FaultFsyncStall FaultKind = "fsync-stall"
+	// FaultFsyncFail makes WAL fsyncs return errors (degraded WAL).
+	FaultFsyncFail FaultKind = "fsync-fail"
+	// FaultWALTorn tears WAL appends: half the record lands, then error.
+	FaultWALTorn FaultKind = "wal-torn-write"
+	// FaultSegFail fails segment writes, so flushes abort and retry.
+	FaultSegFail FaultKind = "seg-write-fail"
+	// FaultOOOFlood makes pushers emit buffered batches in reverse
+	// order, flooding the store with out-of-order timestamps.
+	FaultOOOFlood FaultKind = "ooo-flood"
+	// FaultClockSkew offsets pusher timestamps by a fraction of the
+	// sampling step, desynchronising timestamp from arrival order.
+	FaultClockSkew FaultKind = "clock-skew"
+)
+
+// FaultSpec schedules one fault: Kind activates At after scenario start
+// and (for the window-based kinds) deactivates after For. Zero-valued
+// tuning fields pick per-kind defaults.
+type FaultSpec struct {
+	Kind FaultKind
+	// At is the activation offset from scenario start.
+	At time.Duration
+	// For is the active window; ignored by conn-kill (instantaneous).
+	For time.Duration
+	// P is the per-operation injection probability for filesystem
+	// faults (default 0.5).
+	P float64
+	// Stall is the fsync-stall delay (default 50ms).
+	Stall time.Duration
+	// Kill is how many connections conn-kill closes (default 1).
+	Kill int
+}
+
+// Scenario describes one deterministic chaos run: a fleet of simulated
+// pushers driving the real broker → collect → tsdb → REST pipeline
+// under a scheduled fault sequence, with every reading accounted.
+// Zero values select defaults sized for a smoke run.
+type Scenario struct {
+	// Seed makes the run deterministic: pusher hardware, workload
+	// assignment, fault dice and query load all derive from it.
+	Seed int64
+	// Pushers is the number of simulated pusher connections.
+	Pushers int
+	// Topics is the number of sensor topics each pusher owns.
+	Topics int
+	// Rate is each pusher's publish rate in batches per topic per
+	// second.
+	Rate float64
+	// BatchSize is the readings per published batch.
+	BatchSize int
+	// Duration is how long pushers publish before the drain phase.
+	Duration time.Duration
+	// Faults is the fault schedule; nil selects DefaultFaults(Duration).
+	// The WAL always runs with per-group-commit fsync so the fsync
+	// faults actually bite.
+	Faults []FaultSpec
+	// WALGroupWindow is the group-commit linger (see collect.Config).
+	WALGroupWindow time.Duration
+	// IngestWorkers sizes the agent's ingest fan-in (see
+	// collect.Config).
+	IngestWorkers int
+	// IngestQueueCap bounds each ingest queue; 1 forces the
+	// backpressure path on every enqueue.
+	IngestQueueCap int
+	// QueryWorkers is how many goroutines hammer the REST tier during
+	// the run to measure query latency under chaos (default 2).
+	QueryWorkers int
+	// Dir is the store directory; empty creates (and removes) a
+	// temporary one.
+	Dir string
+	// DrainTimeout bounds the post-run wait for ingest queues to empty
+	// (default 15s).
+	DrainTimeout time.Duration
+}
+
+// Verdict is the JSON result of a scenario run. Pass requires clean
+// accounting: zero acked-lost, duplicate, phantom and value-mismatch
+// readings; unacked drops (killed connections' collateral) are allowed
+// and reported.
+type Verdict struct {
+	Seed            int64             `json:"seed"`
+	Pushers         int               `json:"pushers"`
+	TopicsPerPusher int               `json:"topics_per_pusher"`
+	Rate            float64           `json:"rate_batches_per_topic_sec"`
+	BatchSize       int               `json:"batch_size"`
+	DurationSec     float64           `json:"duration_sec"`
+	FaultClasses    []string          `json:"fault_classes"`
+	InjectedFS      map[string]uint64 `json:"injected_fs_faults"`
+	ConnsKilled     int               `json:"conns_killed"`
+	Accounting      Accounting        `json:"accounting"`
+	// IngestedReadings is the agent's own /metrics ingest counter,
+	// cross-checking the ledger's delivered count.
+	IngestedReadings uint64 `json:"ingested_readings"`
+	// ReadingsPerSec is sustained throughput: stored readings over the
+	// publish window.
+	ReadingsPerSec float64 `json:"readings_per_sec"`
+	Queries        uint64  `json:"queries"`
+	QueryErrors    uint64  `json:"query_errors"`
+	QueryP50Ms     float64 `json:"query_p50_ms"`
+	QueryP99Ms     float64 `json:"query_p99_ms"`
+	// DrainedCleanly reports whether the ingest fan-in drained to the
+	// ledger's delivered count within DrainTimeout.
+	DrainedCleanly bool     `json:"drained_cleanly"`
+	Pass           bool     `json:"pass"`
+	Failures       []string `json:"failures,omitempty"`
+}
+
+// DefaultFaults returns the canonical schedule covering every fault
+// class, spread across a run of the given duration with no overlapping
+// windows on the same filesystem rule. Ordering matters: torn writes
+// come before fsync failures, because a degraded WAL suspends appends
+// entirely (there would be nothing left to tear), and the segment
+// fault runs last with its own forced flush.
+func DefaultFaults(d time.Duration) []FaultSpec {
+	frac := func(f float64) time.Duration { return time.Duration(f * float64(d)) }
+	return []FaultSpec{
+		{Kind: FaultFsyncStall, At: frac(0.05), For: frac(0.15), P: 0.5, Stall: 20 * time.Millisecond},
+		{Kind: FaultConnKill, At: frac(0.20), Kill: 2},
+		{Kind: FaultOOOFlood, At: frac(0.25), For: frac(0.25)},
+		{Kind: FaultWALTorn, At: frac(0.30), For: frac(0.15), P: 0.3},
+		{Kind: FaultClockSkew, At: frac(0.45), For: frac(0.30)},
+		{Kind: FaultFsyncFail, At: frac(0.50), For: frac(0.15), P: 0.5},
+		{Kind: FaultConnKill, At: frac(0.65), Kill: 2},
+		{Kind: FaultSegFail, At: frac(0.72), For: frac(0.18), P: 0.5},
+	}
+}
+
+// withDefaults fills zero fields with smoke-run sizes.
+func (s Scenario) withDefaults() Scenario {
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Pushers <= 0 {
+		s.Pushers = 16
+	}
+	if s.Topics <= 0 {
+		s.Topics = 4
+	}
+	if s.Rate <= 0 {
+		s.Rate = 20
+	}
+	if s.BatchSize <= 0 {
+		s.BatchSize = 5
+	}
+	if s.Duration <= 0 {
+		s.Duration = 5 * time.Second
+	}
+	if s.Faults == nil {
+		s.Faults = DefaultFaults(s.Duration)
+	}
+	if s.QueryWorkers < 0 {
+		s.QueryWorkers = 0
+	} else if s.QueryWorkers == 0 {
+		s.QueryWorkers = 2
+	}
+	if s.DrainTimeout <= 0 {
+		s.DrainTimeout = 15 * time.Second
+	}
+	return s
+}
+
+// derive maps the scenario seed and a label to a stable child seed
+// (same construction as internal/testseed, duplicated to keep the
+// testing package out of cmd/chaosrunner's import graph).
+func derive(seed int64, label string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(seed) >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(label))
+	return int64(h.Sum64())
+}
+
+// stepNs is the logical sampling step between consecutive readings of
+// one topic; skewNs (a non-multiple of stepNs) is the clock-skew
+// offset, chosen so a skewed timestamp can never collide with any
+// unskewed sequence position.
+const (
+	stepNs = int64(time.Millisecond)
+	skewNs = stepNs / 3
+)
+
+// topologyFor sizes a cluster topology with at least n node paths.
+func topologyFor(n int) cluster.Topology {
+	t := cluster.Topology{ChassisPerRack: 4, NodesPerChassis: 10, CoresPerNode: 8}
+	t.Racks = (n + t.ChassisPerRack*t.NodesPerChassis - 1) / (t.ChassisPerRack * t.NodesPerChassis)
+	if t.Racks < 1 {
+		t.Racks = 1
+	}
+	return t
+}
+
+// pusherTopics derives the topic set one pusher owns from its node
+// path: the five node-level sensors first, then per-core counters.
+func pusherTopics(topo cluster.Topology, node sensor.Topic, n int) []sensor.Topic {
+	out := make([]sensor.Topic, 0, n)
+	for _, s := range cluster.NodeSensors {
+		if len(out) == n {
+			return out
+		}
+		out = append(out, node.Join(s))
+	}
+	for _, cpu := range topo.CPUPaths(node) {
+		for _, s := range cluster.CPUSensors {
+			if len(out) == n {
+				return out
+			}
+			out = append(out, cpu.Join(s))
+		}
+	}
+	for i := len(out); i < n; i++ {
+		out = append(out, node.Join(fmt.Sprintf("x%03d", i)))
+	}
+	return out
+}
+
+// sensorValue samples the topic's current value from the simulated
+// node. The mapping mirrors the dcdbsim pusher plugins: node sensors
+// from the power/thermal model, core topics from the perf counters.
+func sensorValue(node *hardware.Node, idx int) float64 {
+	switch idx % 5 {
+	case 0:
+		return node.Power()
+	case 1:
+		return node.Temp()
+	case 2:
+		return node.EnergyJoules()
+	case 3:
+		return node.IdleSeconds()
+	default:
+		cycles, instrs, cacheMiss, flops, vecOps := node.CoreCounters(idx % node.Cores())
+		switch idx % 4 {
+		case 0:
+			return cycles
+		case 1:
+			return instrs
+		case 2:
+			return cacheMiss + flops
+		default:
+			return vecOps
+		}
+	}
+}
+
+// Run executes the scenario end to end and returns its verdict. The
+// only error paths are environmental (listen/open failures); pipeline
+// misbehaviour is reported through the verdict, not an error.
+func (s Scenario) Run() (*Verdict, error) {
+	s = s.withDefaults()
+	dir := s.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "chaos-*")
+		if err != nil {
+			return nil, fmt.Errorf("chaos: temp dir: %w", err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	cfs := NewFS(nil, derive(s.Seed, "fs"))
+	reg := telemetry.NewRegistry()
+	agent, err := collect.New(collect.Config{
+		ListenMQTT:          "127.0.0.1:0",
+		StoreDir:            dir,
+		StoreFS:             cfs,
+		StoreWALSync:        true,
+		StoreWALGroupWindow: s.WALGroupWindow,
+		IngestWorkers:       s.IngestWorkers,
+		IngestQueueCap:      s.IngestQueueCap,
+		ResultCacheSize:     512,
+		Metrics:             reg,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: starting agent: %w", err)
+	}
+	defer agent.Close()
+
+	ledger := NewLedger()
+	// Registered after collect.New wired the agent's own handler:
+	// route calls handlers in registration order, so "delivered" means
+	// the agent's ingest handler already ran for the same message.
+	agent.Broker.SubscribeLocal("#", ledger.RecordDelivered)
+
+	api, err := rest.Serve("127.0.0.1:0", agent.Manager, agent.QE, rest.Options{
+		ResultCache: agent.Results,
+		Metrics:     reg,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: starting REST tier: %w", err)
+	}
+	defer api.Close()
+
+	// The simulated cluster: one node (and its job/workload assignment)
+	// per pusher, topics carved from the node's sensor space.
+	topo := topologyFor(s.Pushers)
+	nodePaths := topo.NodePaths()
+	table := jobs.NewTable()
+	apps := workload.Names()
+	baseNs := time.Now().UnixNano()
+	endNs := baseNs + int64(s.Duration) + int64(time.Hour)
+	byApp := make(map[string][]sensor.Topic)
+	for i := 0; i < s.Pushers; i++ {
+		byApp[apps[i%len(apps)]] = append(byApp[apps[i%len(apps)]], nodePaths[i])
+	}
+	for app, nodes := range byApp {
+		table.Submit(app, nodes, baseNs, endNs)
+	}
+
+	var (
+		oooActive  atomic.Bool
+		skewActive atomic.Bool
+		stop       = make(chan struct{})
+		pusherWG   sync.WaitGroup
+	)
+	for i := 0; i < s.Pushers; i++ {
+		node := hardware.NewNode(hardware.Config{
+			Cores: topo.CoresPerNode,
+			Seed:  derive(s.Seed, fmt.Sprintf("node-%d", i)),
+		})
+		node.SetApp(workload.MustNew(apps[i%len(apps)],
+			derive(s.Seed, fmt.Sprintf("app-%d", i)), s.Duration.Seconds()), baseNs)
+		p := &pusher{
+			addr:    agent.Addr(),
+			topics:  pusherTopics(topo, nodePaths[i], s.Topics),
+			node:    node,
+			rate:    s.Rate,
+			batch:   s.BatchSize,
+			baseNs:  baseNs,
+			ledger:  ledger,
+			ooo:     &oooActive,
+			skew:    &skewActive,
+			stop:    stop,
+			seqs:    make([]int64, s.Topics),
+			pending: nil,
+		}
+		pusherWG.Add(1)
+		go func() {
+			defer pusherWG.Done()
+			p.run()
+		}()
+	}
+
+	// Query load: workers hammer /query (raw ranges and wildcard
+	// aggregates) for the whole publish window, measuring end-to-end
+	// latency while the faults fire.
+	var (
+		queryWG  sync.WaitGroup
+		latMu    sync.Mutex
+		lats     []float64
+		queries  atomic.Uint64
+		qErrors  atomic.Uint64
+		queryURL = "http://" + api.Addr() + "/query"
+	)
+	for w := 0; w < s.QueryWorkers; w++ {
+		qseed := derive(s.Seed, fmt.Sprintf("query-%d", w))
+		queryWG.Add(1)
+		go func() {
+			defer queryWG.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			rng := newLCG(qseed)
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(25 * time.Millisecond):
+				}
+				var u string
+				pi := int(rng.next() % uint64(s.Pushers))
+				topics := pusherTopics(topo, nodePaths[pi], s.Topics)
+				topic := topics[int(rng.next()%uint64(len(topics)))]
+				if rng.next()%4 == 0 {
+					u = fmt.Sprintf("%s?sensor=%s&op=avg&from=%d&to=%d",
+						queryURL, url.QueryEscape(string(nodePaths[pi])+"#"), baseNs, endNs)
+				} else {
+					u = fmt.Sprintf("%s?sensor=%s&from=%d&to=%d",
+						queryURL, url.QueryEscape(string(topic)), baseNs, endNs)
+				}
+				t0 := time.Now()
+				resp, err := client.Get(u)
+				queries.Add(1)
+				if err != nil || resp.StatusCode != http.StatusOK {
+					qErrors.Add(1)
+				}
+				if err == nil {
+					_ = resp.Body.Close()
+				}
+				latMu.Lock()
+				lats = append(lats, float64(time.Since(t0))/float64(time.Millisecond))
+				latMu.Unlock()
+			}
+		}()
+	}
+
+	// The fault schedule, driven off one goroutine as a sorted event
+	// list (activate At, deactivate At+For).
+	connsKilled := 0
+	faultsDone := make(chan struct{})
+	go func() {
+		defer close(faultsDone)
+		type event struct {
+			at time.Duration
+			fn func()
+		}
+		var events []event
+		for _, spec := range s.Faults {
+			spec := spec
+			on, off := s.faultActions(cfs, agent.Broker, agent.DB, &oooActive, &skewActive, &connsKilled, spec)
+			events = append(events, event{at: spec.At, fn: on})
+			if off != nil {
+				events = append(events, event{at: spec.At + spec.For, fn: off})
+			}
+		}
+		sort.SliceStable(events, func(i, j int) bool { return events[i].at < events[j].at })
+		start := time.Now()
+		for _, ev := range events {
+			delay := ev.at - time.Since(start)
+			if delay > 0 {
+				select {
+				case <-stop:
+					return
+				case <-time.After(delay):
+				}
+			}
+			ev.fn()
+		}
+	}()
+
+	time.Sleep(s.Duration)
+	close(stop)
+	pusherWG.Wait()
+	queryWG.Wait()
+	<-faultsDone
+	// Close the broker before reconciling: a closed pusher connection
+	// can still have complete frames sitting in the broker's read
+	// buffers, and Broker.Close waits for every serve loop to finish
+	// routing them. Without this barrier a last batch can reach the
+	// store mid-reconcile with its delivery recorded too late,
+	// misreporting it as stored-but-undelivered. Agent.Close re-closing
+	// the broker later is a no-op.
+	_ = agent.Broker.Close()
+	// Faults off before the drain: the post-run pipeline must be able
+	// to finish its group commits and flushes.
+	cfs.ClearAll()
+
+	// Drain: the broker routed everything the pushers managed to send
+	// (their connections are closed), so the ingest fan-in is done once
+	// the agent's own counter matches the ledger's delivered count.
+	drained := true
+	if s.IngestWorkers >= 0 {
+		deadline := time.Now().Add(s.DrainTimeout)
+		for {
+			v, _ := reg.Value("dcdb_ingest_readings_total")
+			if uint64(v) >= ledger.DeliveredReadings() {
+				break
+			}
+			if time.Now().After(deadline) {
+				drained = false
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	// A final flush exercises the segment path post-chaos and re-arms a
+	// degraded WAL; its data stays query-visible either way.
+	if agent.DB != nil {
+		_ = agent.DB.Flush()
+	}
+
+	acct := ledger.Reconcile(func(t sensor.Topic) []sensor.Reading {
+		return agent.Store.Range(t, 0, math.MaxInt64, nil)
+	})
+	ingested, _ := reg.Value("dcdb_ingest_readings_total")
+
+	v := &Verdict{
+		Seed:             s.Seed,
+		Pushers:          s.Pushers,
+		TopicsPerPusher:  s.Topics,
+		Rate:             s.Rate,
+		BatchSize:        s.BatchSize,
+		DurationSec:      s.Duration.Seconds(),
+		FaultClasses:     faultClasses(s),
+		InjectedFS:       cfs.Injected(),
+		ConnsKilled:      connsKilled,
+		Accounting:       acct,
+		IngestedReadings: uint64(ingested),
+		ReadingsPerSec:   float64(acct.Stored) / s.Duration.Seconds(),
+		Queries:          queries.Load(),
+		QueryErrors:      qErrors.Load(),
+		DrainedCleanly:   drained,
+	}
+	v.QueryP50Ms, v.QueryP99Ms = percentiles(lats)
+	v.Pass = acct.Clean() && drained
+	if acct.AckedLost > 0 {
+		v.Failures = append(v.Failures, fmt.Sprintf("%d acked-lost readings (delivered but not stored)", acct.AckedLost))
+	}
+	if acct.Duplicates > 0 {
+		v.Failures = append(v.Failures, fmt.Sprintf("%d duplicate stored readings", acct.Duplicates))
+	}
+	if acct.Phantom > 0 {
+		v.Failures = append(v.Failures, fmt.Sprintf("%d phantom readings (stored/delivered but never sent)", acct.Phantom))
+	}
+	if acct.ValueMismatch > 0 {
+		v.Failures = append(v.Failures, fmt.Sprintf("%d stored readings with corrupted values", acct.ValueMismatch))
+	}
+	if !drained {
+		v.Failures = append(v.Failures, "ingest fan-in did not drain within the timeout")
+	}
+	return v, nil
+}
+
+// faultActions maps one FaultSpec to its activate/deactivate closures.
+func (s Scenario) faultActions(cfs *FS, broker *transport.Broker, db *tsdb.DB,
+	ooo, skew *atomic.Bool, connsKilled *int, spec FaultSpec) (on, off func()) {
+	p := spec.P
+	if p <= 0 {
+		p = 0.5
+	}
+	stall := spec.Stall
+	if stall <= 0 {
+		stall = 50 * time.Millisecond
+	}
+	kill := spec.Kill
+	if kill <= 0 {
+		kill = 1
+	}
+	switch spec.Kind {
+	case FaultConnKill:
+		return func() { *connsKilled += broker.KillConnections(kill) }, nil
+	case FaultFsyncStall:
+		return func() { cfs.Set(OpSync, ClassWAL, Fault{P: p, Stall: stall, StallOnly: true}) },
+			func() { cfs.Clear(OpSync, ClassWAL) }
+	case FaultFsyncFail:
+		return func() { cfs.Set(OpSync, ClassWAL, Fault{P: p}) },
+			func() { cfs.Clear(OpSync, ClassWAL) }
+	case FaultWALTorn:
+		return func() { cfs.Set(OpWrite, ClassWAL, Fault{P: p, Partial: true}) },
+			func() { cfs.Clear(OpWrite, ClassWAL) }
+	case FaultSegFail:
+		return func() {
+				cfs.Set(OpWrite, ClassSeg, Fault{P: p})
+				cfs.Set(OpCreate, ClassSeg, Fault{P: p})
+				// Force flushes while the rule is live: the segment
+				// write path only runs on flush, and a failed flush
+				// must restore its staged heads without loss. A
+				// successful rotate also re-arms a WAL degraded by an
+				// earlier fsync-fail window.
+				go func() {
+					for i := 0; i < 3; i++ {
+						_ = db.Flush()
+					}
+				}()
+			}, func() {
+				cfs.Clear(OpWrite, ClassSeg)
+				cfs.Clear(OpCreate, ClassSeg)
+			}
+	case FaultOOOFlood:
+		return func() { ooo.Store(true) }, func() { ooo.Store(false) }
+	case FaultClockSkew:
+		return func() { skew.Store(true) }, func() { skew.Store(false) }
+	}
+	return func() {}, nil
+}
+
+// faultClasses lists the distinct fault classes a scenario applies,
+// including the standing backpressure configuration.
+func faultClasses(s Scenario) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range s.Faults {
+		if !seen[string(f.Kind)] {
+			seen[string(f.Kind)] = true
+			out = append(out, string(f.Kind))
+		}
+	}
+	if s.IngestQueueCap > 0 && s.IngestQueueCap <= 4 {
+		out = append(out, "backpressure")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// percentiles returns the p50 and p99 of the samples (0, 0 when empty).
+func percentiles(samples []float64) (p50, p99 float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(samples)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(samples)-1))
+		return samples[i]
+	}
+	return at(0.50), at(0.99)
+}
+
+// lcg is a tiny splitmix-style generator for goroutines that must not
+// share the scenario's locked RNG.
+type lcg struct{ state uint64 }
+
+func newLCG(seed int64) *lcg { return &lcg{state: uint64(seed)*2862933555777941757 + 3037000493} }
+
+func (l *lcg) next() uint64 {
+	l.state += 0x9e3779b97f4a7c15
+	z := l.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// pusher is one simulated pusher connection: it samples its hardware
+// node at the configured rate and publishes one batch per topic per
+// tick, redialling after injected connection kills. Batches are
+// buffered and released in reverse order while the OOO flood fault is
+// active.
+type pusher struct {
+	addr   string
+	topics []sensor.Topic
+	node   *hardware.Node
+	rate   float64
+	batch  int
+	baseNs int64
+	ledger *Ledger
+	ooo    *atomic.Bool
+	skew   *atomic.Bool
+	stop   chan struct{}
+
+	seqs    []int64
+	pending []outBatch
+	client  *transport.Client
+}
+
+// outBatch is one generated (topic, readings) pair awaiting publish.
+type outBatch struct {
+	topic sensor.Topic
+	rs    []sensor.Reading
+}
+
+// oooWindow is how many generated batches the OOO fault buffers before
+// releasing them newest-first.
+const oooWindow = 8
+
+func (p *pusher) run() {
+	defer func() {
+		p.flushPending()
+		if p.client != nil {
+			p.client.Close()
+		}
+	}()
+	interval := time.Duration(float64(time.Second) / p.rate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	tick := int64(0)
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+		}
+		tick++
+		p.node.Advance(p.baseNs + tick*int64(interval))
+		skewed := p.skew.Load()
+		for j, topic := range p.topics {
+			rs := make([]sensor.Reading, p.batch)
+			for k := range rs {
+				p.seqs[j]++
+				ts := p.baseNs + p.seqs[j]*stepNs
+				if skewed {
+					ts += skewNs
+				}
+				rs[k] = sensor.Reading{Time: ts, Value: sensorValue(p.node, j)}
+			}
+			p.pending = append(p.pending, outBatch{topic: topic, rs: rs})
+		}
+		if p.ooo.Load() {
+			if len(p.pending) >= oooWindow {
+				p.flushReversed()
+			}
+		} else {
+			p.flushPending()
+		}
+	}
+}
+
+// flushPending publishes buffered batches in generation order.
+func (p *pusher) flushPending() {
+	for _, b := range p.pending {
+		p.publish(b)
+	}
+	p.pending = p.pending[:0]
+}
+
+// flushReversed publishes buffered batches newest-first — the OOO
+// flood: the store sees every window's timestamps in reverse.
+func (p *pusher) flushReversed() {
+	for i := len(p.pending) - 1; i >= 0; i-- {
+		p.publish(p.pending[i])
+	}
+	p.pending = p.pending[:0]
+}
+
+// publish records the batch as sent, then writes it out. Recording
+// first is deliberate: the broker routes on its own goroutine, so a
+// delivery may be observed before Publish even returns; a reading the
+// ledger did not know about would be misclassified as phantom.
+//
+// A failed publish is never retried: the frame may or may not have
+// reached the broker, and resending it on a fresh connection could
+// deliver it twice — the at-most-once contract forbids that. The batch
+// becomes an unacked drop and the pusher redials for the next one.
+func (p *pusher) publish(b outBatch) {
+	p.ledger.RecordSent(b.topic, b.rs)
+	if p.client == nil {
+		c, err := transport.Dial(p.addr)
+		if err != nil {
+			return // batch dropped unacked; redial on the next batch
+		}
+		p.client = c
+	}
+	if err := p.client.Publish(b.topic, b.rs); err != nil {
+		// Dead connection (likely an injected kill): drop the handle
+		// so the next batch redials.
+		p.client.Close()
+		p.client = nil
+	}
+}

@@ -61,6 +61,15 @@ type Config struct {
 	// shared group commits. 0 picks a default (min(4, GOMAXPROCS));
 	// negative ingests synchronously on the delivering goroutine.
 	IngestWorkers int
+	// IngestQueueCap bounds each ingest worker's queue (default 256).
+	// A full queue blocks the delivering connection — backpressure,
+	// never a drop. The chaos harness shrinks this to 1 to force the
+	// backpressure path under load.
+	IngestQueueCap int
+	// StoreFS, when set with StoreDir, replaces the storage backend's
+	// filesystem (tsdb.Options.FS). Nil selects the real one; the chaos
+	// harness injects a fault-injecting implementation here.
+	StoreFS tsdb.FS
 	// ResultCacheSize caps the serving tier's query result cache: the
 	// number of memoized hot-window aggregates/downsample/range results
 	// kept with write-through invalidation. 0 disables the cache.
@@ -156,6 +165,7 @@ func New(cfg Config) (*Agent, error) {
 			WALGroupWindow: cfg.StoreWALGroupWindow,
 			OnPrune:        func(int64, int) { rc.NotePrune() },
 			Metrics:        cfg.Metrics,
+			FS:             cfg.StoreFS,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("collect: opening storage backend: %w", err)
@@ -220,7 +230,7 @@ func New(cfg Config) (*Agent, error) {
 		}
 		a.Broker = b
 		if workers := ingestWorkerCount(cfg.IngestWorkers); workers > 0 {
-			a.startIngestWorkers(workers)
+			a.startIngestWorkers(workers, ingestQueueCap(cfg.IngestQueueCap))
 			b.SubscribeLocal("#", func(m transport.Message) {
 				// The broker owns m.Readings only for the duration of
 				// the call; copy into a pooled batch and hand it to the
@@ -256,16 +266,24 @@ func ingestWorkerCount(cfg int) int {
 	return 4
 }
 
-// startIngestWorkers launches the fan-in: one bounded queue and one
-// goroutine per worker.
-func (a *Agent) startIngestWorkers(n int) {
+// ingestQueueCap resolves the IngestQueueCap knob (0 = 256).
+func ingestQueueCap(cfg int) int {
+	if cfg > 0 {
+		return cfg
+	}
+	return 256
+}
+
+// startIngestWorkers launches the fan-in: one bounded queue of the
+// given capacity and one goroutine per worker.
+func (a *Agent) startIngestWorkers(n, cap int) {
 	a.batchPool.New = func() any {
 		rs := make([]sensor.Reading, 0, 64)
 		return &rs
 	}
 	a.ingestQs = make([]chan ingestBatch, n)
 	for i := range a.ingestQs {
-		q := make(chan ingestBatch, 256)
+		q := make(chan ingestBatch, cap)
 		a.ingestQs[i] = q
 		a.ingestWG.Add(1)
 		go func() {

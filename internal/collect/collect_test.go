@@ -258,3 +258,58 @@ func TestIngestFanInDrainsOnClose(t *testing.T) {
 		t.Fatalf("recovered %d readings, want %d", got, msgs)
 	}
 }
+
+// TestIngestQueueCapBackpressure: with the tiniest possible ingest queue
+// (cap 1), a burst far larger than the queue must still land completely —
+// a full queue blocks the publisher-side handler (backpressure), it never
+// drops. This is the configuration the chaos harness uses to keep the
+// pipeline permanently saturated.
+func TestIngestQueueCapBackpressure(t *testing.T) {
+	a, err := New(Config{ListenMQTT: "127.0.0.1:0", IngestWorkers: 2, IngestQueueCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	c, err := transport.Dial(a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const topics = 8
+	const batches = 50
+	for i := 0; i < batches; i++ {
+		for n := 0; n < topics; n++ {
+			topic := sensor.Topic(fmt.Sprintf("/bp/n%02d/power", n))
+			if err := c.Publish(topic, []sensor.Reading{{Value: float64(i), Time: int64(i + 1)}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		total := 0
+		for n := 0; n < topics; n++ {
+			total += a.Store.Count(sensor.Topic(fmt.Sprintf("/bp/n%02d/power", n)))
+		}
+		if total == topics*batches {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ingested %d of %d readings through cap-1 queues", total, topics*batches)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestIngestQueueCapDefault(t *testing.T) {
+	if got := ingestQueueCap(0); got != 256 {
+		t.Fatalf("ingestQueueCap(0) = %d, want 256", got)
+	}
+	if got := ingestQueueCap(-5); got != 256 {
+		t.Fatalf("ingestQueueCap(-5) = %d, want 256", got)
+	}
+	if got := ingestQueueCap(3); got != 3 {
+		t.Fatalf("ingestQueueCap(3) = %d", got)
+	}
+}

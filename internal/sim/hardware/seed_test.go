@@ -1,0 +1,125 @@
+package hardware
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dcdb/wintermute/internal/sim/workload"
+	"github.com/dcdb/wintermute/internal/testseed"
+)
+
+// snapshot captures every externally-observable quantity of a node at a
+// point in time, for trajectory comparisons.
+type snapshot struct {
+	power, temp, idle, energy float64
+	counters                  [5]float64 // core 0: cycles, instrs, misses, flops, vecOps
+}
+
+func snap(n *Node) snapshot {
+	var s snapshot
+	s.power, s.temp = n.Power(), n.Temp()
+	s.idle, s.energy = n.IdleSeconds(), n.EnergyJoules()
+	s.counters[0], s.counters[1], s.counters[2], s.counters[3], s.counters[4] = n.CoreCounters(0)
+	return s
+}
+
+// TestDeterminismUnderSeed: two nodes built from the same seed and driven
+// through the same Advance schedule must produce bit-identical sensor
+// trajectories — the property the chaos harness leans on for replayable
+// scenarios — and a different seed must diverge. The seed itself comes
+// from testseed so any failure replays via WINTERMUTE_TEST_SEED.
+func TestDeterminismUnderSeed(t *testing.T) {
+	seed := testseed.Seed(t)
+	mk := func(s int64) *Node {
+		n := NewNode(Config{Cores: 8, Seed: s})
+		n.SetApp(workload.MustNew("amg", s, 600), 0)
+		return n
+	}
+	a, b, c := mk(seed), mk(seed), mk(seed+1)
+	diverged := false
+	for step := 0; step <= 100; step++ {
+		now := int64(step) * sec
+		a.Advance(now)
+		b.Advance(now)
+		c.Advance(now)
+		sa, sb := snap(a), snap(b)
+		if sa != sb {
+			t.Fatalf("step %d: same seed diverged: %+v vs %+v", step, sa, sb)
+		}
+		if sa != snap(c) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("different seeds never diverged over 100 steps")
+	}
+}
+
+// TestShapeInvariantsAnySeed: for arbitrary seeds and every workload, the
+// node's physics stay sane — power within the configured envelope,
+// temperature bounded by the ambient/steady-state band, cumulative
+// counters monotonic, instructions never outrunning cycles, idle time
+// never exceeding wall time.
+func TestShapeInvariantsAnySeed(t *testing.T) {
+	base := testseed.Seed(t)
+	for i, app := range workload.Names() {
+		t.Run(app, func(t *testing.T) {
+			seed := testseed.Derive(base, app)
+			rng := rand.New(rand.NewSource(seed))
+			cfg := DefaultConfig()
+			cfg.Cores = 4
+			cfg.Seed = seed
+			n := NewNode(cfg)
+			n.SetApp(workload.MustNew(app, seed+int64(i), 600), 0)
+
+			prev := snap(n)
+			var now int64
+			for step := 0; step < 200; step++ {
+				now += sec/2 + rng.Int63n(2*sec) // irregular sampling cadence
+				n.Advance(now)
+				s := snap(n)
+				elapsed := float64(now) / 1e9
+
+				// Power envelope: floor is half idle power; ceiling is max
+				// power plus the full Turbo boost plus noise tail room.
+				if s.power < 0.5*cfg.IdlePower || s.power > cfg.MaxPower+cfg.TurboBoost+6*cfg.NoisePower {
+					t.Fatalf("step %d: power %.1f W outside envelope", step, s.power)
+				}
+				// Temperature is a first-order lag of the power-derived
+				// steady state: it can never leave the band spanned by the
+				// ambient baseline and the hottest achievable steady state.
+				tMin := cfg.AmbientTemp
+				tMax := cfg.AmbientTemp + cfg.TempPerWatt*(cfg.MaxPower+cfg.TurboBoost+6*cfg.NoisePower)
+				if s.temp < tMin-1 || s.temp > tMax+1 {
+					t.Fatalf("step %d: temp %.1f °C outside [%.1f, %.1f]", step, s.temp, tMin, tMax)
+				}
+				// Cumulative quantities only grow.
+				if s.idle < prev.idle || s.energy < prev.energy {
+					t.Fatalf("step %d: cumulative sensor went backwards: %+v -> %+v", step, prev, s)
+				}
+				for k, v := range s.counters {
+					if v < prev.counters[k] {
+						t.Fatalf("step %d: counter %d went backwards: %g -> %g", step, k, prev.counters[k], v)
+					}
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("step %d: counter %d is %g", step, k, v)
+					}
+				}
+				// CPI >= 1 in every model: instructions never outrun cycles.
+				if s.counters[1] > s.counters[0]+1 {
+					t.Fatalf("step %d: instrs %.0f > cycles %.0f", step, s.counters[1], s.counters[0])
+				}
+				// Idle time integrates (1-util) <= 1, so it is bounded by
+				// wall time.
+				if s.idle > elapsed+1e-6 {
+					t.Fatalf("step %d: idle %.2fs exceeds elapsed %.2fs", step, s.idle, elapsed)
+				}
+				prev = s
+			}
+			if prev.energy == 0 || prev.counters[0] == 0 {
+				t.Fatalf("no accumulation after 200 steps: %+v", prev)
+			}
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package jobs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/testseed"
+)
+
+// buildRandomTable fills a table with n jobs whose users, node lists and
+// time spans are drawn from rng, returning the submitted ids in order.
+func buildRandomTable(rng *rand.Rand, n int) (*Table, []string) {
+	tb := NewTable()
+	ids := make([]string, n)
+	for i := range ids {
+		nodes := make([]sensor.Topic, 1+rng.Intn(4))
+		for k := range nodes {
+			nodes[k] = sensor.Topic(fmt.Sprintf("/rack%02d/node%02d", rng.Intn(4), rng.Intn(40)))
+		}
+		start := rng.Int63n(1000)
+		end := int64(0)
+		if rng.Intn(3) > 0 { // a third of jobs still running
+			end = start + 1 + rng.Int63n(1000)
+		}
+		ids[i] = tb.Submit(fmt.Sprintf("user%d", rng.Intn(8)), nodes, start, end)
+	}
+	return tb, ids
+}
+
+// TestDeterminismUnderSeed: two tables fed the identical randomized
+// submission stream must be indistinguishable — same ids, same jobs, same
+// RunningJobs answers at every probe time. Seeded via testseed so a
+// failure replays with WINTERMUTE_TEST_SEED.
+func TestDeterminismUnderSeed(t *testing.T) {
+	seed := testseed.Seed(t)
+	t1, ids1 := buildRandomTable(rand.New(rand.NewSource(seed)), 50)
+	t2, ids2 := buildRandomTable(rand.New(rand.NewSource(seed)), 50)
+	for i := range ids1 {
+		if ids1[i] != ids2[i] {
+			t.Fatalf("id %d: %q vs %q", i, ids1[i], ids2[i])
+		}
+	}
+	for now := int64(0); now <= 2000; now += 97 {
+		a, b := t1.RunningJobs(now), t2.RunningJobs(now)
+		if len(a) != len(b) {
+			t.Fatalf("now=%d: %d vs %d running jobs", now, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || a[i].Start != b[i].Start || a[i].End != b[i].End {
+				t.Fatalf("now=%d job %d: %+v vs %+v", now, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestShapeInvariantsAnySeed: for an arbitrary randomized table,
+// RunningJobs(now) must return exactly the jobs whose [Start, End) span
+// covers now, sorted by id, and always a subset of All(); ids are unique
+// and every submitted job is retrievable.
+func TestShapeInvariantsAnySeed(t *testing.T) {
+	rng := testseed.Rand(t)
+	tb, ids := buildRandomTable(rng, 80)
+
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+		if _, ok := tb.Job(id); !ok {
+			t.Fatalf("submitted job %q not retrievable", id)
+		}
+	}
+	all := tb.All()
+	if len(all) != len(ids) {
+		t.Fatalf("All() returned %d jobs, want %d", len(all), len(ids))
+	}
+	if !sort.SliceIsSorted(all, func(i, k int) bool { return all[i].ID < all[k].ID }) {
+		t.Fatal("All() not sorted by id")
+	}
+
+	for probe := 0; probe < 40; probe++ {
+		now := rng.Int63n(2200) - 100
+		got := tb.RunningJobs(now)
+		if !sort.SliceIsSorted(got, func(i, k int) bool { return got[i].ID < got[k].ID }) {
+			t.Fatalf("RunningJobs(%d) not sorted", now)
+		}
+		// Reference answer from the full table.
+		want := 0
+		for _, j := range all {
+			if j.Start <= now && (j.End == 0 || j.End > now) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("RunningJobs(%d) = %d jobs, reference says %d", now, len(got), want)
+		}
+		for _, j := range got {
+			if !seen[j.ID] {
+				t.Fatalf("RunningJobs(%d) invented job %q", now, j.ID)
+			}
+			if j.Start > now || (j.End != 0 && j.End <= now) {
+				t.Fatalf("RunningJobs(%d) returned non-running job %+v", now, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package testseed gives randomized tests a logged, replayable seed.
+//
+// Property suites and chaos scenarios draw their randomness from
+// testseed.Seed (or a *rand.Rand from testseed.Rand) instead of fixed
+// constants or the implicit global source: each run explores a fresh
+// seed derived from the wall clock, the seed is logged through the
+// test's t.Logf so a failure report always carries it, and setting
+// WINTERMUTE_TEST_SEED replays the exact same sequence under `-run`:
+//
+//	WINTERMUTE_TEST_SEED=1723108711 go test -run 'TestAggEquivalence' ./internal/tsdb
+//
+// Derived seeds (Derive) fan one logged seed out to subtests and
+// goroutines deterministically, so a replayed run reproduces every
+// worker's sequence, not just the first.
+package testseed
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// EnvVar is the environment variable that pins the seed for replay.
+const EnvVar = "WINTERMUTE_TEST_SEED"
+
+// Seed returns the run's base seed: WINTERMUTE_TEST_SEED when set (the
+// replay path), a wall-clock-derived value otherwise. Either way the
+// seed and the replay incantation are logged against the calling test.
+func Seed(t testing.TB) int64 {
+	t.Helper()
+	seed, pinned := seedFromEnv()
+	if !pinned {
+		seed = time.Now().UnixNano()
+	}
+	t.Logf("testseed: seed=%d (replay: %s=%d go test -run '^%s$')", seed, EnvVar, seed, t.Name())
+	return seed
+}
+
+// Rand returns a private *rand.Rand seeded via Seed. Not safe for
+// concurrent use — derive one per goroutine with Derive instead.
+func Rand(t testing.TB) *rand.Rand {
+	t.Helper()
+	return rand.New(rand.NewSource(Seed(t)))
+}
+
+// Derive maps a base seed and a label (subtest name, worker index) to a
+// stable child seed, so one logged seed reproduces every derived
+// sequence.
+func Derive(seed int64, label string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(seed) >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(label))
+	return int64(h.Sum64())
+}
+
+func seedFromEnv() (int64, bool) {
+	v := os.Getenv(EnvVar)
+	if v == "" {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

@@ -144,6 +144,31 @@ func (b *Broker) rebuildSubs() {
 	b.subs.Store(&subs)
 }
 
+// KillConnections abruptly closes up to n live client connections
+// (all of them when n < 0) and returns how many were killed. The
+// victims' serve loops observe the closed socket, deregister and tear
+// down exactly as they would on a network fault — this is the chaos
+// harness's connection-kill fault, not a graceful disconnect. Iteration
+// order over the connection map is intentionally left to the runtime:
+// chaos scenarios want arbitrary victims.
+func (b *Broker) KillConnections(n int) int {
+	b.mu.Lock()
+	victims := make([]*brokerConn, 0, len(b.conns))
+	for c := range b.conns {
+		if n >= 0 && len(victims) >= n {
+			break
+		}
+		victims = append(victims, c)
+	}
+	b.mu.Unlock()
+	// Close outside b.mu: serve-loop teardown takes the lock to
+	// deregister, and holding it here would invert the shutdown order.
+	for _, c := range victims {
+		c.conn.Close()
+	}
+	return len(victims)
+}
+
 // Close stops the broker and disconnects all clients.
 func (b *Broker) Close() error {
 	b.mu.Lock()

@@ -127,3 +127,75 @@ func TestSubscriberDisconnectDoesNotStallRouting(t *testing.T) {
 		}
 	}
 }
+
+// TestKillConnections: the chaos fault injector's connection killer must
+// sever exactly the requested number of live sessions (all with n < 0),
+// the victims must observe the break, and the broker must keep accepting
+// fresh connections afterwards.
+func TestKillConnections(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	clients := make([]*Client, 3)
+	for i := range clients {
+		c, err := Dial(b.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+		if err := c.Ping(); err != nil { // session fully established
+			t.Fatal(err)
+		}
+	}
+
+	if n := b.KillConnections(1); n != 1 {
+		t.Fatalf("KillConnections(1) = %d", n)
+	}
+	if n := b.KillConnections(-1); n != 2 {
+		t.Fatalf("KillConnections(-1) after one kill = %d, want remaining 2", n)
+	}
+
+	// Every client observes the break: writes start failing once the RST
+	// lands (the first post-kill write may still land in the TCP buffer).
+	deadline := time.Now().Add(3 * time.Second)
+	for _, c := range clients {
+		for c.Publish("/probe", []sensor.Reading{{Value: 1, Time: 1}}) == nil {
+			if time.Now().After(deadline) {
+				t.Fatal("client still writable after KillConnections(-1)")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// The broker itself survives: fresh sessions connect and publish.
+	got := make(chan Message, 1)
+	b.SubscribeLocal("#", func(m Message) {
+		select {
+		case got <- m:
+		default:
+		}
+	})
+	fresh, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatalf("dial after kill: %v", err)
+	}
+	defer fresh.Close()
+	if err := fresh.Publish("/alive", []sensor.Reading{{Value: 1, Time: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Topic != "/alive" {
+			t.Fatalf("routed %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("publish after kill not routed")
+	}
+	if n := b.KillConnections(-1); n != 1 {
+		t.Fatalf("KillConnections(-1) with one fresh conn = %d", n)
+	}
+}

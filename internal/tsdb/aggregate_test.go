@@ -11,6 +11,7 @@ import (
 
 	"github.com/dcdb/wintermute/internal/sensor"
 	"github.com/dcdb/wintermute/internal/store"
+	"github.com/dcdb/wintermute/internal/testseed"
 )
 
 // The property suite: for randomized series — out-of-order arrivals,
@@ -104,9 +105,10 @@ func checkAggEquivalence(t *testing.T, rng *rand.Rand, db *DB, topics []sensor.T
 }
 
 func TestAggregateEquivalenceProperty(t *testing.T) {
-	for seed := int64(1); seed <= 4; seed++ {
-		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			rng := rand.New(rand.NewSource(seed))
+	base := testseed.Seed(t)
+	for i := 1; i <= 4; i++ {
+		t.Run(fmt.Sprintf("round%d", i), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(testseed.Derive(base, fmt.Sprintf("round%d", i))))
 			db, topics, maxT := buildRandomDB(t, rng, t.TempDir(), 4, 800)
 			defer db.Close()
 
@@ -130,7 +132,7 @@ func TestAggregateEquivalenceAfterRecovery(t *testing.T) {
 			name = "kill_wal_replay"
 		}
 		t.Run(name, func(t *testing.T) {
-			rng := rand.New(rand.NewSource(99))
+			rng := testseed.Rand(t)
 			dir := t.TempDir()
 			db, topics, maxT := buildRandomDB(t, rng, dir, 3, 400)
 			if kill {

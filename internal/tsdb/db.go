@@ -59,6 +59,11 @@ type Options struct {
 	// while the prune cycle still holds its serialisation mutex: it must
 	// not call Flush, Prune or Close on this DB.
 	OnPrune func(cutoff int64, removed int)
+	// FS abstracts the file operations the database performs (WAL
+	// appends and fsyncs, segment writes, renames, directory syncs).
+	// Nil selects OSFS, the real filesystem. The chaos harness injects a
+	// fault-injecting implementation here; production code never sets it.
+	FS FS
 	// Metrics, when set, registers the DB's telemetry families (WAL
 	// cohort/commit histograms, flush/prune/janitor durations,
 	// head/segment gauges, chunk-decode counter) in the given registry.
@@ -76,6 +81,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxHeadAge <= 0 {
 		o.MaxHeadAge = 60 * time.Second
+	}
+	if o.FS == nil {
+		o.FS = OSFS
 	}
 	return o
 }
@@ -113,6 +121,7 @@ func headShardIdx(topic sensor.Topic) uint32 {
 type DB struct {
 	dir  string
 	opts Options
+	fs   FS
 
 	// ingest serialises flushes against the append path: inserts hold it
 	// shared while writing WAL record + head so a flush (exclusive) can
@@ -199,11 +208,12 @@ var _ store.PrefixMatcher = (*DB)(nil)
 // fresh heads — after which queries answer exactly as before the crash.
 func Open(dir string, opts Options) (*DB, error) {
 	opts = opts.withDefaults()
+	fs := opts.FS
 	openStart := time.Now()
 	walDir := filepath.Join(dir, "wal")
 	segDir := filepath.Join(dir, "seg")
 	for _, d := range []string{dir, walDir, segDir} {
-		if err := os.MkdirAll(d, 0o755); err != nil {
+		if err := fs.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("tsdb: %w", err)
 		}
 	}
@@ -211,7 +221,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	segs, err := listSegments(segDir)
+	segs, err := listSegments(fs, segDir)
 	if err != nil {
 		lock.Close()
 		return nil, err
@@ -219,8 +229,9 @@ func Open(dir string, opts Options) (*DB, error) {
 	db := &DB{
 		dir:   dir,
 		opts:  opts,
+		fs:    fs,
 		segs:  segs,
-		floor: loadFloor(dir),
+		floor: loadFloor(fs, dir),
 		lock:  lock,
 		idx:   store.NewTopicIndex(),
 	}
@@ -252,7 +263,7 @@ func Open(dir string, opts Options) (*DB, error) {
 			coveredWAL = s.coveredWAL
 		}
 	}
-	walFiles, err := listWAL(walDir)
+	walFiles, err := listWAL(fs, walDir)
 	if err != nil {
 		db.metrics.closeMetrics()
 		lock.Close()
@@ -261,10 +272,10 @@ func Open(dir string, opts Options) (*DB, error) {
 	maxWALSeq := coveredWAL
 	for _, wf := range walFiles {
 		if wf.seq <= coveredWAL {
-			os.Remove(wf.path) // flushed before the crash; leftover
+			fs.Remove(wf.path) // flushed before the crash; leftover
 			continue
 		}
-		if err := replayWAL(wf.path, func(topic sensor.Topic, rs []sensor.Reading) {
+		if err := replayWAL(fs, wf.path, func(topic sensor.Topic, rs []sensor.Reading) {
 			// Drop readings below the persisted retention watermark: a
 			// pre-crash Prune already removed them, and replaying them
 			// into heads would skew head counts and later Prune totals.
@@ -297,7 +308,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	// Recovery: seed the prefix index with every live topic (segments +
 	// replayed heads), so wildcard expansion answers right after restart.
 	db.idx.ResetWith(db.Topics)
-	db.wal, err = newWAL(walDir, maxWALSeq+1, opts.WALSync)
+	db.wal, err = newWAL(fs, walDir, maxWALSeq+1, opts.WALSync)
 	if err != nil {
 		db.metrics.closeMetrics()
 		lock.Close()
@@ -437,8 +448,8 @@ type metaFile struct {
 // loadFloor reads the persisted retention watermark; a missing or
 // unreadable meta file means no watermark (the janitor re-derives it on
 // its first retention pass).
-func loadFloor(dir string) int64 {
-	raw, err := os.ReadFile(metaPath(dir))
+func loadFloor(fs FS, dir string) int64 {
+	raw, err := fs.ReadFile(metaPath(dir))
 	if err != nil {
 		return math.MinInt64
 	}
@@ -452,18 +463,18 @@ func loadFloor(dir string) int64 {
 // saveFloor persists the watermark atomically. Best-effort: a crash
 // before the write merely resurrects already-expired readings until the
 // next retention pass.
-func saveFloor(dir string, floor int64) {
+func saveFloor(fs FS, dir string, floor int64) {
 	raw, err := json.Marshal(metaFile{Floor: floor})
 	if err != nil {
 		return
 	}
 	tmp := metaPath(dir) + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
-		os.Remove(tmp)
+	if err := fs.WriteFile(tmp, raw, 0o644); err != nil {
+		fs.Remove(tmp)
 		return
 	}
-	if err := os.Rename(tmp, metaPath(dir)); err != nil {
-		os.Remove(tmp)
+	if err := fs.Rename(tmp, metaPath(dir)); err != nil {
+		fs.Remove(tmp)
 	}
 }
 
@@ -790,7 +801,7 @@ func (db *DB) Flush() error {
 		db.removeWALThrough(walDir, retiredWAL)
 		return nil
 	}
-	seg, err := writeSegment(filepath.Join(db.dir, "seg"), segSeq, retiredWAL, data)
+	seg, err := writeSegment(db.fs, filepath.Join(db.dir, "seg"), segSeq, retiredWAL, data)
 	if err != nil {
 		// Segment write failed: put the data back into heads so memory
 		// still serves it; the retired WAL files stay for recovery. If
@@ -839,13 +850,13 @@ func (db *DB) restoreFlushing() {
 // removeWALThrough deletes WAL files with sequence <= maxSeq. Failures
 // are harmless: recovery skips covered files by sequence.
 func (db *DB) removeWALThrough(walDir string, maxSeq uint64) {
-	files, err := listWAL(walDir)
+	files, err := listWAL(db.fs, walDir)
 	if err != nil {
 		return
 	}
 	for _, wf := range files {
 		if wf.seq <= maxSeq {
-			os.Remove(wf.path)
+			db.fs.Remove(wf.path)
 		}
 	}
 }
@@ -924,12 +935,12 @@ func (db *DB) Prune(cutoff int64) int {
 		}
 		removed += total - s.prunedCount
 		s.close()
-		os.Remove(s.path)
+		db.fs.Remove(s.path)
 	}
 	// Persist the watermark only when it actually hid or dropped
 	// something: a janitor pass on an idle window then costs no write.
 	if changed {
-		saveFloor(db.dir, cutoff)
+		saveFloor(db.fs, db.dir, cutoff)
 		// Reconcile the prefix index against the surviving topic set so
 		// wildcard expansion stops listing fully-expired sensors. The
 		// snapshot runs under the index lock: an insert reviving a topic
@@ -978,9 +989,9 @@ func (db *DB) Stats() store.BackendStats {
 		st.DiskBytes += s.size
 	}
 	walDir := filepath.Join(db.dir, "wal")
-	if files, err := listWAL(walDir); err == nil {
+	if files, err := listWAL(db.fs, walDir); err == nil {
 		for _, wf := range files {
-			if fi, err := os.Stat(wf.path); err == nil {
+			if fi, err := db.fs.Stat(wf.path); err == nil {
 				st.WALFiles++
 				st.WALBytes += fi.Size()
 			}

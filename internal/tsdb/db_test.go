@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/testseed"
 )
 
 // openTest opens a DB without the background janitor so tests control
@@ -224,6 +225,7 @@ func TestJanitorFlushesAndPrunes(t *testing.T) {
 func TestConcurrentInsertFlushQuery(t *testing.T) {
 	db := openTest(t, t.TempDir(), Options{})
 	defer db.Close()
+	base := testseed.Seed(t)
 	topics := []sensor.Topic{"/a", "/b", "/c", "/d"}
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
@@ -235,7 +237,7 @@ func TestConcurrentInsertFlushQuery(t *testing.T) {
 				tp := topics[rng.Intn(len(topics))]
 				db.Insert(tp, sensor.Reading{Value: float64(i), Time: int64(i) * sec})
 			}
-		}(int64(w))
+		}(testseed.Derive(base, fmt.Sprintf("writer-%d", w)))
 	}
 	wg.Add(1)
 	go func() {

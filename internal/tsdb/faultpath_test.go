@@ -1,0 +1,210 @@
+// Fault-path tests: a real database on a chaos filesystem, verifying
+// the WAL and segment error contracts the chaos harness relies on —
+// no insert is ever dropped in-process, torn WAL tails recover to a
+// clean prefix, and failed flushes restore their staged data. External
+// test package: internal/chaos imports tsdb, so these live outside the
+// tsdb package proper.
+package tsdb_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/chaos"
+	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/testseed"
+	"github.com/dcdb/wintermute/internal/tsdb"
+)
+
+// fill inserts n sequential readings for topic starting at timestamp
+// from, value == timestamp, and returns the next free timestamp.
+func fill(db *tsdb.DB, topic sensor.Topic, from int64, n int) int64 {
+	rs := make([]sensor.Reading, n)
+	for i := range rs {
+		rs[i] = sensor.Reading{Time: from + int64(i), Value: float64(from + int64(i))}
+	}
+	db.InsertBatch(topic, rs)
+	return from + int64(n)
+}
+
+// expectRange asserts the topic holds exactly the readings [0, upto)
+// with value == timestamp.
+func expectRange(t *testing.T, db *tsdb.DB, topic sensor.Topic, upto int64) {
+	t.Helper()
+	got := db.Range(topic, 0, upto+1, nil)
+	if len(got) != int(upto) {
+		t.Fatalf("range returned %d readings, want %d", len(got), upto)
+	}
+	for i, r := range got {
+		if r.Time != int64(i) || r.Value != float64(i) {
+			t.Fatalf("reading %d = {t:%d v:%g}, want {t:%d v:%d}", i, r.Time, r.Value, i, i)
+		}
+	}
+}
+
+// TestWALDegradeServesFromMemory: a failing WAL fsync must degrade the
+// log (Stats reports it) without losing a single in-process reading,
+// and a successful flush must re-arm durability.
+func TestWALDegradeServesFromMemory(t *testing.T) {
+	fs := chaos.NewFS(nil, testseed.Seed(t))
+	db, err := tsdb.Open(t.TempDir(), tsdb.Options{FS: fs, WALSync: true})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer db.Close()
+	topic := sensor.Topic("/n01/power")
+	next := fill(db, topic, 0, 100)
+
+	fs.Set(chaos.OpSync, chaos.ClassWAL, chaos.Fault{P: 1})
+	next = fill(db, topic, next, 100) // fails the group commit, degrades the WAL
+	fs.Clear(chaos.OpSync, chaos.ClassWAL)
+	next = fill(db, topic, next, 100) // appended while degraded: memory only
+
+	if st := db.Stats(); !strings.Contains(st.Error, "WAL degraded") {
+		t.Fatalf("stats after fsync failure = %q, want WAL degraded", st.Error)
+	}
+	expectRange(t, db, topic, next) // nothing lost in-process
+
+	if err := db.Flush(); err != nil {
+		t.Fatalf("flush after clearing fault: %v", err)
+	}
+	if st := db.Stats(); st.Error != "" {
+		t.Fatalf("stats after successful flush = %q, want re-armed (empty)", st.Error)
+	}
+	next = fill(db, topic, next, 100) // logged again on the fresh WAL
+	expectRange(t, db, topic, next)
+}
+
+// TestTornWALRecoversCleanPrefix: a torn append (half the record
+// persisted) must degrade the WAL immediately — later appends are
+// suspended rather than written after the tear, where replay would
+// silently drop them — and recovery must replay the clean prefix
+// without error or corruption.
+func TestTornWALRecoversCleanPrefix(t *testing.T) {
+	dir := t.TempDir()
+	fs := chaos.NewFS(nil, testseed.Seed(t))
+	db, err := tsdb.Open(dir, tsdb.Options{FS: fs, WALSync: true})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	topic := sensor.Topic("/n01/power")
+	next := fill(db, topic, 0, 200)
+
+	fs.Set(chaos.OpWrite, chaos.ClassWAL, chaos.Fault{P: 1, Partial: true})
+	next = fill(db, topic, next, 50) // torn mid-record on disk
+	fs.Clear(chaos.OpWrite, chaos.ClassWAL)
+	fill(db, topic, next, 50) // suspended: memory only, never after the tear
+
+	db.Abandon() // simulated crash: no final flush
+
+	re, err := tsdb.Open(dir, tsdb.Options{})
+	if err != nil {
+		t.Fatalf("reopen after torn WAL: %v", err)
+	}
+	defer re.Close()
+	got := re.Range(topic, 0, int64(next)+100, nil)
+	if len(got) != 200 {
+		t.Fatalf("recovered %d readings, want exactly the 200 clean-prefix ones", len(got))
+	}
+	for i, r := range got {
+		if r.Time != int64(i) || r.Value != float64(i) {
+			t.Fatalf("recovered reading %d = {t:%d v:%g}: corrupt replay past the tear", i, r.Time, r.Value)
+		}
+	}
+}
+
+// TestSegmentWriteFailureKeepsData: a failed segment write must abort
+// the flush, restore the staged heads (queries keep answering) and
+// retain the retired WAL for recovery; a retried flush succeeds.
+func TestSegmentWriteFailureKeepsData(t *testing.T) {
+	dir := t.TempDir()
+	fs := chaos.NewFS(nil, testseed.Seed(t))
+	db, err := tsdb.Open(dir, tsdb.Options{FS: fs, WALSync: true})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	topic := sensor.Topic("/n01/power")
+	next := fill(db, topic, 0, 300)
+
+	fs.Set(chaos.OpCreate, chaos.ClassSeg, chaos.Fault{P: 1})
+	fs.Set(chaos.OpWrite, chaos.ClassSeg, chaos.Fault{P: 1})
+	if err := db.Flush(); err == nil {
+		t.Fatal("flush under segment faults succeeded, want error")
+	}
+	expectRange(t, db, topic, next) // restored heads still serve
+
+	fs.Clear(chaos.OpCreate, chaos.ClassSeg)
+	fs.Clear(chaos.OpWrite, chaos.ClassSeg)
+	if err := db.Flush(); err != nil {
+		t.Fatalf("retried flush: %v", err)
+	}
+	if st := db.Stats(); st.Segments == 0 {
+		t.Fatal("retried flush produced no segment")
+	}
+	expectRange(t, db, topic, next)
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	re, err := tsdb.Open(dir, tsdb.Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	expectRange(t, re, topic, next)
+}
+
+// TestSegmentFailureThenCrashRecoversFromWAL: when the flush fails AND
+// the process dies before retrying, the retired WAL files — deliberately
+// kept on flush failure — must carry the data into the next life.
+func TestSegmentFailureThenCrashRecoversFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	fs := chaos.NewFS(nil, testseed.Seed(t))
+	db, err := tsdb.Open(dir, tsdb.Options{FS: fs, WALSync: true})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	topic := sensor.Topic("/n01/power")
+	next := fill(db, topic, 0, 300)
+
+	fs.Set(chaos.OpRename, chaos.ClassSeg, chaos.Fault{P: 1})
+	if err := db.Flush(); err == nil {
+		t.Fatal("flush under rename fault succeeded, want error")
+	}
+	db.Abandon() // crash before any retry
+
+	re, err := tsdb.Open(dir, tsdb.Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	expectRange(t, re, topic, next)
+}
+
+// TestFsyncStallBlocksButCommits: a stalled fsync must delay the group
+// commit, not corrupt or drop it.
+func TestFsyncStallBlocksButCommits(t *testing.T) {
+	dir := t.TempDir()
+	fs := chaos.NewFS(nil, testseed.Seed(t))
+	db, err := tsdb.Open(dir, tsdb.Options{FS: fs, WALSync: true})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	topic := sensor.Topic("/n01/power")
+	fs.Set(chaos.OpSync, chaos.ClassWAL, chaos.Fault{P: 1, Stall: 50 * time.Millisecond, StallOnly: true})
+	t0 := time.Now()
+	next := fill(db, topic, 0, 10)
+	if d := time.Since(t0); d < 50*time.Millisecond {
+		t.Fatalf("stalled group commit returned after %v, want >= 50ms", d)
+	}
+	fs.Clear(chaos.OpSync, chaos.ClassWAL)
+	db.Abandon() // data must already be durable in the WAL
+
+	re, err := tsdb.Open(dir, tsdb.Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	expectRange(t, re, topic, next)
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/testseed"
 )
 
 // crash abandons a DB the way a process kill would: no flush, no WAL
@@ -20,10 +21,10 @@ func crash(db *DB) {
 	db.Abandon()
 }
 
-// fill inserts a deterministic workload: per readings on each of n
-// topics, mixing batch sizes, with integer-ish sensor values.
-func fill(db *DB, n, per int, t0 int64) []sensor.Topic {
-	rng := rand.New(rand.NewSource(42))
+// fill inserts a randomized workload: per readings on each of n
+// topics, mixing batch sizes, with integer-ish sensor values. The rng
+// comes from testseed so a failing shape is replayable by seed.
+func fill(db *DB, rng *rand.Rand, n, per int, t0 int64) []sensor.Topic {
 	topics := make([]sensor.Topic, n)
 	for i := range topics {
 		topics[i] = sensor.Topic(fmt.Sprintf("/r%02d/c%d/s%d/power", i/16, i/4%4, i%4))
@@ -112,7 +113,7 @@ func compareSnapshots(t *testing.T, want, got querySnapshot, topics []sensor.Top
 func TestCrashRecoveryWALOnly(t *testing.T) {
 	dir := t.TempDir()
 	db := openTest(t, dir, Options{})
-	topics := fill(db, 16, 100, 0)
+	topics := fill(db, testseed.Rand(t), 16, 100, 0)
 	want := snapshotQueries(db, topics, 0, 100*sec)
 	crash(db)
 
@@ -130,11 +131,12 @@ func TestCrashRecoveryWALOnly(t *testing.T) {
 func TestCrashRecoveryMixed(t *testing.T) {
 	dir := t.TempDir()
 	db := openTest(t, dir, Options{})
-	topics := fill(db, 16, 60, 0)
+	rng := testseed.Rand(t)
+	topics := fill(db, rng, 16, 60, 0)
 	if err := db.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	fill(db, 16, 60, 60*sec) // same topics, later window
+	fill(db, rng, 16, 60, 60*sec) // same topics, later window
 	want := snapshotQueries(db, topics, 0, 120*sec)
 	crash(db)
 
@@ -157,7 +159,7 @@ func TestCrashRecoveryTornWALRecord(t *testing.T) {
 	}
 	crash(db)
 
-	wals, err := listWAL(filepath.Join(dir, "wal"))
+	wals, err := listWAL(OSFS, filepath.Join(dir, "wal"))
 	if err != nil || len(wals) == 0 {
 		t.Fatalf("listWAL: %v (%d files)", err, len(wals))
 	}
@@ -194,7 +196,7 @@ func TestCrashRecoveryCorruptWALRecord(t *testing.T) {
 	}
 	crash(db)
 
-	wals, _ := listWAL(filepath.Join(dir, "wal"))
+	wals, _ := listWAL(OSFS, filepath.Join(dir, "wal"))
 	last := wals[len(wals)-1].path
 	data, err := os.ReadFile(last)
 	if err != nil {
@@ -218,7 +220,7 @@ func TestCrashRecoveryCorruptWALRecord(t *testing.T) {
 func TestRecoveryAfterCleanClose(t *testing.T) {
 	dir := t.TempDir()
 	db := openTest(t, dir, Options{})
-	topics := fill(db, 8, 50, 0)
+	topics := fill(db, testseed.Rand(t), 8, 50, 0)
 	want := snapshotQueries(db, topics, 0, 50*sec)
 	if err := db.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
@@ -275,11 +277,12 @@ func TestCrashRecoveryAtScale(t *testing.T) {
 	}
 	dir := t.TempDir()
 	db := openTest(t, dir, Options{})
-	topics := fill(db, 64, 200, 0)
+	rng := testseed.Rand(t)
+	topics := fill(db, rng, 64, 200, 0)
 	if err := db.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	fill(db, 64, 100, 200*sec)
+	fill(db, rng, 64, 100, 200*sec)
 	want := snapshotQueries(db, topics, 0, 300*sec)
 	crash(db)
 

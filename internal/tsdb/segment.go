@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -71,7 +70,7 @@ type segment struct {
 	minT, maxT int64
 	size       int64
 	series     map[sensor.Topic]segSeries
-	f          *os.File
+	f          File
 
 	// prunedCount is the number of readings in this segment already
 	// counted as removed by DB.Prune (retention watermark bookkeeping).
@@ -89,7 +88,7 @@ func segPath(dir string, seq uint64) string {
 // writeSegment persists data as segment file seq, fsyncing file and
 // directory before the atomic rename, and returns the opened segment.
 // Series chunks are encoded in sorted topic order for determinism.
-func writeSegment(dir string, seq, coveredWAL uint64, data map[sensor.Topic][]sensor.Reading) (*segment, error) {
+func writeSegment(fs FS, dir string, seq, coveredWAL uint64, data map[sensor.Topic][]sensor.Reading) (*segment, error) {
 	topics := make([]sensor.Topic, 0, len(data))
 	for t, rs := range data {
 		if len(rs) > 0 {
@@ -138,31 +137,31 @@ func writeSegment(dir string, seq, coveredWAL uint64, data map[sensor.Topic][]se
 
 	path := segPath(dir, seq)
 	tmp := path + ".tmp"
-	if err := writeFileSync(tmp, buf); err != nil {
-		os.Remove(tmp)
+	if err := writeFileSync(fs, tmp, buf); err != nil {
+		fs.Remove(tmp)
 		return nil, err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
 		return nil, err
 	}
 	// Past the rename the file is live: any later failure must take it
 	// back out, or the flush's error path restores the same readings
 	// into heads and the next flush duplicates them all.
-	if err := syncDir(dir); err != nil {
-		os.Remove(path)
+	if err := fs.SyncDir(dir); err != nil {
+		fs.Remove(path)
 		return nil, err
 	}
-	seg, err := openSegment(path, seq)
+	seg, err := openSegment(fs, path, seq)
 	if err != nil {
-		os.Remove(path)
+		fs.Remove(path)
 		return nil, err
 	}
 	return seg, nil
 }
 
-func writeFileSync(path string, data []byte) error {
-	f, err := os.Create(path)
+func writeFileSync(fs FS, path string, data []byte) error {
+	f, err := fs.Create(path)
 	if err != nil {
 		return err
 	}
@@ -177,22 +176,10 @@ func writeFileSync(path string, data []byte) error {
 	return f.Close()
 }
 
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
-
 // listSegments opens every segment file in dir, sorted by sequence.
 // Leftover .tmp files from an interrupted flush are removed.
-func listSegments(dir string) ([]*segment, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fs FS, dir string) ([]*segment, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +187,7 @@ func listSegments(dir string) ([]*segment, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if strings.HasSuffix(name, ".tmp") {
-			os.Remove(filepath.Join(dir, name))
+			fs.Remove(filepath.Join(dir, name))
 			continue
 		}
 		if e.IsDir() || !strings.HasSuffix(name, ".seg") {
@@ -210,7 +197,7 @@ func listSegments(dir string) ([]*segment, error) {
 		if err != nil {
 			continue
 		}
-		seg, err := openSegment(filepath.Join(dir, name), seq)
+		seg, err := openSegment(fs, filepath.Join(dir, name), seq)
 		if err != nil {
 			return nil, fmt.Errorf("tsdb: opening segment %s: %w", name, err)
 		}
@@ -222,8 +209,8 @@ func listSegments(dir string) ([]*segment, error) {
 
 // openSegment memory-loads a segment's index and keeps the file open for
 // on-demand chunk reads.
-func openSegment(path string, seq uint64) (*segment, error) {
-	f, err := os.Open(path)
+func openSegment(fs FS, path string, seq uint64) (*segment, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, err
 	}

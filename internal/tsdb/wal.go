@@ -45,8 +45,8 @@ type walFile struct {
 }
 
 // listWAL returns the directory's WAL files sorted by sequence number.
-func listWAL(dir string) ([]walFile, error) {
-	entries, err := os.ReadDir(dir)
+func listWAL(fs FS, dir string) ([]walFile, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -87,6 +87,7 @@ var walRecPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // wal is the active write-ahead log file.
 type wal struct {
+	fs          FS
 	dir         string
 	syncEach    bool
 	groupWindow time.Duration
@@ -101,19 +102,19 @@ type wal struct {
 	staging    *walGroup  // cohort accepting writers, nil when empty
 	committing bool       // a leader is persisting a cohort outside mu
 	err        error      // sticky commit failure; cleared by rotate
-	f          *os.File
+	f          File
 	seq        uint64
 	size       int64
 	buf        []byte // legacy-path record scratch
 }
 
 // newWAL starts a fresh WAL file with the given sequence number.
-func newWAL(dir string, seq uint64, syncEach bool) (*wal, error) {
-	f, err := os.OpenFile(walPath(dir, seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func newWAL(fs FS, dir string, seq uint64, syncEach bool) (*wal, error) {
+	f, err := fs.OpenFile(walPath(dir, seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	w := &wal{dir: dir, syncEach: syncEach, f: f, seq: seq}
+	w := &wal{fs: fs, dir: dir, syncEach: syncEach, f: f, seq: seq}
 	w.drained = sync.NewCond(&w.mu)
 	return w, nil
 }
@@ -298,13 +299,13 @@ func (w *wal) rotate() (retired uint64, err error) {
 	defer w.mu.Unlock()
 	w.waitDrainedLocked()
 	next := walPath(w.dir, w.seq+1)
-	f, err := os.OpenFile(next, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := w.fs.OpenFile(next, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return 0, err
 	}
 	if err := w.f.Sync(); err != nil {
 		f.Close()
-		os.Remove(next)
+		w.fs.Remove(next)
 		return 0, err
 	}
 	w.f.Close() // contents are synced; a close error loses nothing
@@ -364,8 +365,8 @@ func appendWALRecord(dst []byte, topic sensor.Topic, rs []sensor.Reading) []byte
 // or corrupt tail record ends the replay silently: it is the expected
 // shape of a crash interrupting Append, and everything before it is
 // protected by its own CRC.
-func replayWAL(path string, fn func(topic sensor.Topic, rs []sensor.Reading)) error {
-	data, err := os.ReadFile(path)
+func replayWAL(fs FS, path string, fn func(topic sensor.Topic, rs []sensor.Reading)) error {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return err
 	}
