@@ -41,11 +41,12 @@ race:
 # Range+reduce vs the chunk-metadata engine), the concurrent-ingest
 # pairs (single-lock WAL vs group commit), the dashboard read-path
 # pairs (uncached vs result-cached queries, linear vs indexed wildcard
-# expansion) and the telemetry overhead pairs (instrumented ingest and
-# dashboard hot paths with the switch off vs on).
+# expansion), the telemetry overhead pairs (instrumented ingest and
+# dashboard hot paths with the switch off vs on) and the delivery pairs
+# (fire-and-forget publish vs the spooled acked path).
 # Full suite: go test -bench=. -benchmem .
 bench:
-	$(GO) test -run '^$$' -bench 'TickAllContention|QueryContention|CacheView|BackendInsertBatch|BackendRange|TSDBRecovery|Aggregate|Downsample|IngestConcurrent|DashboardQuery|WildcardExpand|Telemetry' -benchtime 10x -benchmem .
+	$(GO) test -run '^$$' -bench 'TickAllContention|QueryContention|CacheView|BackendInsertBatch|BackendRange|TSDBRecovery|Aggregate|Downsample|IngestConcurrent|DashboardQuery|WildcardExpand|Telemetry|PublishUnacked|PublishAcked' -benchtime 10x -benchmem .
 
 # One-iteration smoke over the ENTIRE benchmark suite: every benchmark
 # must still compile and execute, so the paired before/after workloads
@@ -58,11 +59,11 @@ bench-smoke:
 # read-path and telemetry-overhead acceptance scenarios (on-disk bytes
 # per reading, crash-recovery parity, aggregate speedup vs naive
 # Range+reduce, 16-writer ingest speedup vs the pre-group-commit path,
-# cached dashboard-query speedup and wildcard-expansion scaling, and
-# the <=2% telemetry overhead bound on the ingest and dashboard hot
-# paths).
+# cached dashboard-query speedup and wildcard-expansion scaling, the
+# <=2% telemetry overhead bound on the ingest and dashboard hot paths,
+# and the <=5% acked-publish overhead bound vs fire-and-forget).
 bench-json:
-	$(GO) run ./cmd/benchrunner -bench-json BENCH_PR8.json
+	$(GO) run ./cmd/benchrunner -bench-json BENCH_PR10.json
 
 # Seeded chaos smoke (~10s): the fault-injected end-to-end scenario and
 # the integration-tier recovery case, both under the race detector. A
@@ -74,10 +75,13 @@ chaos-smoke:
 		-run 'TestScenarioSmoke|TestChaosSmokeRecovery' \
 		./internal/chaos/ ./internal/integration/
 
-# Full chaos run: 1000 simulated pushers, 30s of scheduled faults,
-# zero-loss accounting and query latency under chaos, written as a JSON
-# verdict. Pre-merge gate for storage/transport/ingest changes.
+# Full chaos run: 1000 simulated pushers, 30s of scheduled faults
+# (killed connections, torn/stalled/failed fsyncs, disk-full, slow
+# readers, OOO floods, clock skew) with the at-least-once spool on, so
+# the verdict requires zero lost readings, period. The verdict is
+# merged into the per-PR benchmark artifact under a "chaos" key.
+# Pre-merge gate for storage/transport/ingest changes.
 chaos:
-	$(GO) run ./cmd/chaosrunner -seed 42 -out BENCH_PR9.json
+	$(GO) run ./cmd/chaosrunner -seed 42 -merge BENCH_PR10.json
 
 ci: build vet doclint lint test race bench-smoke bench chaos-smoke

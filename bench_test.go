@@ -723,6 +723,60 @@ func BenchmarkTransportPublish(b *testing.B) {
 	}
 }
 
+// --- PR10: at-least-once delivery overhead ------------------------------
+
+// benchPublishDelivery measures sustained publish->local-delivery
+// throughput with the chosen client mode: the fire-and-forget v1
+// client, or the spooled at-least-once client whose batches travel as
+// acknowledged v2 frames. Publishes are pipelined (the production
+// shape: pushers never wait per batch) and one op is one batch fully
+// delivered. The pair bounds the ack machinery's no-fault throughput
+// overhead (acceptance: acked within 5% of unacked).
+func benchPublishDelivery(b *testing.B, spool int) {
+	broker, err := transport.NewBroker("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer broker.Close()
+	target := int64(b.N)
+	var delivered atomic.Int64
+	done := make(chan struct{}, 1)
+	broker.SubscribeLocal("#", func(m transport.Message) {
+		if delivered.Add(1) == target {
+			done <- struct{}{}
+		}
+	})
+	var client *transport.Client
+	if spool > 0 {
+		client, err = transport.DialOptions(broker.Addr(), transport.Options{SpoolBatches: spool})
+	} else {
+		client, err = transport.Dial(broker.Addr())
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	batch := make([]sensor.Reading, 10)
+	for i := range batch {
+		batch[i] = sensor.Reading{Value: float64(i), Time: int64(i)}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := client.Publish("/r1/n1/power", batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+}
+
+// BenchmarkPublishUnacked is the fire-and-forget baseline of the pair.
+func BenchmarkPublishUnacked(b *testing.B) { benchPublishDelivery(b, 0) }
+
+// BenchmarkPublishAcked routes the same workload through the spool:
+// v2 frames, broker PubAcks, client-side ack tracking.
+func BenchmarkPublishAcked(b *testing.B) { benchPublishDelivery(b, 1024) }
+
 // --- PR3: persistent storage backend (tsdb) vs in-memory store ----------
 
 // tsdbBenchSeries generates the paired-bench workload: regularly sampled

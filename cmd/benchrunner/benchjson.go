@@ -34,6 +34,7 @@ import (
 	"github.com/dcdb/wintermute/internal/sensor"
 	"github.com/dcdb/wintermute/internal/store"
 	"github.com/dcdb/wintermute/internal/telemetry"
+	"github.com/dcdb/wintermute/internal/transport"
 	"github.com/dcdb/wintermute/internal/tsdb"
 )
 
@@ -126,6 +127,19 @@ type telemetryAcceptance struct {
 	DashboardOverheadPct float64 `json:"dashboard_overhead_pct"`
 }
 
+// deliveryAcceptance pins the PR10 at-least-once overhead bound: the
+// publish->local-delivery pair, fire-and-forget v1 frames vs the
+// spooled acked v2 path, on a healthy connection (acceptance: acked
+// within 5% of unacked), with the acked side's drain bookkeeping —
+// every published batch acknowledged, Close returning clean.
+type deliveryAcceptance struct {
+	UnackedNsPerOp float64 `json:"unacked_ns_per_op"`
+	AckedNsPerOp   float64 `json:"acked_ns_per_op"`
+	OverheadPct    float64 `json:"overhead_pct"`
+	AckedBatches   uint64  `json:"acked_batches"`
+	CleanDrain     bool    `json:"clean_drain"`
+}
+
 type benchReport struct {
 	PR          int                  `json:"pr"`
 	Note        string               `json:"note"`
@@ -135,6 +149,7 @@ type benchReport struct {
 	Ingest      *ingestAcceptance    `json:"ingest,omitempty"`
 	Serving     *servingAcceptance   `json:"serving,omitempty"`
 	Telemetry   *telemetryAcceptance `json:"telemetry,omitempty"`
+	Delivery    *deliveryAcceptance  `json:"delivery,omitempty"`
 }
 
 const benchSec = int64(time.Second)
@@ -283,7 +298,7 @@ func contentionEnv(legacy bool) (*core.Manager, error) {
 
 func runBenchJSON(path string) error {
 	report := benchReport{
-		PR: 8,
+		PR: 10,
 		Note: "paired hot-path benchmarks: unbound vs bound QueryRelative, " +
 			"legacy Compute vs ComputeInto scratch arenas (64-unit aggregator tick), " +
 			"TickAll query contention (8 ops x 16 parallel units, 8-thread pool) legacy vs bound, " +
@@ -298,7 +313,10 @@ func runBenchJSON(path string) error {
 			"64-sensor/2000-reading corpus under live in-order ingest, indexed vs " +
 			"linear '#' expansion at 64- and 4096-topic namespaces, and the PR8 " +
 			"telemetry overhead pairs: the ingest and cached-dashboard scenarios " +
-			"re-run fully instrumented with the global telemetry switch off vs on",
+			"re-run fully instrumented with the global telemetry switch off vs on, " +
+			"and the PR10 delivery pair: publish->local-delivery through the broker " +
+			"with the fire-and-forget client vs the spooled acked client (v2 frames, " +
+			"PubAcks, redelivery bookkeeping), bounding the no-fault ack overhead",
 	}
 	add := func(name string, fn func(b *testing.B)) benchResult {
 		r := testing.Benchmark(fn)
@@ -832,6 +850,76 @@ func runBenchJSON(path string) error {
 		telemetryAcc.IngestOverheadPct, telemetryAcc.DashboardOverheadPct)
 	if telemetryAcc.IngestOverheadPct > 2 || telemetryAcc.DashboardOverheadPct > 2 {
 		fmt.Printf("  WARNING: telemetry acceptance bound missed (need <=2%% overhead on both scenarios)\n")
+	}
+
+	fmt.Println("==> bench-json: delivery (fire-and-forget vs acked spool)")
+	// Mirrors the PublishUnacked/PublishAcked pair in bench_test.go:
+	// publishes are pipelined (the production shape: pushers never wait
+	// per batch) and one op is one batch fully delivered, with the acked
+	// side additionally paying v2 framing, the broker's PubAck and the
+	// client's spool/ack bookkeeping.
+	var ackedStats transport.ClientStats
+	ackedDrainClean := false
+	benchDelivery := func(spool int) func(b *testing.B) {
+		return func(b *testing.B) {
+			broker, err := transport.NewBroker("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer broker.Close()
+			target := int64(b.N)
+			var delivered atomic.Int64
+			done := make(chan struct{}, 1)
+			broker.SubscribeLocal("#", func(m transport.Message) {
+				if delivered.Add(1) == target {
+					done <- struct{}{}
+				}
+			})
+			var client *transport.Client
+			if spool > 0 {
+				client, err = transport.DialOptions(broker.Addr(), transport.Options{SpoolBatches: spool})
+			} else {
+				client, err = transport.Dial(broker.Addr())
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := make([]sensor.Reading, 10)
+			for i := range batch {
+				batch[i] = sensor.Reading{Value: float64(i), Time: int64(i)}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := client.Publish("/r1/n1/power", batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			<-done
+			b.StopTimer()
+			err = client.Close()
+			if spool > 0 {
+				// The longest escalation run wins: it drained the most batches.
+				ackedDrainClean = err == nil
+				ackedStats = client.Stats()
+			}
+			b.StartTimer()
+		}
+	}
+	unackedRes := add("publish_unacked", benchDelivery(0))
+	ackedRes := add("publish_acked", benchDelivery(1024))
+	deliveryAcc := &deliveryAcceptance{
+		UnackedNsPerOp: unackedRes.NsPerOp,
+		AckedNsPerOp:   ackedRes.NsPerOp,
+		OverheadPct:    (ackedRes.NsPerOp - unackedRes.NsPerOp) / unackedRes.NsPerOp * 100,
+		AckedBatches:   ackedStats.Acked,
+		CleanDrain:     ackedDrainClean && ackedStats.Acked == ackedStats.Published,
+	}
+	report.Delivery = deliveryAcc
+	fmt.Printf("  acceptance: acked publish overhead %+.2f%%, %d batches acked, clean drain=%v\n",
+		deliveryAcc.OverheadPct, deliveryAcc.AckedBatches, deliveryAcc.CleanDrain)
+	if deliveryAcc.OverheadPct > 5 || !deliveryAcc.CleanDrain {
+		fmt.Printf("  WARNING: delivery acceptance bounds missed (need <=5%% acked overhead and a clean drain)\n")
 	}
 
 	accept, err := runStorageAcceptance(tmp + "/accept")

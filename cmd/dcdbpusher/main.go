@@ -42,6 +42,12 @@ func main() {
 		app        = flag.String("app", "idle", "simulated application (hpl, lammps, amg, kripke, nekbone, idle)")
 		cores      = flag.Int("cores", 16, "simulated cores")
 		mqttAddr   = flag.String("mqtt", "", "collect agent broker address (empty: standalone)")
+		spool      = flag.Int("spool", 256, "at-least-once spool size in batches (0: fire-and-forget forwarding)")
+		spoolDir   = flag.String("spool-dir", "", "on-disk spool overflow directory (empty: memory-only spool)")
+		ackTimeout = flag.Duration("ack-timeout", 0, "broker acknowledgement timeout (0: transport default, 5s)")
+		retryMin   = flag.Duration("retry-min", 0, "initial reconnect backoff (0: transport default, 50ms)")
+		retryMax   = flag.Duration("retry-max", 0, "reconnect backoff ceiling (0: transport default, 2s)")
+		drainTO    = flag.Duration("drain-timeout", 0, "shutdown spool drain bound (0: transport default, 5s)")
 		httpAddr   = flag.String("http", "127.0.0.1:0", "REST API listen address")
 		interval   = flag.Duration("interval", time.Second, "sampling interval")
 		retention  = flag.Duration("retention", 180*time.Second, "sensor cache retention")
@@ -58,7 +64,14 @@ func main() {
 		Name:           *nodePath,
 		CacheRetention: *retention,
 		MQTTAddr:       *mqttAddr,
+		Spool:          *spool,
+		SpoolDir:       *spoolDir,
+		AckTimeout:     *ackTimeout,
+		RetryMin:       *retryMin,
+		RetryMax:       *retryMax,
+		DrainTimeout:   *drainTO,
 		Threads:        *threads,
+		Metrics:        telemetry.Default,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -161,9 +161,11 @@ func TestLedgerClassification(t *testing.T) {
 
 // TestScenarioSmoke is the in-package chaos smoke: a short seeded run
 // across every fault class (conn kill, fsync stall, fsync fail, torn
-// WAL writes, segment failures, OOO flood, clock skew) plus standing
-// backpressure via a one-slot ingest queue, asserting exact at-most-once
-// accounting. `make chaos-smoke` runs it under -race.
+// WAL writes, segment failures, disk-full, slow readers, OOO flood,
+// clock skew) plus standing backpressure via a one-slot ingest queue,
+// with the at-least-once spool on — asserting exact zero-loss
+// accounting: nothing lost, nothing duplicated, nothing corrupted.
+// `make chaos-smoke` runs it under -race.
 func TestScenarioSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos smoke needs a multi-second run")
@@ -185,23 +187,38 @@ func TestScenarioSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatalf("scenario: %v", err)
 	}
-	t.Logf("verdict: sent=%d delivered=%d stored=%d dropped=%d rps=%.0f p99=%.1fms injected=%v killed=%d",
+	t.Logf("verdict: sent=%d delivered=%d stored=%d dropped=%d reconnects=%d redeliveries=%d dups=%d slowdrops=%d rps=%.0f p99=%.1fms injected=%v killed=%d",
 		v.Accounting.Sent, v.Accounting.Delivered, v.Accounting.Stored,
-		v.Accounting.UnackedDropped, v.ReadingsPerSec, v.QueryP99Ms, v.InjectedFS, v.ConnsKilled)
+		v.Accounting.UnackedDropped, v.PusherReconnects, v.PusherRedeliveries,
+		v.DupBatchesDropped, v.SlowReaderDrops,
+		v.ReadingsPerSec, v.QueryP99Ms, v.InjectedFS, v.ConnsKilled)
 	if !v.Pass {
 		t.Fatalf("chaos verdict failed: %v (accounting %+v)", v.Failures, v.Accounting)
 	}
 	if v.Accounting.Sent == 0 || v.Accounting.Stored == 0 {
 		t.Fatalf("degenerate run: accounting %+v", v.Accounting)
 	}
+	// Zero lost, period: with the spool on, every sent reading is stored.
+	if !v.SpoolEnabled {
+		t.Fatal("scenario ran without the at-least-once spool")
+	}
+	if v.Accounting.UnackedDropped != 0 || v.Accounting.AckedLost != 0 {
+		t.Fatalf("lost readings under spooling: %+v", v.Accounting)
+	}
+	if v.Accounting.Stored != v.Accounting.Sent {
+		t.Fatalf("stored %d of %d sent readings", v.Accounting.Stored, v.Accounting.Sent)
+	}
 	if v.ConnsKilled == 0 {
 		t.Fatal("fault schedule killed no connections")
+	}
+	if v.PusherReconnects == 0 {
+		t.Fatal("killed connections produced no reconnects")
 	}
 	if len(v.InjectedFS) == 0 {
 		t.Fatal("fault schedule injected no filesystem faults")
 	}
-	if got := len(v.FaultClasses); got < 4 {
-		t.Fatalf("scenario covered %d fault classes, want >= 4 (%v)", got, v.FaultClasses)
+	if got := len(v.FaultClasses); got < 6 {
+		t.Fatalf("scenario covered %d fault classes, want >= 6 (%v)", got, v.FaultClasses)
 	}
 	if v.Queries == 0 {
 		t.Fatal("query workers issued no queries")

@@ -60,7 +60,10 @@ func (l *Ledger) RecordSent(topic sensor.Topic, rs []sensor.Reading) {
 // with Broker.SubscribeLocal("#", l.RecordDelivered) AFTER the collect
 // agent's own subscription, so a message is marked delivered if and
 // only if the agent's ingest handler ran for it in the same
-// synchronous route pass.
+// synchronous route pass. Each reading is counted on its first
+// delivery only: an at-least-once pusher redelivers whole batches
+// after a reconnect, the agent's dedup admits just the first copy, and
+// deliveredCount must keep matching what the agent actually ingested.
 func (l *Ledger) RecordDelivered(m transport.Message) {
 	l.mu.Lock()
 	byTS := l.sent[m.Topic]
@@ -70,8 +73,10 @@ func (l *Ledger) RecordDelivered(m transport.Message) {
 			l.phantomDelivered++
 			continue
 		}
-		e.delivered = true
-		l.deliveredCount++
+		if !e.delivered {
+			e.delivered = true
+			l.deliveredCount++
+		}
 	}
 	l.mu.Unlock()
 }
@@ -97,9 +102,12 @@ func (l *Ledger) SentTopics() []sensor.Topic {
 }
 
 // Accounting is the reconciled fate of every reading the scenario sent.
-// A healthy at-most-once pipeline has AckedLost, Duplicates, Phantom
-// and ValueMismatch all zero; UnackedDropped counts the collateral of
-// injected connection faults and is allowed.
+// A healthy pipeline has AckedLost, Duplicates, Phantom and
+// ValueMismatch all zero. UnackedDropped counts readings handed to a
+// client but never routed: with the at-least-once spool active (the
+// default) the spool must redeliver them, so a passing verdict requires
+// zero; only a fire-and-forget run (Scenario.SpoolBatches < 0) tolerates
+// them as connection-kill collateral.
 type Accounting struct {
 	// Sent counts readings whose Publish returned nil.
 	Sent uint64 `json:"sent"`
@@ -110,9 +118,9 @@ type Accounting struct {
 	// AckedLost counts readings the pipeline accepted (delivered) but
 	// the store cannot produce — each one is a bug.
 	AckedLost uint64 `json:"acked_lost"`
-	// UnackedDropped counts readings written to a socket but never
-	// routed — the frames a killed connection ate. Allowed under
-	// at-most-once delivery.
+	// UnackedDropped counts readings handed to a client but never
+	// routed — the frames a killed connection ate. Forbidden when the
+	// at-least-once spool is on; allowed only in fire-and-forget runs.
 	UnackedDropped uint64 `json:"unacked_dropped"`
 	// Duplicates counts (topic, timestamp) keys the store returned more
 	// than once — an at-most-once violation.

@@ -3,13 +3,16 @@ package chaos
 import (
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math"
 	"net/http"
 	"net/url"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/dcdb/wintermute/internal/collect"
@@ -47,6 +50,14 @@ const (
 	// FaultClockSkew offsets pusher timestamps by a fraction of the
 	// sampling step, desynchronising timestamp from arrival order.
 	FaultClockSkew FaultKind = "clock-skew"
+	// FaultDiskFull makes WAL appends and segment writes return ENOSPC
+	// — the storage tier must degrade to memory-only serving and re-arm
+	// when space returns.
+	FaultDiskFull FaultKind = "disk-full"
+	// FaultSlowReader attaches a subscriber that matches every topic
+	// and never reads: its outbound queue fills and the broker must
+	// shed forwards to it without stalling publishers or acks.
+	FaultSlowReader FaultKind = "slow-reader"
 )
 
 // FaultSpec schedules one fault: Kind activates At after scenario start
@@ -98,6 +109,13 @@ type Scenario struct {
 	// IngestQueueCap bounds each ingest queue; 1 forces the
 	// backpressure path on every enqueue.
 	IngestQueueCap int
+	// SpoolBatches sizes each pusher's at-least-once client spool
+	// (default 256): batches survive killed connections in the spool and
+	// are redelivered after the automatic reconnect, with the agent's
+	// dedup keeping the store exactly-once. Negative reverts pushers to
+	// fire-and-forget clients, relaxing the verdict to tolerate unacked
+	// drops (the pre-spool contract).
+	SpoolBatches int
 	// QueryWorkers is how many goroutines hammer the REST tier during
 	// the run to measure query latency under chaos (default 2).
 	QueryWorkers int
@@ -111,8 +129,10 @@ type Scenario struct {
 
 // Verdict is the JSON result of a scenario run. Pass requires clean
 // accounting: zero acked-lost, duplicate, phantom and value-mismatch
-// readings; unacked drops (killed connections' collateral) are allowed
-// and reported.
+// readings — and, with the at-least-once spool on (the default), zero
+// unacked drops too: every reading a pusher accepted must be in the
+// store, period. Only a fire-and-forget run (SpoolBatches < 0)
+// tolerates unacked drops as connection-kill collateral.
 type Verdict struct {
 	Seed            int64             `json:"seed"`
 	Pushers         int               `json:"pushers"`
@@ -134,6 +154,40 @@ type Verdict struct {
 	QueryErrors    uint64  `json:"query_errors"`
 	QueryP50Ms     float64 `json:"query_p50_ms"`
 	QueryP99Ms     float64 `json:"query_p99_ms"`
+	// SpoolEnabled reports whether pushers ran with the at-least-once
+	// spool (and therefore whether the zero-unacked-drop criterion
+	// applied).
+	SpoolEnabled bool `json:"spool_enabled"`
+	// PusherReconnects totals successful redials across the fleet.
+	PusherReconnects uint64 `json:"pusher_reconnects"`
+	// PusherRedeliveries totals batches re-sent after connection loss.
+	PusherRedeliveries uint64 `json:"pusher_redeliveries"`
+	// PusherDrainFailures counts pushers whose Close could neither
+	// deliver nor persist every spooled batch.
+	PusherDrainFailures uint64 `json:"pusher_drain_failures"`
+	// PusherDialDropBatches counts batches dropped because a pusher's
+	// first dial failed (before the at-least-once client existed, so no
+	// spool could hold them).
+	PusherDialDropBatches uint64 `json:"pusher_dial_drop_batches"`
+	// PusherPersistedBatches counts batches Close persisted to the disk
+	// spool instead of delivering within its drain timeout — the
+	// durable half of the at-least-once contract, made whole by the
+	// restart-replay wave below.
+	PusherPersistedBatches uint64 `json:"pusher_persisted_batches"`
+	// PusherReplayedBatches counts batches the restart-replay wave
+	// delivered from persisted spools: for every non-empty disk spool a
+	// fresh client is opened on the same directory (restart semantics)
+	// and drained against the still-open broker, the agent's dedup
+	// dropping whatever already made it through in the first life.
+	PusherReplayedBatches uint64 `json:"pusher_replayed_batches"`
+	// DupBatchesDropped is the agent's dedup counter: redelivered
+	// batches turned away before ingest.
+	DupBatchesDropped uint64 `json:"dup_batches_dropped"`
+	// SlowReaderDrops counts broker forwards shed on full outbound
+	// queues (the slow-reader fault's intended effect).
+	SlowReaderDrops uint64 `json:"slow_reader_drops"`
+	// BrokerPubAcks counts publish acknowledgements the broker sent.
+	BrokerPubAcks uint64 `json:"broker_pubacks"`
 	// DrainedCleanly reports whether the ingest fan-in drained to the
 	// ledger's delivered count within DrainTimeout.
 	DrainedCleanly bool     `json:"drained_cleanly"`
@@ -151,11 +205,13 @@ func DefaultFaults(d time.Duration) []FaultSpec {
 	frac := func(f float64) time.Duration { return time.Duration(f * float64(d)) }
 	return []FaultSpec{
 		{Kind: FaultFsyncStall, At: frac(0.05), For: frac(0.15), P: 0.5, Stall: 20 * time.Millisecond},
+		{Kind: FaultSlowReader, At: frac(0.10), For: frac(0.35)},
 		{Kind: FaultConnKill, At: frac(0.20), Kill: 2},
 		{Kind: FaultOOOFlood, At: frac(0.25), For: frac(0.25)},
 		{Kind: FaultWALTorn, At: frac(0.30), For: frac(0.15), P: 0.3},
 		{Kind: FaultClockSkew, At: frac(0.45), For: frac(0.30)},
 		{Kind: FaultFsyncFail, At: frac(0.50), For: frac(0.15), P: 0.5},
+		{Kind: FaultDiskFull, At: frac(0.55), For: frac(0.10), P: 0.6},
 		{Kind: FaultConnKill, At: frac(0.65), Kill: 2},
 		{Kind: FaultSegFail, At: frac(0.72), For: frac(0.18), P: 0.5},
 	}
@@ -183,6 +239,9 @@ func (s Scenario) withDefaults() Scenario {
 	}
 	if s.Faults == nil {
 		s.Faults = DefaultFaults(s.Duration)
+	}
+	if s.SpoolBatches == 0 {
+		s.SpoolBatches = 256
 	}
 	if s.QueryWorkers < 0 {
 		s.QueryWorkers = 0
@@ -305,6 +364,14 @@ func (s Scenario) Run() (*Verdict, error) {
 		StoreWALGroupWindow: s.WALGroupWindow,
 		IngestWorkers:       s.IngestWorkers,
 		IngestQueueCap:      s.IngestQueueCap,
+		// A small outbound queue and a short write deadline make the
+		// slow-reader fault bite within a smoke-length run: the stalled
+		// subscriber's queue fills in milliseconds (forwards shed with a
+		// counter) and the deadline tears it down — while publish acks,
+		// which may block but never drop, stay bounded by the same
+		// deadline.
+		BrokerOutQueue:      64,
+		BrokerWriteDeadline: 2 * time.Second,
 		ResultCacheSize:     512,
 		Metrics:             reg,
 	})
@@ -345,11 +412,21 @@ func (s Scenario) Run() (*Verdict, error) {
 	}
 
 	var (
-		oooActive  atomic.Bool
-		skewActive atomic.Bool
-		stop       = make(chan struct{})
-		pusherWG   sync.WaitGroup
+		oooActive    atomic.Bool
+		skewActive   atomic.Bool
+		stop         = make(chan struct{})
+		pusherWG     sync.WaitGroup
+		reconnects   atomic.Uint64
+		redeliveries atomic.Uint64
+		drainFails   atomic.Uint64
+		dialDrops    atomic.Uint64
+		persisted    atomic.Uint64
+		replayed     atomic.Uint64
+		slow         slowConns
 	)
+	defer slow.closeAll()
+	spoolRoot := filepath.Join(dir, "spool")
+	pushers := make([]*pusher, 0, s.Pushers)
 	for i := 0; i < s.Pushers; i++ {
 		node := hardware.NewNode(hardware.Config{
 			Cores: topo.CoresPerNode,
@@ -358,19 +435,28 @@ func (s Scenario) Run() (*Verdict, error) {
 		node.SetApp(workload.MustNew(apps[i%len(apps)],
 			derive(s.Seed, fmt.Sprintf("app-%d", i)), s.Duration.Seconds()), baseNs)
 		p := &pusher{
-			addr:    agent.Addr(),
-			topics:  pusherTopics(topo, nodePaths[i], s.Topics),
-			node:    node,
-			rate:    s.Rate,
-			batch:   s.BatchSize,
-			baseNs:  baseNs,
-			ledger:  ledger,
-			ooo:     &oooActive,
-			skew:    &skewActive,
-			stop:    stop,
-			seqs:    make([]int64, s.Topics),
-			pending: nil,
+			addr:         agent.Addr(),
+			spool:        s.SpoolBatches,
+			spoolDir:     filepath.Join(spoolRoot, fmt.Sprintf("p%03d", i)),
+			topics:       pusherTopics(topo, nodePaths[i], s.Topics),
+			node:         node,
+			rate:         s.Rate,
+			batch:        s.BatchSize,
+			baseNs:       baseNs,
+			ledger:       ledger,
+			ooo:          &oooActive,
+			skew:         &skewActive,
+			stop:         stop,
+			seqs:         make([]int64, s.Topics),
+			pending:      nil,
+			reconnects:   &reconnects,
+			redeliveries: &redeliveries,
+			drainFails:   &drainFails,
+			dialDrops:    &dialDrops,
+			persisted:    &persisted,
+			replayed:     &replayed,
 		}
+		pushers = append(pushers, p)
 		pusherWG.Add(1)
 		go func() {
 			defer pusherWG.Done()
@@ -442,7 +528,7 @@ func (s Scenario) Run() (*Verdict, error) {
 		var events []event
 		for _, spec := range s.Faults {
 			spec := spec
-			on, off := s.faultActions(cfs, agent.Broker, agent.DB, &oooActive, &skewActive, &connsKilled, spec)
+			on, off := s.faultActions(cfs, agent.Broker, agent.DB, &oooActive, &skewActive, &connsKilled, &slow, spec)
 			events = append(events, event{at: spec.At, fn: on})
 			if off != nil {
 				events = append(events, event{at: spec.At + spec.For, fn: off})
@@ -468,6 +554,46 @@ func (s Scenario) Run() (*Verdict, error) {
 	pusherWG.Wait()
 	queryWG.Wait()
 	<-faultsDone
+	// Restart-replay wave. A Close that could not drain within its
+	// timeout persisted the remainder to the pusher's disk spool — the
+	// durable half of the at-least-once contract. The other half is
+	// that a restarted pusher replays it, so the scenario models
+	// exactly that: faults off (the incident is over), then for every
+	// non-empty spool a fresh client opens on the same directory and
+	// drains it against the still-open broker. The spooled frames keep
+	// their original (epoch, seq) identity, so the agent's dedup drops
+	// whatever already made it through in the first life and the store
+	// gains only the genuinely missing readings.
+	cfs.ClearAll()
+	if s.SpoolBatches > 0 {
+		var replayWG sync.WaitGroup
+		for _, p := range pushers {
+			fi, err := os.Stat(filepath.Join(p.spoolDir, "pusher.spool"))
+			if err != nil || fi.Size() == 0 {
+				continue
+			}
+			replayWG.Add(1)
+			go func(p *pusher) {
+				defer replayWG.Done()
+				c, err := p.dial()
+				if err != nil {
+					p.drainFails.Add(1)
+					return
+				}
+				cerr := c.Close()
+				st := c.Stats()
+				p.replayed.Add(st.Acked)
+				p.reconnects.Add(st.Reconnects)
+				p.redeliveries.Add(st.Redeliveries)
+				// After a replay there is no next life to hand off to:
+				// anything still spooled is a real drain failure.
+				if cerr != nil || st.SpoolDepth+st.SpoolDisk > 0 {
+					p.drainFails.Add(1)
+				}
+			}(p)
+		}
+		replayWG.Wait()
+	}
 	// Close the broker before reconciling: a closed pusher connection
 	// can still have complete frames sitting in the broker's read
 	// buffers, and Broker.Close waits for every serve loop to finish
@@ -476,9 +602,6 @@ func (s Scenario) Run() (*Verdict, error) {
 	// misreporting it as stored-but-undelivered. Agent.Close re-closing
 	// the broker later is a no-op.
 	_ = agent.Broker.Close()
-	// Faults off before the drain: the post-run pipeline must be able
-	// to finish its group commits and flushes.
-	cfs.ClearAll()
 
 	// Drain: the broker routed everything the pushers managed to send
 	// (their connections are closed), so the ingest fan-in is done once
@@ -508,26 +631,52 @@ func (s Scenario) Run() (*Verdict, error) {
 		return agent.Store.Range(t, 0, math.MaxInt64, nil)
 	})
 	ingested, _ := reg.Value("dcdb_ingest_readings_total")
+	dupBatches, _ := reg.Value("dcdb_ingest_dup_batches_total")
+	slowDrops, _ := reg.Value("dcdb_broker_slow_reader_drops_total")
+	pubAcks, _ := reg.Value("dcdb_broker_pubacks_total")
+	spoolOn := s.SpoolBatches > 0
 
 	v := &Verdict{
-		Seed:             s.Seed,
-		Pushers:          s.Pushers,
-		TopicsPerPusher:  s.Topics,
-		Rate:             s.Rate,
-		BatchSize:        s.BatchSize,
-		DurationSec:      s.Duration.Seconds(),
-		FaultClasses:     faultClasses(s),
-		InjectedFS:       cfs.Injected(),
-		ConnsKilled:      connsKilled,
-		Accounting:       acct,
-		IngestedReadings: uint64(ingested),
-		ReadingsPerSec:   float64(acct.Stored) / s.Duration.Seconds(),
-		Queries:          queries.Load(),
-		QueryErrors:      qErrors.Load(),
-		DrainedCleanly:   drained,
+		Seed:                   s.Seed,
+		Pushers:                s.Pushers,
+		TopicsPerPusher:        s.Topics,
+		Rate:                   s.Rate,
+		BatchSize:              s.BatchSize,
+		DurationSec:            s.Duration.Seconds(),
+		FaultClasses:           faultClasses(s),
+		InjectedFS:             cfs.Injected(),
+		ConnsKilled:            connsKilled,
+		Accounting:             acct,
+		IngestedReadings:       uint64(ingested),
+		ReadingsPerSec:         float64(acct.Stored) / s.Duration.Seconds(),
+		Queries:                queries.Load(),
+		QueryErrors:            qErrors.Load(),
+		SpoolEnabled:           spoolOn,
+		PusherReconnects:       reconnects.Load(),
+		PusherRedeliveries:     redeliveries.Load(),
+		PusherDrainFailures:    drainFails.Load(),
+		PusherDialDropBatches:  dialDrops.Load(),
+		PusherPersistedBatches: persisted.Load(),
+		PusherReplayedBatches:  replayed.Load(),
+		DupBatchesDropped:      uint64(dupBatches),
+		SlowReaderDrops:        uint64(slowDrops),
+		BrokerPubAcks:          uint64(pubAcks),
+		DrainedCleanly:         drained,
 	}
 	v.QueryP50Ms, v.QueryP99Ms = percentiles(lats)
 	v.Pass = acct.Clean() && drained
+	if spoolOn {
+		// At-least-once upstream + dedup downstream: zero lost, period.
+		// Every reading a pusher accepted is either in the store or the
+		// run fails.
+		v.Pass = v.Pass && acct.UnackedDropped == 0 && drainFails.Load() == 0
+		if acct.UnackedDropped > 0 {
+			v.Failures = append(v.Failures, fmt.Sprintf("%d unacked-dropped readings (the spool should have redelivered them)", acct.UnackedDropped))
+		}
+		if n := drainFails.Load(); n > 0 {
+			v.Failures = append(v.Failures, fmt.Sprintf("%d pushers could not drain or persist their spool on close", n))
+		}
+	}
 	if acct.AckedLost > 0 {
 		v.Failures = append(v.Failures, fmt.Sprintf("%d acked-lost readings (delivered but not stored)", acct.AckedLost))
 	}
@@ -546,9 +695,33 @@ func (s Scenario) Run() (*Verdict, error) {
 	return v, nil
 }
 
+// slowConns tracks the slow-reader fault's stalled subscriber
+// connections so the run can guarantee their teardown.
+type slowConns struct {
+	mu sync.Mutex
+	cs []io.Closer
+}
+
+func (s *slowConns) add(c io.Closer) {
+	s.mu.Lock()
+	s.cs = append(s.cs, c)
+	s.mu.Unlock()
+}
+
+// closeAll closes every tracked connection; double closes (the fault's
+// own off action already ran) are harmless on net.Conn.
+func (s *slowConns) closeAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.cs {
+		_ = c.Close()
+	}
+	s.cs = nil
+}
+
 // faultActions maps one FaultSpec to its activate/deactivate closures.
 func (s Scenario) faultActions(cfs *FS, broker *transport.Broker, db *tsdb.DB,
-	ooo, skew *atomic.Bool, connsKilled *int, spec FaultSpec) (on, off func()) {
+	ooo, skew *atomic.Bool, connsKilled *int, slow *slowConns, spec FaultSpec) (on, off func()) {
 	p := spec.P
 	if p <= 0 {
 		p = 0.5
@@ -595,6 +768,43 @@ func (s Scenario) faultActions(cfs *FS, broker *transport.Broker, db *tsdb.DB,
 		return func() { ooo.Store(true) }, func() { ooo.Store(false) }
 	case FaultClockSkew:
 		return func() { skew.Store(true) }, func() { skew.Store(false) }
+	case FaultDiskFull:
+		// The disk fills: everything the storage tier writes gets
+		// ENOSPC. The WAL degrades (memory-only), forced flushes fail
+		// and restore their staged heads, and both re-arm when the
+		// window closes and the post-chaos flush succeeds.
+		full := Fault{P: p, Err: syscall.ENOSPC}
+		return func() {
+				cfs.Set(OpWrite, ClassWAL, full)
+				cfs.Set(OpWrite, ClassSeg, full)
+				cfs.Set(OpCreate, ClassSeg, full)
+				go func() {
+					for i := 0; i < 2; i++ {
+						_ = db.Flush()
+					}
+				}()
+			}, func() {
+				cfs.Clear(OpWrite, ClassWAL)
+				cfs.Clear(OpWrite, ClassSeg)
+				cfs.Clear(OpCreate, ClassSeg)
+			}
+	case FaultSlowReader:
+		// A subscriber that matches everything and never reads: its
+		// bounded outbound queue fills, forwards to it drop with a
+		// counter, and the write deadline eventually tears it down.
+		var conn io.Closer
+		return func() {
+				c, err := transport.NewStalledSubscriber(broker.Addr(), "#")
+				if err != nil {
+					return // broker gone mid-run; nothing to stall
+				}
+				conn = c
+				slow.add(c)
+			}, func() {
+				if conn != nil {
+					_ = conn.Close()
+				}
+			}
 	}
 	return func() {}, nil
 }
@@ -646,24 +856,33 @@ func (l *lcg) next() uint64 {
 
 // pusher is one simulated pusher connection: it samples its hardware
 // node at the configured rate and publishes one batch per topic per
-// tick, redialling after injected connection kills. Batches are
+// tick. With spool > 0 (the default) it runs a single at-least-once
+// client whose spool absorbs injected connection kills — redial,
+// backoff and redelivery all happen inside transport — and whose Close
+// drains every outstanding batch at the end of the run. Batches are
 // buffered and released in reverse order while the OOO flood fault is
 // active.
 type pusher struct {
-	addr   string
-	topics []sensor.Topic
-	node   *hardware.Node
-	rate   float64
-	batch  int
-	baseNs int64
-	ledger *Ledger
-	ooo    *atomic.Bool
-	skew   *atomic.Bool
-	stop   chan struct{}
+	addr     string
+	spool    int    // at-least-once spool size; <= 0 is fire-and-forget
+	spoolDir string // disk overflow for the spool
+	topics   []sensor.Topic
+	node     *hardware.Node
+	rate     float64
+	batch    int
+	baseNs   int64
+	ledger   *Ledger
+	ooo      *atomic.Bool
+	skew     *atomic.Bool
+	stop     chan struct{}
 
 	seqs    []int64
 	pending []outBatch
 	client  *transport.Client
+
+	// Fleet-wide totals the scenario reports in its verdict.
+	reconnects, redeliveries, drainFails *atomic.Uint64
+	dialDrops, persisted, replayed       *atomic.Uint64
 }
 
 // outBatch is one generated (topic, readings) pair awaiting publish.
@@ -679,8 +898,24 @@ const oooWindow = 8
 func (p *pusher) run() {
 	defer func() {
 		p.flushPending()
-		if p.client != nil {
-			p.client.Close()
+		if p.client == nil {
+			return
+		}
+		// Close drains the spool against the still-open broker (the
+		// scenario closes it only after every pusher returned); a drain
+		// that can neither deliver nor persist is a verdict failure.
+		err := p.client.Close()
+		st := p.client.Stats()
+		if p.reconnects != nil {
+			p.reconnects.Add(st.Reconnects)
+			p.redeliveries.Add(st.Redeliveries)
+			// Anything still spooled after Close was persisted to disk
+			// (durable handoff, not a drain failure) — but this run's
+			// ledger will still see those readings as undelivered.
+			p.persisted.Add(uint64(st.SpoolDepth + st.SpoolDisk))
+			if err != nil {
+				p.drainFails.Add(1)
+			}
 		}
 	}()
 	interval := time.Duration(float64(time.Second) / p.rate)
@@ -743,23 +978,55 @@ func (p *pusher) flushReversed() {
 // delivery may be observed before Publish even returns; a reading the
 // ledger did not know about would be misclassified as phantom.
 //
-// A failed publish is never retried: the frame may or may not have
-// reached the broker, and resending it on a fresh connection could
-// deliver it twice — the at-most-once contract forbids that. The batch
-// becomes an unacked drop and the pusher redials for the next one.
+// In spooling mode Publish only enqueues — connection loss, redial and
+// redelivery are the reliable client's problem, and the only error is
+// the client being closed. In fire-and-forget mode a failed publish is
+// never retried: the frame may or may not have reached the broker, and
+// resending it on a fresh connection could deliver it twice — that
+// mode's at-most-once contract forbids it. The batch becomes an
+// unacked drop and the pusher redials for the next one.
 func (p *pusher) publish(b outBatch) {
 	p.ledger.RecordSent(b.topic, b.rs)
 	if p.client == nil {
-		c, err := transport.Dial(p.addr)
+		c, err := p.dial()
 		if err != nil {
+			if p.dialDrops != nil {
+				p.dialDrops.Add(1)
+			}
 			return // batch dropped unacked; redial on the next batch
 		}
 		p.client = c
 	}
 	if err := p.client.Publish(b.topic, b.rs); err != nil {
-		// Dead connection (likely an injected kill): drop the handle
-		// so the next batch redials.
+		// Fire-and-forget: dead connection (likely an injected kill) —
+		// drop the handle so the next batch redials. A reliable client
+		// only fails with ErrClosed, which never happens mid-run.
 		p.client.Close()
 		p.client = nil
 	}
+}
+
+// dial opens this pusher's client: at-least-once with disk overflow in
+// spooling mode, the plain fire-and-forget client otherwise.
+func (p *pusher) dial() (*transport.Client, error) {
+	if p.spool > 0 {
+		// AckTimeout must sit well above the worst ack latency the
+		// injected faults can manufacture (disk-full and slow-write
+		// episodes stall the ingest path, and with it the broker's
+		// ack-after-route reply, for seconds at a time). Injected
+		// connection kills surface as socket errors immediately, so the
+		// stall detector is only a backstop for a silently wedged
+		// connection — but set too low it kills healthy-slow connections,
+		// and each kill redelivers the whole spool, feeding the very
+		// congestion that tripped it.
+		return transport.DialOptions(p.addr, transport.Options{
+			SpoolBatches: p.spool,
+			SpoolDir:     p.spoolDir,
+			AckTimeout:   10 * time.Second,
+			RetryMin:     10 * time.Millisecond,
+			RetryMax:     250 * time.Millisecond,
+			DrainTimeout: 30 * time.Second,
+		})
+	}
+	return transport.Dial(p.addr)
 }

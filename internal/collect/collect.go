@@ -66,6 +66,14 @@ type Config struct {
 	// never a drop. The chaos harness shrinks this to 1 to force the
 	// backpressure path under load.
 	IngestQueueCap int
+	// BrokerWriteDeadline bounds every broker frame write to a client
+	// connection (default 10s): a subscriber that stops reading is torn
+	// down instead of wedging the writer.
+	BrokerWriteDeadline time.Duration
+	// BrokerOutQueue bounds each broker connection's outbound frame
+	// queue (default 1024). Publish acks block on a full queue;
+	// subscriber forwards drop with a counter.
+	BrokerOutQueue int
 	// StoreFS, when set with StoreDir, replaces the storage backend's
 	// filesystem (tsdb.Options.FS). Nil selects the real one; the chaos
 	// harness injects a fault-injecting implementation here.
@@ -123,6 +131,11 @@ type Agent struct {
 	// behalf of subsystems without their own Close (storage stats,
 	// result cache); released in Close.
 	metricHandles []*telemetry.FuncHandle
+
+	// dedup is the at-least-once-to-exactly-once gate: redelivered
+	// batches (same client epoch, sequence at or below the topic's
+	// high-water mark) are dropped before they reach the ingest path.
+	dedup *dedup
 
 	// Ingest fan-in between the broker and the sink: one bounded queue
 	// per worker, messages sharded by topic so per-topic batch order is
@@ -186,6 +199,7 @@ func New(cfg Config) (*Agent, error) {
 		QE:      qe,
 		Results: rc,
 		sink:    sink,
+		dedup:   newDedup(),
 	}
 	// A recovered backend already knows its sensors: rebuild the tree so
 	// pattern-based operator units bind immediately after a restart.
@@ -216,7 +230,11 @@ func New(cfg Config) (*Agent, error) {
 		a.SelfMon.Start()
 	}
 	if cfg.ListenMQTT != "" {
-		b, err := transport.NewBroker(cfg.ListenMQTT, cfg.Metrics)
+		b, err := transport.NewBrokerOpts(cfg.ListenMQTT, transport.BrokerOptions{
+			WriteDeadline: cfg.BrokerWriteDeadline,
+			OutQueue:      cfg.BrokerOutQueue,
+			Metrics:       cfg.Metrics,
+		})
 		if err != nil {
 			if a.SelfMon != nil {
 				a.SelfMon.Close()
@@ -236,7 +254,11 @@ func New(cfg Config) (*Agent, error) {
 				// the call; copy into a pooled batch and hand it to the
 				// topic's worker. Per-topic order is preserved by the
 				// shard mapping; a full queue blocks the delivering
-				// connection (backpressure), never drops.
+				// connection (backpressure), never drops. Redelivered
+				// batches are dropped here, before they cost a copy.
+				if !a.admitBatch(m) {
+					return
+				}
 				a.enqueueIngest(m.Topic, m.Readings)
 			})
 		} else {
@@ -244,6 +266,9 @@ func New(cfg Config) (*Agent, error) {
 				// One delivered message becomes one batched sink push: the
 				// topic's cache, store series and navigator registration are
 				// each touched once per message, not once per reading.
+				if !a.admitBatch(m) {
+					return
+				}
 				a.IngestBatch(m.Topic, m.Readings)
 			})
 		}
@@ -311,6 +336,19 @@ func (a *Agent) enqueueIngest(topic sensor.Topic, rs []sensor.Reading) {
 	//
 	//lint:ignore poolescape ownership transfer by design: exactly one ingest worker receives buf and returns it to batchPool after PushSeries
 	a.ingestQs[topic.Hash()%uint32(len(a.ingestQs))] <- ingestBatch{topic: topic, buf: buf, enq: telemetry.Clock()}
+}
+
+// admitBatch consults the dedup high-water marks for one delivered
+// message, counting the duplicates it turns away. The broker still
+// acknowledges a duplicate — the first delivery already reached the
+// store, which is exactly what the ack promises.
+func (a *Agent) admitBatch(m transport.Message) bool {
+	if a.dedup.admit(m.Epoch, m.Topic, m.Seq) {
+		return true
+	}
+	a.metrics.dupBatches.Inc()
+	a.metrics.dupReadings.Add(uint64(len(m.Readings)))
+	return false
 }
 
 // Addr returns the broker address, or "" when no broker is running.

@@ -1,0 +1,88 @@
+package collect
+
+import (
+	"sync"
+
+	"github.com/dcdb/wintermute/internal/sensor"
+)
+
+// maxDedupEpochs bounds the number of client epochs tracked at once.
+// One epoch is one pusher incarnation, so the bound is really "restarts
+// remembered between agent restarts" — 4096 outlives any realistic
+// churn while keeping the table small. On overflow the
+// least-recently-active epoch is evicted; a late redelivery from an
+// evicted epoch would then be re-admitted (duplicate, not loss), which
+// is the right failure direction for an at-least-once pipeline.
+const maxDedupEpochs = 4096
+
+// dedup turns the transport's at-least-once delivery into exactly-once
+// ingest: a per-(client-epoch, topic) sequence high-water mark. A
+// reliable client assigns sequences monotonically at publish time and
+// redelivers in the original order after a reconnect, so on any given
+// topic the sequences arrive non-decreasing with duplicates exactly on
+// the redelivered prefix — a batch is new iff its sequence is above the
+// topic's mark. Unversioned publishers (epoch 0) carry no identity and
+// are always admitted.
+type dedup struct {
+	mu     sync.Mutex
+	epochs map[uint64]*epochMarks
+	tick   uint64 // admission clock for least-recently-active eviction
+}
+
+// epochMarks is one client incarnation's per-topic high-water marks.
+type epochMarks struct {
+	topics map[sensor.Topic]uint64
+	seen   uint64 // tick of the last admission touching this epoch
+}
+
+func newDedup() *dedup {
+	return &dedup{epochs: make(map[uint64]*epochMarks)}
+}
+
+// admit reports whether the batch (epoch, seq) on topic has not been
+// ingested before, advancing the topic's mark when it has not.
+func (d *dedup) admit(epoch uint64, topic sensor.Topic, seq uint64) bool {
+	if epoch == 0 {
+		return true
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e := d.epochs[epoch]
+	if e == nil {
+		if len(d.epochs) >= maxDedupEpochs {
+			d.evictOldestLocked()
+		}
+		e = &epochMarks{topics: make(map[sensor.Topic]uint64)}
+		d.epochs[epoch] = e
+	}
+	d.tick++
+	e.seen = d.tick
+	if seq <= e.topics[topic] {
+		return false
+	}
+	e.topics[topic] = seq
+	return true
+}
+
+// evictOldestLocked drops the least-recently-active epoch. Callers hold
+// d.mu.
+func (d *dedup) evictOldestLocked() {
+	var (
+		oldest uint64
+		minT   uint64
+		first  = true
+	)
+	for epoch, e := range d.epochs {
+		if first || e.seen < minT {
+			oldest, minT, first = epoch, e.seen, false
+		}
+	}
+	delete(d.epochs, oldest)
+}
+
+// size reports the number of tracked epochs (for the telemetry gauge).
+func (d *dedup) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.epochs)
+}

@@ -8,10 +8,12 @@ import (
 // non-nil on an Agent; without a registry the metrics are unattached
 // and the enqueue/drain hot paths stay unconditional.
 type agentMetrics struct {
-	batches   *telemetry.Counter   // batches drained by ingest workers
-	readings  *telemetry.Counter   // readings carried by drained batches
-	batchSize *telemetry.Histogram // readings per drained batch
-	drainSec  *telemetry.Histogram // enqueue-to-worker-pickup latency
+	batches     *telemetry.Counter   // batches drained by ingest workers
+	readings    *telemetry.Counter   // readings carried by drained batches
+	batchSize   *telemetry.Histogram // readings per drained batch
+	drainSec    *telemetry.Histogram // enqueue-to-worker-pickup latency
+	dupBatches  *telemetry.Counter   // redelivered batches dropped by dedup
+	dupReadings *telemetry.Counter   // readings carried by dropped duplicates
 
 	handles []*telemetry.FuncHandle
 }
@@ -27,8 +29,15 @@ func newAgentMetrics(reg *telemetry.Registry, a *Agent) *agentMetrics {
 		drainSec: reg.Histogram("dcdb_ingest_drain_seconds",
 			"Latency from broker enqueue to ingest-worker pickup.",
 			telemetry.DefDurationBuckets),
+		dupBatches: reg.Counter("dcdb_ingest_dup_batches_total",
+			"Redelivered batches dropped by the (epoch, topic) dedup high-water mark."),
+		dupReadings: reg.Counter("dcdb_ingest_dup_readings_total",
+			"Readings carried by dropped duplicate batches."),
 	}
 	if reg != nil && a != nil {
+		m.handles = append(m.handles, reg.GaugeFunc("dcdb_ingest_dedup_epochs",
+			"Client epochs tracked by the ingest dedup table.",
+			func() float64 { return float64(a.dedup.size()) }))
 		m.handles = append(m.handles, reg.GaugeFunc("dcdb_ingest_queue_depth",
 			"Batches waiting in the ingest fan-in queues.",
 			func() float64 {

@@ -20,6 +20,7 @@ import (
 	"github.com/dcdb/wintermute/internal/navigator"
 	"github.com/dcdb/wintermute/internal/samplers"
 	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/telemetry"
 	"github.com/dcdb/wintermute/internal/transport"
 )
 
@@ -33,11 +34,35 @@ type Config struct {
 	// MQTTAddr is the Collect Agent broker address; empty disables
 	// forwarding (standalone operation).
 	MQTTAddr string
+	// Spool > 0 forwards with at-least-once delivery: up to Spool
+	// batches are held in an in-memory spool, streamed to the broker as
+	// acknowledged PUBLISH frames, and redelivered after reconnects.
+	// 0 keeps the historical fire-and-forget client (at-most-once).
+	Spool int
+	// SpoolDir, with Spool, adds on-disk overflow: batches beyond the
+	// in-memory high-water mark spill to a file there, and Stop
+	// persists whatever the broker never acknowledged so the next run
+	// (same SpoolDir) replays it.
+	SpoolDir string
+	// AckTimeout bounds broker-acknowledgement waits in spooling mode
+	// (0: the transport default, 5s).
+	AckTimeout time.Duration
+	// RetryMin and RetryMax bound the spooling client's reconnect
+	// backoff (0: transport defaults, 50ms and 2s).
+	RetryMin time.Duration
+	// RetryMax is the reconnect backoff ceiling (see RetryMin).
+	RetryMax time.Duration
+	// DrainTimeout bounds how long Stop waits for the spool to drain
+	// (0: the transport default, 5s).
+	DrainTimeout time.Duration
 	// Threads sizes the Wintermute worker pool executing operator
 	// computations (0: runtime.GOMAXPROCS).
 	Threads int
 	// Env is handed to Wintermute plugin configurators.
 	Env core.Env
+	// Metrics receives the pusher's delivery telemetry (spool depth,
+	// reconnects, redeliveries); nil disables registration.
+	Metrics *telemetry.Registry
 }
 
 // Pusher hosts sampler plugins and a Wintermute manager.
@@ -49,8 +74,9 @@ type Pusher struct {
 	QE      *core.QueryEngine
 	Manager *core.Manager
 
-	sink *core.CacheSink
-	mqtt *transport.Client
+	sink      *core.CacheSink
+	mqtt      *transport.Client
+	statFuncs []*telemetry.FuncHandle
 
 	mu       sync.Mutex
 	samplers []samplers.Sampler
@@ -105,12 +131,13 @@ func New(cfg Config) (*Pusher, error) {
 		sink:   sink,
 	}
 	if cfg.MQTTAddr != "" {
-		client, err := transport.Dial(cfg.MQTTAddr)
+		client, err := dialBroker(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("pusher: connecting to broker: %w", err)
 		}
 		p.mqtt = client
 		sink.Forward = mqttSink{client}
+		p.registerClientMetrics(cfg.Metrics)
 	}
 	p.Manager = core.NewManager(qe, sink, cfg.Env)
 	if cfg.Threads > 0 {
@@ -119,8 +146,56 @@ func New(cfg Config) (*Pusher, error) {
 	return p, nil
 }
 
+// dialBroker connects to the Collect Agent, in at-least-once spooling
+// mode when Config.Spool asks for it.
+func dialBroker(cfg Config) (*transport.Client, error) {
+	if cfg.Spool <= 0 {
+		return transport.Dial(cfg.MQTTAddr)
+	}
+	return transport.DialOptions(cfg.MQTTAddr, transport.Options{
+		SpoolBatches: cfg.Spool,
+		SpoolDir:     cfg.SpoolDir,
+		AckTimeout:   cfg.AckTimeout,
+		RetryMin:     cfg.RetryMin,
+		RetryMax:     cfg.RetryMax,
+		DrainTimeout: cfg.DrainTimeout,
+	})
+}
+
+// registerClientMetrics exposes the broker client's delivery state; reg
+// may be nil (no-op handles). Stop closes the handles before the client.
+func (p *Pusher) registerClientMetrics(reg *telemetry.Registry) {
+	c := p.mqtt
+	p.statFuncs = []*telemetry.FuncHandle{
+		reg.GaugeFunc("dcdb_pusher_spool_depth",
+			"Batches in the in-memory spool (unsent plus unacknowledged).",
+			func() float64 { return float64(c.Stats().SpoolDepth) }),
+		reg.GaugeFunc("dcdb_pusher_spool_disk_batches",
+			"Overflow batches on disk not yet loaded into memory.",
+			func() float64 { return float64(c.Stats().SpoolDisk) }),
+		reg.CounterFunc("dcdb_pusher_acked_batches_total",
+			"Batches the broker acknowledged.",
+			func() float64 { return float64(c.Stats().Acked) }),
+		reg.CounterFunc("dcdb_pusher_reconnects_total",
+			"Successful broker redials after a lost connection.",
+			func() float64 { return float64(c.Stats().Reconnects) }),
+		reg.CounterFunc("dcdb_pusher_redeliveries_total",
+			"Batches re-sent because a connection died with them unacknowledged.",
+			func() float64 { return float64(c.Stats().Redeliveries) }),
+	}
+}
+
 // Sink returns the pusher's reading sink (caches + MQTT forwarding).
 func (p *Pusher) Sink() core.Sink { return p.sink }
+
+// ClientStats reports the broker client's delivery counters; ok is
+// false when the pusher runs standalone (no MQTTAddr).
+func (p *Pusher) ClientStats() (st transport.ClientStats, ok bool) {
+	if p.mqtt == nil {
+		return transport.ClientStats{}, false
+	}
+	return p.mqtt.Stats(), true
+}
 
 // Samples returns the total number of readings sampled so far.
 func (p *Pusher) Samples() uint64 { return p.samples.Load() }
@@ -223,7 +298,12 @@ func (p *Pusher) Stop() {
 	// Stop is terminal for the pusher (the broker connection closes too),
 	// so shut the Wintermute worker pool down with the operators.
 	p.Manager.Close()
+	for _, h := range p.statFuncs {
+		h.Close()
+	}
 	if p.mqtt != nil {
+		// In spooling mode Close drains (bounded by DrainTimeout) and
+		// persists the remainder when SpoolDir is configured.
 		_ = p.mqtt.Close()
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"github.com/dcdb/wintermute/internal/samplers"
 	"github.com/dcdb/wintermute/internal/sim/hardware"
 	"github.com/dcdb/wintermute/internal/sim/workload"
+	"github.com/dcdb/wintermute/internal/telemetry"
 )
 
 func TestStandalonePusherSampling(t *testing.T) {
@@ -123,5 +124,60 @@ func TestStartStopLoops(t *testing.T) {
 func TestBadBrokerAddress(t *testing.T) {
 	if _, err := New(Config{MQTTAddr: "127.0.0.1:1"}); err == nil {
 		t.Error("connecting to a dead broker should fail")
+	}
+}
+
+// TestSpoolingPusherDelivers runs the daemon with the at-least-once
+// spool on: forwarded readings reach the agent's store and the client's
+// delivery counters surface through both ClientStats and telemetry.
+func TestSpoolingPusherDelivers(t *testing.T) {
+	agent, err := collect.New(collect.Config{ListenMQTT: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	reg := telemetry.NewRegistry()
+	p, err := New(Config{
+		MQTTAddr: agent.Addr(),
+		Spool:    64,
+		SpoolDir: t.TempDir(),
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := hardware.NewNode(hardware.Config{Cores: 2, Seed: 2})
+	node.SetApp(workload.MustNew("hpl", 1, 3600), 0)
+	if err := p.AddSampler(samplers.NewPowerSim(node, "/r1/n1/", time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		p.SampleOnce(time.Unix(int64(i), 0))
+	}
+	// Await the asynchronous acked delivery, visible through telemetry
+	// (the func-metric handles are live until Stop).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if v, _ := reg.Value("dcdb_pusher_acked_batches_total"); v >= 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			v, _ := reg.Value("dcdb_pusher_acked_batches_total")
+			t.Fatalf("acked-batches telemetry reached %v, want >= 5", v)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Stop drains the spool, so everything sampled is already stored.
+	p.Stop()
+	if got := agent.Store.Count("/r1/n1/power"); got != 5 {
+		t.Fatalf("store has %d readings after drain, want 5", got)
+	}
+	st, ok := p.ClientStats()
+	if !ok {
+		t.Fatal("ClientStats not ok with MQTT configured")
+	}
+	if st.Acked == 0 || st.Acked != st.Published {
+		t.Fatalf("drained client stats %+v, want Acked == Published > 0", st)
 	}
 }

@@ -12,9 +12,94 @@ import (
 // ErrClosed reports use of a closed client.
 var ErrClosed = errors.New("transport: client closed")
 
+// ErrAckTimeout reports that the broker did not acknowledge within the
+// configured Options.AckTimeout.
+var ErrAckTimeout = errors.New("transport: ack timeout")
+
+// ErrUnexpectedAck reports an acknowledgement frame of the wrong type —
+// a protocol desync, distinct from the broker simply being slow
+// (ErrAckTimeout).
+var ErrUnexpectedAck = errors.New("transport: unexpected ack type")
+
+// ErrNotConnected reports an operation that needs a live connection
+// while a reliable client is between redial attempts.
+var ErrNotConnected = errors.New("transport: not connected")
+
+// ErrSpoolNotDrained reports that Close abandoned unacknowledged
+// spooled batches: the drain timeout expired and no spool directory was
+// configured to persist them.
+var ErrSpoolNotDrained = errors.New("transport: close: unacked spooled batches abandoned")
+
+// Options tunes a Client beyond the zero-value fire-and-forget
+// behaviour. The zero value reproduces the original client exactly.
+type Options struct {
+	// AckTimeout bounds every wait for a broker acknowledgement:
+	// CONNACK/SUBACK round trips and, in spooling mode, the
+	// head-of-line PubAck watchdog that declares a silent connection
+	// dead. Default 5s.
+	AckTimeout time.Duration
+	// SpoolBatches > 0 enables at-least-once delivery: Publish appends
+	// the batch to a bounded in-memory spool and returns immediately; a
+	// sender goroutine streams the spool to the broker as v2 PUBLISH
+	// frames, redials with exponential backoff after connection loss,
+	// and redelivers everything unacknowledged. Publish blocks
+	// (backpressure) only once SpoolBatches batches are in flight.
+	SpoolBatches int
+	// SpoolDir, when set with SpoolBatches, enables on-disk overflow:
+	// batches beyond the in-memory high-water mark spill to an
+	// append-only file in this directory, and Close persists whatever
+	// remains unacknowledged so a restarted client (same SpoolDir)
+	// replays it in order.
+	SpoolDir string
+	// SpoolMaxBytes caps the overflow file (default 64 MiB). A full
+	// file degrades to in-memory backpressure.
+	SpoolMaxBytes int64
+	// RetryMin and RetryMax bound the reconnect backoff (defaults 50ms
+	// and 2s); each failed dial doubles the delay, jittered, up to
+	// RetryMax.
+	RetryMin time.Duration
+	// RetryMax is the reconnect backoff ceiling (see RetryMin).
+	RetryMax time.Duration
+	// DrainTimeout bounds how long Close keeps the sender alive waiting
+	// for outstanding batches to be acknowledged (default 5s). On
+	// expiry the remainder is persisted to SpoolDir when configured,
+	// otherwise abandoned with ErrSpoolNotDrained.
+	DrainTimeout time.Duration
+}
+
+// withDefaults resolves zero option fields.
+func (o Options) withDefaults() Options {
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = 5 * time.Second
+	}
+	if o.SpoolMaxBytes <= 0 {
+		o.SpoolMaxBytes = 64 << 20
+	}
+	if o.RetryMin <= 0 {
+		o.RetryMin = 50 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 2 * time.Second
+	}
+	if o.RetryMax < o.RetryMin {
+		o.RetryMax = o.RetryMin
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 5 * time.Second
+	}
+	return o
+}
+
 // Client is the Pusher-side MQTT-style client: it publishes reading
-// batches to the broker and can subscribe to topic filters.
+// batches to the broker and can subscribe to topic filters. A client
+// dialled with Options.SpoolBatches > 0 additionally provides
+// at-least-once delivery (see Options).
 type Client struct {
+	addr string
+	opts Options
+
+	// conn is the single connection of a fire-and-forget client; a
+	// reliable client's live connection is owned by rel instead.
 	conn net.Conn
 
 	writeMu sync.Mutex
@@ -26,19 +111,41 @@ type Client struct {
 	ackCh    chan byte
 
 	wg sync.WaitGroup
+
+	// rel is the at-least-once engine, nil in fire-and-forget mode.
+	rel *reliable
 }
 
-// Dial connects and performs the CONNECT handshake.
+// Dial connects and performs the CONNECT handshake with default
+// options (fire-and-forget publishing).
 func Dial(addr string) (*Client, error) {
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions connects with explicit options. With SpoolBatches > 0 the
+// returned client delivers at-least-once: the initial dial must still
+// succeed (misconfiguration fails fast), but later connection loss is
+// absorbed by the spool and the redial loop.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	c := &Client{
+		addr:     addr,
+		opts:     opts.withDefaults(),
+		pingResp: make(chan struct{}, 1),
+		ackCh:    make(chan byte, 4),
+	}
+	if c.opts.SpoolBatches > 0 {
+		rel, err := newReliable(c)
+		if err != nil {
+			return nil, err
+		}
+		c.rel = rel
+		return c, nil
+	}
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{
-		conn:     conn,
-		pingResp: make(chan struct{}, 1),
-		ackCh:    make(chan byte, 4),
-	}
+	c.conn = conn
 	if err := writeFrame(conn, frameConnect, nil); err != nil {
 		conn.Close()
 		return nil, err
@@ -59,29 +166,43 @@ func (c *Client) readLoop() {
 		if err != nil {
 			return
 		}
-		switch typ {
-		case frameConnAck, frameSubAck:
-			select {
-			case c.ackCh <- typ:
-			default:
-			}
-		case framePingResp:
-			select {
-			case c.pingResp <- struct{}{}:
-			default:
-			}
-		case framePublish:
-			msg, derr := DecodePublish(payload)
+		c.dispatch(typ, payload)
+	}
+}
+
+// dispatch routes one received frame; shared between the simple read
+// loop and the reliable engine's per-connection receive loops.
+func (c *Client) dispatch(typ byte, payload []byte) {
+	switch typ {
+	case frameConnAck, frameSubAck:
+		select {
+		case c.ackCh <- typ:
+		default:
+		}
+	case framePingResp:
+		select {
+		case c.pingResp <- struct{}{}:
+		default:
+		}
+	case framePublish, framePublishV2:
+		body := payload
+		if typ == framePublishV2 {
+			_, _, off, derr := decodePublishV2Prefix(payload)
 			if derr != nil {
-				continue
+				return
 			}
-			c.mu.Lock()
-			subs := c.subs
-			c.mu.Unlock()
-			for _, s := range subs {
-				if sensor.MatchFilter(s.filter, msg.Topic) {
-					s.fn(msg)
-				}
+			body = payload[off:]
+		}
+		msg, derr := DecodePublish(body)
+		if derr != nil {
+			return
+		}
+		c.mu.Lock()
+		subs := c.subs
+		c.mu.Unlock()
+		for _, s := range subs {
+			if sensor.MatchFilter(s.filter, msg.Topic) {
+				s.fn(msg)
 			}
 		}
 	}
@@ -91,20 +212,27 @@ func (c *Client) waitAck(want byte) error {
 	select {
 	case got := <-c.ackCh:
 		if got != want {
-			return errors.New("transport: unexpected ack type")
+			return ErrUnexpectedAck
 		}
 		return nil
-	case <-time.After(5 * time.Second):
-		return errors.New("transport: ack timeout")
+	case <-time.After(c.opts.AckTimeout):
+		return ErrAckTimeout
 	}
 }
 
 // Publish sends one batch of readings for a topic. It is safe for
 // concurrent use. The readings slice is fully encoded before Publish
 // returns and is never retained — callers (e.g. the Pusher's pooled
-// forwarding buffers) may reuse it immediately; any future asynchronous
-// implementation must copy it first.
+// forwarding buffers) may reuse it immediately.
+//
+// Fire-and-forget mode writes the frame synchronously and reports the
+// write error. Spooling mode enqueues the batch for the sender
+// goroutine and returns nil immediately, blocking only when the spool
+// is at its high-water mark; the only error is ErrClosed.
 func (c *Client) Publish(topic sensor.Topic, readings []sensor.Reading) error {
+	if c.rel != nil {
+		return c.rel.publish(topic, readings)
+	}
 	c.mu.Lock()
 	closed := c.closed
 	c.mu.Unlock()
@@ -118,7 +246,9 @@ func (c *Client) Publish(topic sensor.Topic, readings []sensor.Reading) error {
 }
 
 // Subscribe registers fn for all messages matching filter and waits for
-// the broker's acknowledgement.
+// the broker's acknowledgement. On a reliable client between redial
+// attempts the registration still succeeds — the filter is included in
+// the next reconnect handshake — but no ack is awaited.
 func (c *Client) Subscribe(filter string, fn Handler) error {
 	c.mu.Lock()
 	if c.closed {
@@ -127,8 +257,15 @@ func (c *Client) Subscribe(filter string, fn Handler) error {
 	}
 	c.subs = append(c.subs, localSub{filter: filter, fn: fn})
 	c.mu.Unlock()
+	conn := c.conn
+	if c.rel != nil {
+		conn = c.rel.liveConn()
+		if conn == nil {
+			return nil // resubscribed by the next reconnect handshake
+		}
+	}
 	c.writeMu.Lock()
-	err := writeFrame(c.conn, frameSubscribe, encodeString(filter))
+	err := writeFrame(conn, frameSubscribe, encodeString(filter))
 	c.writeMu.Unlock()
 	if err != nil {
 		return err
@@ -138,8 +275,15 @@ func (c *Client) Subscribe(filter string, fn Handler) error {
 
 // Ping performs a PINGREQ/PINGRESP round trip.
 func (c *Client) Ping() error {
+	conn := c.conn
+	if c.rel != nil {
+		conn = c.rel.liveConn()
+		if conn == nil {
+			return ErrNotConnected
+		}
+	}
 	c.writeMu.Lock()
-	err := writeFrame(c.conn, framePingReq, nil)
+	err := writeFrame(conn, framePingReq, nil)
 	c.writeMu.Unlock()
 	if err != nil {
 		return err
@@ -147,13 +291,28 @@ func (c *Client) Ping() error {
 	select {
 	case <-c.pingResp:
 		return nil
-	case <-time.After(5 * time.Second):
-		return errors.New("transport: ping timeout")
+	case <-time.After(c.opts.AckTimeout):
+		return ErrAckTimeout
 	}
 }
 
-// Close sends DISCONNECT and tears the connection down.
+// Stats returns a snapshot of the client's delivery counters. All
+// fields are zero for a fire-and-forget client.
+func (c *Client) Stats() ClientStats {
+	if c.rel == nil {
+		return ClientStats{}
+	}
+	return c.rel.stats()
+}
+
+// Close tears the client down. A reliable client first drains its
+// spool (bounded by Options.DrainTimeout), then persists any remainder
+// to the disk spool when one is configured — the error reports batches
+// that could be neither delivered nor persisted.
 func (c *Client) Close() error {
+	if c.rel != nil {
+		return c.rel.close()
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()

@@ -15,10 +15,12 @@ type brokerMetrics struct {
 	readings   *telemetry.Counter // readings carried by routed messages
 	dropped    *telemetry.Counter // malformed publishes dropped
 	forwarded  *telemetry.Counter // publishes forwarded to network subscribers
-	writeFails *telemetry.Counter // subscriber write failures (connection torn down)
+	writeFails *telemetry.Counter // connection write failures (connection torn down)
 	bytesIn    *telemetry.Counter // payload bytes received
 	bytesOut   *telemetry.Counter // payload bytes forwarded to subscribers
 	connsTotal *telemetry.Counter // connections accepted since start
+	acks       *telemetry.Counter // PubAcks sent for v2 publishes
+	slowDrops  *telemetry.Counter // forwards dropped on full outbound queues
 
 	handles []*telemetry.FuncHandle
 }
@@ -36,7 +38,11 @@ func newBrokerMetrics(reg *telemetry.Registry, b *Broker) *brokerMetrics {
 		forwarded: reg.Counter("dcdb_broker_messages_forwarded_total",
 			"Publish messages forwarded to matching network subscribers."),
 		writeFails: reg.Counter("dcdb_broker_subscriber_write_failures_total",
-			"Forwarding write errors that tore down a subscriber connection."),
+			"Write errors (including write-deadline expiries) that tore down a connection."),
+		acks: reg.Counter("dcdb_broker_pubacks_total",
+			"PubAck frames sent acknowledging versioned publishes."),
+		slowDrops: reg.Counter("dcdb_broker_slow_reader_drops_total",
+			"Subscriber forwards dropped because the connection's outbound queue was full."),
 		bytesIn: reg.Counter("dcdb_broker_bytes_received_total",
 			"Frame payload bytes received from clients."),
 		bytesOut: reg.Counter("dcdb_broker_bytes_forwarded_total",

@@ -1,0 +1,493 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/telemetry"
+)
+
+// recorder collects delivered (epoch, seq) pairs per topic from a
+// broker-side local subscription.
+type recorder struct {
+	mu     sync.Mutex
+	seqs   map[sensor.Topic][]uint64
+	epochs map[sensor.Topic][]uint64
+	values map[sensor.Topic][]float64
+}
+
+func newRecorder() *recorder {
+	return &recorder{
+		seqs:   make(map[sensor.Topic][]uint64),
+		epochs: make(map[sensor.Topic][]uint64),
+		values: make(map[sensor.Topic][]float64),
+	}
+}
+
+func (r *recorder) handle(m Message) {
+	r.mu.Lock()
+	r.seqs[m.Topic] = append(r.seqs[m.Topic], m.Seq)
+	r.epochs[m.Topic] = append(r.epochs[m.Topic], m.Epoch)
+	if len(m.Readings) > 0 {
+		r.values[m.Topic] = append(r.values[m.Topic], m.Readings[0].Value)
+	}
+	r.mu.Unlock()
+}
+
+func (r *recorder) count(topic sensor.Topic) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.seqs[topic])
+}
+
+// TestReliablePublishAckDrain: a spooling client's batches are all
+// acknowledged, Close drains cleanly, and the broker counted the acks.
+func TestReliablePublishAckDrain(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	b, err := NewBrokerOpts("127.0.0.1:0", BrokerOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	rec := newRecorder()
+	b.SubscribeLocal("#", rec.handle)
+
+	c, err := DialOptions(b.Addr(), Options{SpoolBatches: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := c.Publish("/rel/a", []sensor.Reading{{Value: float64(i), Time: int64(i)}}); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close did not drain: %v", err)
+	}
+	st := c.Stats()
+	if st.Acked != n {
+		t.Fatalf("acked %d batches, want %d", st.Acked, n)
+	}
+	if st.Published != n {
+		t.Fatalf("published %d batches, want %d", st.Published, n)
+	}
+	if got := rec.count("/rel/a"); got != n {
+		t.Fatalf("delivered %d batches, want %d", got, n)
+	}
+	// Acks are cumulative and the broker coalesces them across a
+	// pipelined burst, so the frame count is 1..n — never more.
+	if v, _ := reg.Value("dcdb_broker_pubacks_total"); v < 1 || uint64(v) > n {
+		t.Fatalf("broker sent %v ack frames, want between 1 and %d", v, n)
+	}
+}
+
+// TestReliableRedeliveryAfterKill: killing the connection mid-stream
+// loses nothing — unacked batches are redelivered after the automatic
+// reconnect, and per-topic sequence numbers stay monotonic within each
+// delivery attempt's order (duplicates allowed, gaps not).
+func TestReliableRedeliveryAfterKill(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	rec := newRecorder()
+	b.SubscribeLocal("#", rec.handle)
+
+	c, err := DialOptions(b.Addr(), Options{
+		SpoolBatches: 64,
+		RetryMin:     5 * time.Millisecond,
+		AckTimeout:   2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := c.Publish("/rel/kill", []sensor.Reading{{Value: float64(i), Time: int64(i)}}); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+		if i == 40 || i == 120 {
+			b.KillConnections(-1)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close did not drain: %v", err)
+	}
+	if c.Stats().Reconnects == 0 {
+		t.Fatal("expected at least one reconnect after kills")
+	}
+	// Every sequence must be delivered at least once.
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	seen := make(map[uint64]bool)
+	var maxSeen uint64
+	for _, s := range rec.seqs["/rel/kill"] {
+		seen[s] = true
+		if s > maxSeen {
+			maxSeen = s
+		}
+	}
+	missing := 0
+	for s := uint64(1); s <= maxSeen; s++ {
+		if !seen[s] {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d of %d sequences never delivered", missing, maxSeen)
+	}
+	if len(seen) != n {
+		t.Fatalf("delivered %d distinct sequences, want %d", len(seen), n)
+	}
+}
+
+// TestReliableDiskSpoolRestart: batches spooled while the broker is
+// down survive Close via the disk spool, and a restarted client (same
+// spool directory) replays them in the original order.
+func TestReliableDiskSpoolRestart(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b.Addr()
+
+	c, err := DialOptions(addr, Options{
+		SpoolBatches: 4,
+		SpoolDir:     dir,
+		RetryMin:     5 * time.Millisecond,
+		DrainTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Take the broker away, then publish: 4 batches stay in memory, the
+	// rest overflow to disk.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := c.Publish("/rel/disk", []sensor.Reading{{Value: float64(i), Time: int64(i)}}); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	if st := c.Stats(); st.SpoolDisk == 0 {
+		t.Fatalf("expected disk overflow, stats %+v", st)
+	}
+	// Close cannot drain (no broker): everything must persist, no error.
+	if err := c.Close(); err != nil {
+		t.Fatalf("close with disk spool: %v", err)
+	}
+
+	// Restart broker and client: the spool replays in order.
+	b2, err := NewBroker(addr)
+	if err != nil {
+		t.Fatalf("rebinding broker addr: %v", err)
+	}
+	defer b2.Close()
+	rec := newRecorder()
+	b2.SubscribeLocal("#", rec.handle)
+	c2, err := DialOptions(addr, Options{
+		SpoolBatches: 4,
+		SpoolDir:     dir,
+		RetryMin:     5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Close(); err != nil { // Close drains the replayed spool
+		t.Fatalf("close after replay: %v", err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	vals := rec.values["/rel/disk"]
+	if len(vals) != n {
+		t.Fatalf("replayed %d batches, want %d", len(vals), n)
+	}
+	for i, v := range vals {
+		if v != float64(i) {
+			t.Fatalf("replay out of order: batch %d has value %v", i, v)
+		}
+	}
+	seqs := rec.seqs["/rel/disk"]
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("replayed sequences not increasing: %v", seqs)
+		}
+	}
+}
+
+// TestReliableCloseWithoutDiskReportsLoss: a drain that cannot finish
+// and has no disk spool to fall back on must say so.
+func TestReliableCloseWithoutDiskReportsLoss(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialOptions(b.Addr(), Options{
+		SpoolBatches: 8,
+		RetryMin:     5 * time.Millisecond,
+		DrainTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Publish("/rel/lost", []sensor.Reading{{Value: 1, Time: int64(i)}}); err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+	}
+	if err := c.Close(); !errors.Is(err, ErrSpoolNotDrained) {
+		t.Fatalf("close error = %v, want ErrSpoolNotDrained", err)
+	}
+}
+
+// TestReliableBackpressure: Publish blocks at the in-memory high-water
+// mark (no disk spool) instead of growing without bound, and unblocks
+// when acks free space.
+func TestReliableBackpressure(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	c, err := DialOptions(b.Addr(), Options{SpoolBatches: 2, RetryMin: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			if err := c.Publish("/rel/bp", []sensor.Reading{{Value: float64(i), Time: int64(i)}}); err != nil {
+				t.Errorf("publish: %v", err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher wedged under backpressure")
+	}
+}
+
+// TestAckErrorTypes pins the typed handshake errors: a broker that
+// never answers yields ErrAckTimeout, one that answers with the wrong
+// frame type yields ErrUnexpectedAck.
+func TestAckErrorTypes(t *testing.T) {
+	// Silent peer: accepts and never writes.
+	silent, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	go func() {
+		for {
+			conn, err := silent.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	if _, err := DialOptions(silent.Addr().String(), Options{AckTimeout: 50 * time.Millisecond}); !errors.Is(err, ErrAckTimeout) {
+		t.Fatalf("silent broker: err = %v, want ErrAckTimeout", err)
+	}
+
+	// Confused peer: answers CONNECT with a SubAck.
+	confused, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer confused.Close()
+	go func() {
+		for {
+			conn, err := confused.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				var buf []byte
+				if _, _, err := readFrameReuse(conn, &buf); err != nil {
+					return
+				}
+				_ = writeFrame(conn, frameSubAck, nil)
+				time.Sleep(time.Second)
+			}(conn)
+		}
+	}()
+	if _, err := DialOptions(confused.Addr().String(), Options{AckTimeout: time.Second}); !errors.Is(err, ErrUnexpectedAck) {
+		t.Fatalf("confused broker: err = %v, want ErrUnexpectedAck", err)
+	}
+	// The reliable handshake path reports the same typed error.
+	if _, err := DialOptions(confused.Addr().String(), Options{AckTimeout: time.Second, SpoolBatches: 4}); !errors.Is(err, ErrUnexpectedAck) {
+		t.Fatalf("confused broker (reliable): err = %v, want ErrUnexpectedAck", err)
+	}
+}
+
+// TestSlowReaderShedsLoad: a subscriber that stops reading fills its
+// bounded outbound queue; forwards to it drop with a counter while
+// publishing and local delivery continue unimpeded, and the write
+// deadline eventually tears the stalled connection down.
+func TestSlowReaderShedsLoad(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	b, err := NewBrokerOpts("127.0.0.1:0", BrokerOptions{
+		Metrics:       reg,
+		OutQueue:      8,
+		WriteDeadline: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var delivered int
+	var mu sync.Mutex
+	b.SubscribeLocal("#", func(Message) { mu.Lock(); delivered++; mu.Unlock() })
+
+	// Raw subscriber that subscribes to everything and then goes silent.
+	conn, err := net.Dial("tcp", b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, frameConnect, nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	if typ, _, err := readFrameReuse(conn, &buf); err != nil || typ != frameConnAck {
+		t.Fatalf("connack: %v %d", err, typ)
+	}
+	if err := writeFrame(conn, frameSubscribe, encodeString("#")); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err := readFrameReuse(conn, &buf); err != nil || typ != frameSubAck {
+		t.Fatalf("suback: %v %d", err, typ)
+	}
+	// From here on the subscriber never reads again.
+
+	pub, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	big := make([]sensor.Reading, 256) // large frames fill socket buffers fast
+	for i := range big {
+		big[i] = sensor.Reading{Value: 1, Time: int64(i)}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; ; i++ {
+		if err := pub.Publish(sensor.Topic(fmt.Sprintf("/slow/t%d", i%4)), big); err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+		if v, _ := reg.Value("dcdb_broker_slow_reader_drops_total"); v > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no slow-reader drops recorded")
+		}
+	}
+	mu.Lock()
+	got := delivered
+	mu.Unlock()
+	if got == 0 {
+		t.Fatal("local delivery stalled behind the slow reader")
+	}
+}
+
+// TestReliableCloseDuringRedial pins the shutdown race where Close runs
+// its connection teardown while the sender is still inside a redial:
+// the freshly-dialed connection must be abandoned, not registered, or
+// its receiver goroutine outlives Close and the drain wedges forever.
+// A hand-rolled broker makes the window deterministic: it stalls the
+// redial's CONNACK until Close has already torn down (nil) r.conn.
+func TestReliableCloseDuringRedial(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	handshook := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		// First session: full handshake, ack the one publish, then die.
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if typ, _, err := readFrame(conn); err != nil || typ != frameConnect {
+			t.Errorf("session 1: want CONNECT, got type %d err %v", typ, err)
+			return
+		}
+		_ = writeFrame(conn, frameConnAck, nil)
+		typ, payload, err := readFrame(conn)
+		if err != nil || typ != framePublishV2 {
+			t.Errorf("session 1: want PUBLISHv2, got type %d err %v", typ, err)
+			return
+		}
+		epoch, seq, _, err := decodePublishV2Prefix(payload)
+		if err != nil {
+			t.Errorf("session 1: decoding publish: %v", err)
+			return
+		}
+		_ = writeFrame(conn, framePubAck, encodePubAck(nil, epoch, seq))
+		time.Sleep(20 * time.Millisecond) // let the ack land and drain the spool
+		conn.Close()
+
+		// Second session (the redial): swallow CONNECT, then hold the
+		// CONNACK until the test says Close's teardown has passed.
+		conn2, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if typ, _, err := readFrame(conn2); err != nil || typ != frameConnect {
+			t.Errorf("session 2: want CONNECT, got type %d err %v", typ, err)
+			return
+		}
+		close(handshook)
+		<-release
+		_ = writeFrame(conn2, frameConnAck, nil)
+		// Leave conn2 open: only the client may close it now.
+	}()
+
+	c, err := DialOptions(ln.Addr().String(), Options{
+		SpoolBatches: 8,
+		RetryMin:     time.Millisecond,
+		RetryMax:     2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish("/rel/redial", []sensor.Reading{{Value: 1, Time: 1}}); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	<-handshook // the sender is now parked inside dialOnce's handshake
+	done := make(chan error, 1)
+	go func() { done <- c.Close() }()
+	// Close drains instantly (the spool is empty) and tears down a nil
+	// r.conn; give it time to get there before the dial completes.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close hung: redial registered its connection after teardown (orphaned receiver)")
+	}
+}

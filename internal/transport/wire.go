@@ -18,7 +18,13 @@ import (
 	"github.com/dcdb/wintermute/internal/sensor"
 )
 
-// Frame types.
+// Frame types. framePublishV2 and framePubAck extend the original
+// protocol with at-least-once delivery: a v2 PUBLISH prefixes the v1
+// payload with a (client-epoch, sequence) pair, and the broker answers
+// each one with a PubAck echoing that pair. Peers that predate the
+// extension keep speaking framePublish and receive no acks — both sides
+// ignore frame types they do not know, so mixed-version pairs degrade
+// to the old fire-and-forget behaviour instead of desyncing.
 const (
 	frameConnect    = 1
 	frameConnAck    = 2
@@ -28,6 +34,8 @@ const (
 	framePingReq    = 6
 	framePingResp   = 7
 	frameDisconnect = 8
+	framePublishV2  = 9
+	framePubAck     = 10
 )
 
 // maxFrameSize bounds a single frame payload; larger frames indicate a
@@ -86,10 +94,16 @@ func readFrameReuse(r io.Reader, buf *[]byte) (typ byte, payload []byte, err err
 	return hdr[0], payload, nil
 }
 
-// Message is one published batch of readings for a topic.
+// Message is one published batch of readings for a topic. Epoch and Seq
+// are the at-least-once delivery identity carried by v2 PUBLISH frames:
+// Epoch identifies one client incarnation and Seq increases by one per
+// published batch within it. Both are zero for messages that arrived as
+// unversioned (v1) publishes, which receive no ack and no dedup.
 type Message struct {
 	Topic    sensor.Topic
 	Readings []sensor.Reading
+	Epoch    uint64
+	Seq      uint64
 }
 
 // EncodePublish serialises a message into a PUBLISH payload: uvarint topic
@@ -165,6 +179,51 @@ func decodePublishInto(payload []byte, rs []sensor.Reading, intern map[string]se
 	}
 	m.Readings = rs
 	return m, nil
+}
+
+// EncodePublishV2 serialises a message into a v2 PUBLISH payload: the
+// uvarint (epoch, seq) delivery identity, then the v1 payload verbatim.
+// The layout lets the broker forward a v2 publish to unversioned
+// subscribers by re-slicing past the prefix — no re-encoding.
+func EncodePublishV2(m Message) []byte {
+	var tmp [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], m.Epoch)
+	n += binary.PutUvarint(tmp[n:], m.Seq)
+	v1 := EncodePublish(m)
+	buf := make([]byte, 0, n+len(v1))
+	buf = append(buf, tmp[:n]...)
+	return append(buf, v1...)
+}
+
+// decodePublishV2Prefix parses the (epoch, seq) prefix of a v2 PUBLISH
+// payload and returns the offset where the embedded v1 payload starts.
+func decodePublishV2Prefix(payload []byte) (epoch, seq uint64, off int, err error) {
+	var n int
+	epoch, n = binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, 0, 0, fmt.Errorf("%w: publish epoch", ErrBadFrame)
+	}
+	off = n
+	seq, n = binary.Uvarint(payload[off:])
+	if n <= 0 {
+		return 0, 0, 0, fmt.Errorf("%w: publish seq", ErrBadFrame)
+	}
+	return epoch, seq, off + n, nil
+}
+
+// encodePubAck serialises a PubAck payload: the acknowledged batch's
+// uvarint (epoch, seq) pair.
+func encodePubAck(buf []byte, epoch, seq uint64) []byte {
+	var tmp [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], epoch)
+	n += binary.PutUvarint(tmp[n:], seq)
+	return append(buf[:0], tmp[:n]...)
+}
+
+// decodePubAck parses a PubAck payload.
+func decodePubAck(payload []byte) (epoch, seq uint64, err error) {
+	epoch, seq, _, err = decodePublishV2Prefix(payload)
+	return epoch, seq, err
 }
 
 // encodeString serialises a SUBSCRIBE filter.

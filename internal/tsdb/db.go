@@ -171,6 +171,12 @@ type DB struct {
 	walErrMu    sync.Mutex
 	walErr      error
 	walDegraded atomic.Bool
+	// flushErr is the most recent flush failure (sticky until a flush
+	// succeeds): disk-full or a dead device keeps head data memory-only,
+	// and operators see it in Stats instead of only in janitor stderr.
+	// Guarded by walErrMu — both stickies describe the same "durability
+	// lost" condition.
+	flushErr error
 
 	// legacyMu emulates the pre-PR5 global head-resolution lock when
 	// Options.LegacyIngest is set (paired benchmarks only).
@@ -416,6 +422,7 @@ func (db *DB) noteWALError(err error) {
 	}
 	db.walErrMu.Unlock()
 	if first {
+		db.metrics.walDegrades.Inc()
 		fmt.Fprintf(os.Stderr, "tsdb: WAL write failed (serving from memory only): %v\n", err)
 	}
 }
@@ -436,6 +443,31 @@ func (db *DB) clearWALError() error {
 	db.walDegraded.Store(false)
 	db.walErrMu.Unlock()
 	return prev
+}
+
+// noteFlushError records a failed flush (sticky until one succeeds) so
+// a database wedged on a full disk is visible in Stats, not only in the
+// janitor's stderr.
+func (db *DB) noteFlushError(err error) {
+	db.metrics.flushFailures.Inc()
+	db.walErrMu.Lock()
+	db.flushErr = err
+	db.walErrMu.Unlock()
+}
+
+// clearFlushError re-arms after a successful flush — space returned (or
+// the device recovered) and the staged data reached a segment.
+func (db *DB) clearFlushError() {
+	db.walErrMu.Lock()
+	db.flushErr = nil
+	db.walErrMu.Unlock()
+}
+
+// flushError returns the sticky flush failure, if any.
+func (db *DB) flushError() error {
+	db.walErrMu.Lock()
+	defer db.walErrMu.Unlock()
+	return db.flushErr
 }
 
 // metaPath holds the persisted retention watermark.
@@ -787,7 +819,9 @@ func (db *DB) Flush() error {
 	db.ingest.Unlock()
 	if err != nil {
 		db.restoreFlushing()
-		return fmt.Errorf("tsdb: rotating WAL: %w", err)
+		ferr := fmt.Errorf("tsdb: rotating WAL: %w", err)
+		db.noteFlushError(ferr)
+		return ferr
 	}
 
 	walDir := filepath.Join(db.dir, "wal")
@@ -799,6 +833,7 @@ func (db *DB) Flush() error {
 		db.epoch++
 		db.mu.Unlock()
 		db.removeWALThrough(walDir, retiredWAL)
+		db.clearFlushError()
 		return nil
 	}
 	seg, err := writeSegment(db.fs, filepath.Join(db.dir, "seg"), segSeq, retiredWAL, data)
@@ -811,7 +846,9 @@ func (db *DB) Flush() error {
 		if prevWALErr != nil {
 			db.noteWALError(prevWALErr)
 		}
-		return fmt.Errorf("tsdb: writing segment: %w", err)
+		ferr := fmt.Errorf("tsdb: writing segment: %w", err)
+		db.noteFlushError(ferr)
+		return ferr
 	}
 	seg.decodes = db.metrics.chunkDecodes
 	flushed := 0
@@ -825,6 +862,7 @@ func (db *DB) Flush() error {
 	db.epoch++
 	db.mu.Unlock()
 	db.removeWALThrough(walDir, retiredWAL)
+	db.clearFlushError()
 	return nil
 }
 
@@ -982,6 +1020,12 @@ func (db *DB) Stats() store.BackendStats {
 	}
 	if err := db.walError(); err != nil {
 		st.Error = fmt.Sprintf("WAL degraded, recent data not durable: %v", err)
+	}
+	if err := db.flushError(); err != nil {
+		if st.Error != "" {
+			st.Error += "; "
+		}
+		st.Error += fmt.Sprintf("last flush failed, head data retained in memory: %v", err)
 	}
 	st.Topics = len(db.topicSet())
 	st.TotalReadings = db.TotalReadings()

@@ -8,11 +8,13 @@ package tsdb_test
 
 import (
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
 	"github.com/dcdb/wintermute/internal/chaos"
 	"github.com/dcdb/wintermute/internal/sensor"
+	"github.com/dcdb/wintermute/internal/telemetry"
 	"github.com/dcdb/wintermute/internal/testseed"
 	"github.com/dcdb/wintermute/internal/tsdb"
 )
@@ -180,6 +182,59 @@ func TestSegmentFailureThenCrashRecoversFromWAL(t *testing.T) {
 	}
 	defer re.Close()
 	expectRange(t, re, topic, next)
+}
+
+// TestDiskFullDegradesAndRearms: ENOSPC on the WAL and on segment
+// writes must ride the same degradation machinery as any write failure —
+// serve from memory, sticky errors in Stats, zero in-process loss — and
+// a flush after space returns must re-arm everything.
+func TestDiskFullDegradesAndRearms(t *testing.T) {
+	fs := chaos.NewFS(nil, testseed.Seed(t))
+	reg := telemetry.NewRegistry()
+	db, err := tsdb.Open(t.TempDir(), tsdb.Options{FS: fs, WALSync: true, Metrics: reg})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer db.Close()
+	topic := sensor.Topic("/n01/power")
+	next := fill(db, topic, 0, 100)
+
+	// The disk fills: WAL appends and segment writes all return ENOSPC.
+	full := chaos.Fault{P: 1, Err: syscall.ENOSPC}
+	fs.Set(chaos.OpWrite, chaos.ClassWAL, full)
+	fs.Set(chaos.OpCreate, chaos.ClassSeg, full)
+	fs.Set(chaos.OpWrite, chaos.ClassSeg, full)
+
+	next = fill(db, topic, next, 100) // degrades the WAL, memory-only
+	st := db.Stats()
+	if !strings.Contains(st.Error, "WAL degraded") || !strings.Contains(st.Error, "no space left") {
+		t.Fatalf("stats under ENOSPC = %q, want WAL degraded with ENOSPC", st.Error)
+	}
+	if err := db.Flush(); err == nil {
+		t.Fatal("flush on a full disk succeeded, want error")
+	}
+	if st := db.Stats(); !strings.Contains(st.Error, "last flush failed") {
+		t.Fatalf("stats after failed flush = %q, want sticky flush error", st.Error)
+	}
+	if v, _ := reg.Value("dcdb_tsdb_flush_failures_total"); v < 1 {
+		t.Fatalf("flush failures counter = %v, want >= 1", v)
+	}
+	if v, _ := reg.Value("dcdb_tsdb_wal_degrade_episodes_total"); v < 1 {
+		t.Fatalf("wal degrade episodes counter = %v, want >= 1", v)
+	}
+	expectRange(t, db, topic, next) // nothing lost while degraded
+
+	// Space returns: the next flush covers everything with a segment and
+	// both sticky errors clear.
+	fs.ClearAll()
+	if err := db.Flush(); err != nil {
+		t.Fatalf("flush after space returned: %v", err)
+	}
+	if st := db.Stats(); st.Error != "" {
+		t.Fatalf("stats after recovery = %q, want clean", st.Error)
+	}
+	next = fill(db, topic, next, 100)
+	expectRange(t, db, topic, next)
 }
 
 // TestFsyncStallBlocksButCommits: a stalled fsync must delay the group

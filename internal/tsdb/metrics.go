@@ -19,6 +19,8 @@ type dbMetrics struct {
 	walCommitS *telemetry.Histogram // seconds per commit write (+fsync)
 
 	flushes        *telemetry.Counter
+	flushFailures  *telemetry.Counter // flush cycles that returned an error
+	walDegrades    *telemetry.Counter // WAL degrade episodes (first sticky error)
 	flushSeconds   *telemetry.Histogram
 	flushedRead    *telemetry.Counter
 	pruneSeconds   *telemetry.Histogram
@@ -53,6 +55,10 @@ func newDBMetrics(reg *telemetry.Registry, db *DB) *dbMetrics {
 			telemetry.DefDurationBuckets),
 		flushes: reg.Counter("dcdb_tsdb_flushes_total",
 			"Head-to-segment flush cycles."),
+		flushFailures: reg.Counter("dcdb_tsdb_flush_failures_total",
+			"Flush cycles that failed (disk full, write errors); staged data restored to heads."),
+		walDegrades: reg.Counter("dcdb_tsdb_wal_degrade_episodes_total",
+			"Times the WAL entered degraded (memory-only) mode on a sticky append failure."),
 		flushSeconds: reg.Histogram("dcdb_tsdb_flush_seconds",
 			"Seconds per flush cycle (detach, segment write, WAL retirement).",
 			telemetry.DefDurationBuckets),
