@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -489,5 +490,184 @@ func TestReliableCloseDuringRedial(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("Close hung: redial registered its connection after teardown (orphaned receiver)")
+	}
+}
+
+// TestDiskSpoolScanSurvivesUnboundedRecords: Close's persistRemainder
+// writes via appendUnbounded, deliberately ignoring SpoolMaxBytes, so
+// the next open's scan must not mistake an over-cap record for a torn
+// tail — that would silently discard it and every valid record after
+// it on restart replay.
+func TestDiskSpoolScanSurvivesUnboundedRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pusher.spool")
+	d, err := openDiskSpool(path, 64) // cap far below the record written below
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := EncodePublishV2(Message{
+		Topic: "/spool/big", Readings: make([]sensor.Reading, 16), Epoch: 7, Seq: 1,
+	})
+	if int64(len(big)) <= d.max {
+		t.Fatalf("test needs a record above the %d-byte cap, got %d bytes", d.max, len(big))
+	}
+	if err := d.append(big); err == nil {
+		t.Fatal("capped append above SpoolMaxBytes must fail")
+	}
+	if err := d.appendUnbounded(big); err != nil {
+		t.Fatal(err)
+	}
+	small := EncodePublishV2(Message{
+		Topic: "/spool/small", Readings: []sensor.Reading{{Value: 1, Time: 1}}, Epoch: 7, Seq: 2,
+	})
+	if err := d.appendUnbounded(small); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := openDiskSpool(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.close()
+	if d2.pending != 2 {
+		t.Fatalf("scan found %d records, want 2 (over-cap record treated as torn tail)", d2.pending)
+	}
+	loaded, err := d2.load(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 2 || loaded[0].seq != 1 || loaded[1].seq != 2 {
+		t.Fatalf("loaded records out of order or missing: %+v", loaded)
+	}
+}
+
+// TestPublishNoReorderAroundFullDisk: concurrent publishers racing a
+// repeatedly-full overflow file must never let a batch enter the memory
+// queue ahead of a lower-sequence disk-resident batch. Small batches
+// fit the tiny disk cap, large ones never do (their publishers take the
+// blocked path); under the old two-stage wait a blocked publisher could
+// enqueue to memory after a smaller batch landed on disk, delivering
+// sequences out of order — which the agent's high-water dedup would
+// drop on replay despite the broker acking them.
+func TestPublishNoReorderAroundFullDisk(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	rec := newRecorder()
+	b.SubscribeLocal("#", rec.handle)
+
+	c, err := DialOptions(b.Addr(), Options{
+		SpoolBatches:  1,
+		SpoolDir:      t.TempDir(),
+		SpoolMaxBytes: 200,
+		RetryMin:      5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]sensor.Reading, 64) // encodes past SpoolMaxBytes: never fits on disk
+	for i := range big {
+		big[i] = sensor.Reading{Value: 1, Time: int64(i)}
+	}
+	const perWorker = 150
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rs := []sensor.Reading{{Value: float64(i), Time: int64(i)}}
+				if w == 1 {
+					rs = big
+				}
+				if err := c.Publish("/rel/order", rs); err != nil {
+					t.Errorf("worker %d publish %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := c.Close(); err != nil {
+		t.Fatalf("close did not drain: %v", err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	seqs := rec.seqs["/rel/order"]
+	if len(seqs) != 2*perWorker {
+		t.Fatalf("delivered %d batches, want %d", len(seqs), 2*perWorker)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("sequence inversion at delivery %d: %d after %d", i, seqs[i], seqs[i-1])
+		}
+	}
+}
+
+// TestControlFramesDoNotCorruptPublishStream: Subscribe and Ping frames
+// share the connection with the reliable sender's vectored bursts, so
+// both must serialize on the client write lock — a control frame landing
+// mid-burst would desync the broker's framing and kill the connection.
+// A clean run delivers every batch in order with zero reconnects.
+func TestControlFramesDoNotCorruptPublishStream(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	rec := newRecorder()
+	b.SubscribeLocal("#", rec.handle)
+
+	c, err := DialOptions(b.Addr(), Options{SpoolBatches: 64, RetryMin: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = c.Ping()
+			_ = c.Subscribe(fmt.Sprintf("/ctl/none%d", i), func(Message) {})
+		}
+	}()
+	const n = 1000
+	batch := make([]sensor.Reading, 16)
+	for i := 0; i < n; i++ {
+		for j := range batch {
+			batch[j] = sensor.Reading{Value: float64(i), Time: int64(j)}
+		}
+		if err := c.Publish("/rel/ctl", batch); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := c.Close(); err != nil {
+		t.Fatalf("close did not drain: %v", err)
+	}
+	if rc := c.Stats().Reconnects; rc != 0 {
+		t.Fatalf("%d reconnects during control-frame traffic: stream corrupted", rc)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	seqs := rec.seqs["/rel/ctl"]
+	if len(seqs) != n {
+		t.Fatalf("delivered %d batches, want %d", len(seqs), n)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("sequence inversion at delivery %d: %d after %d", i, seqs[i], seqs[i-1])
+		}
 	}
 }

@@ -180,42 +180,47 @@ func (r *reliable) stats() ClientStats {
 // loss.
 func (r *reliable) publish(topic sensor.Topic, readings []sensor.Reading) error {
 	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
-		return ErrClosed
-	}
 	// Order is sacred: the agent's dedup watermark assumes per-topic
 	// sequence numbers arrive monotonically, so sequences are assigned
 	// at enqueue time under a continuously-held lock (never across a
 	// cond wait — a concurrent publisher could slip a later sequence in
 	// front), and a batch may only enter the memory queue behind every
 	// disk-resident batch. While the overflow file holds anything, all
-	// new batches go to its tail.
-	if r.disk != nil && (r.disk.pending > 0 || len(r.queue) >= r.c.opts.SpoolBatches) {
-		r.nextSeq++
-		payload := EncodePublishV2(Message{
-			Topic: topic, Readings: readings, Epoch: r.epoch, Seq: r.nextSeq,
-		})
-		if err := r.disk.append(payload); err == nil {
-			r.published++
+	// new batches go to its tail. Both destination checks live in ONE
+	// loop re-evaluated after every wait: a publisher that blocked on a
+	// full disk must return to the disk path whenever disk.pending rises
+	// again while it slept (a concurrent publisher's append succeeded),
+	// or its memory enqueue would jump ahead of a lower-sequence
+	// disk-resident batch — which the dedup watermark would then reject
+	// on replay even though the broker acked it: acked data loss.
+	for {
+		if r.closed {
 			r.mu.Unlock()
-			r.kick()
-			return nil
+			return ErrClosed
 		}
-		// Disk full (or failing): the sequence just burnt is discarded
-		// (gaps are harmless to a high-water mark) and the publisher
-		// waits for the overflow to drain, so an in-memory enqueue
-		// cannot reorder around disk-resident batches.
-		for !r.closed && r.disk.pending > 0 {
+		if r.disk != nil && (r.disk.pending > 0 || len(r.queue) >= r.c.opts.SpoolBatches) {
+			r.nextSeq++
+			payload := EncodePublishV2(Message{
+				Topic: topic, Readings: readings, Epoch: r.epoch, Seq: r.nextSeq,
+			})
+			if err := r.disk.append(payload); err == nil {
+				r.published++
+				r.mu.Unlock()
+				r.kick()
+				return nil
+			}
+			// Disk full (or failing): the sequence just burnt is
+			// discarded (gaps are harmless to a high-water mark) and the
+			// publisher waits for state to change before re-deciding
+			// where this batch may go.
 			r.space.Wait()
+			continue
 		}
-	}
-	for !r.closed && len(r.queue) >= r.c.opts.SpoolBatches {
-		r.space.Wait()
-	}
-	if r.closed {
-		r.mu.Unlock()
-		return ErrClosed
+		if len(r.queue) >= r.c.opts.SpoolBatches {
+			r.space.Wait()
+			continue
+		}
+		break
 	}
 	r.nextSeq++
 	payload := EncodePublishV2(Message{
@@ -324,7 +329,15 @@ func (r *reliable) sendLoop() {
 				r.iov[2*i] = r.hdrs[5*i : 5*i+5]
 			}
 			r.mu.Unlock()
-			if _, err := r.iov.WriteTo(conn); err != nil {
+			// The burst shares the connection with Subscribe/Ping frames
+			// written under c.writeMu; hold it across the vectored write
+			// (which may span several writev syscalls) so a concurrent
+			// control frame can never interleave bytes mid-frame and
+			// desync the broker's stream.
+			r.c.writeMu.Lock()
+			_, err := r.iov.WriteTo(conn)
+			r.c.writeMu.Unlock()
+			if err != nil {
 				r.connDead(gen)
 			}
 			continue
@@ -547,7 +560,14 @@ func (r *reliable) close() error {
 	r.conn = nil
 	r.mu.Unlock()
 	if conn != nil {
-		_ = writeFrame(conn, frameDisconnect, nil)
+		// TryLock: the sender may be wedged mid-write on this very
+		// connection holding c.writeMu, and conn.Close() below is what
+		// unblocks it — so the courtesy DISCONNECT is skipped rather
+		// than deadlocking Close behind it.
+		if r.c.writeMu.TryLock() {
+			_ = writeFrame(conn, frameDisconnect, nil)
+			r.c.writeMu.Unlock()
+		}
 		conn.Close()
 	}
 	r.wg.Wait()
@@ -600,6 +620,15 @@ func jitter(d time.Duration) time.Duration {
 // spoolMagic versions the overflow-file record framing.
 const spoolMagic = uint32(0x53504c31) // "SPL1"
 
+// maxSpoolRecord bounds a single record's payload during scan: spooled
+// payloads are v2 PUBLISH frames, so anything past the wire frame limit
+// (plus the delivery-identity prefix, generously) is corruption, not a
+// large batch. The configured SpoolMaxBytes cap must NOT bound this
+// check — Close's persistRemainder appends via appendUnbounded, which
+// deliberately ignores the cap, and those records (and everything after
+// them) must survive the next open's scan.
+const maxSpoolRecord = maxFrameSize + 2*binary.MaxVarintLen64
+
 // diskSpool is the append-only overflow file: CRC-framed v2 publish
 // payloads, appended at the tail, loaded in order from a read offset,
 // truncated to empty once every record has been loaded and
@@ -650,7 +679,7 @@ func (d *diskSpool) scan() error {
 			break
 		}
 		n := binary.LittleEndian.Uint32(hdr[4:8])
-		if int64(n) > d.max {
+		if int64(n) > maxSpoolRecord {
 			break
 		}
 		if cap(body) < int(n) {
